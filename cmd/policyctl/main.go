@@ -1,0 +1,193 @@
+// Command policyctl is the policy administration tool of Section 6.2: it
+// parses and integrity-checks policy files, stores them in a repository
+// (in-process or over TCP), browses stored bindings, administers manager
+// rule sets (dynamic rule distribution), exports LDIF, and can serve a
+// repository.
+//
+// Usage:
+//
+//	policyctl check  -file policy.pol -exe mpeg_play
+//	policyctl add    -file policy.pol -exe mpeg_play -app VideoApplication [-role physician] [-server host:port]
+//	policyctl remove -name NotifyQoSViolation -exe mpeg_play [-role r] [-server host:port]
+//	policyctl list   [-server host:port]
+//	policyctl export [-server host:port]
+//	policyctl serve  -listen 127.0.0.1:7389
+//
+// Without -server, commands operate on a fresh in-memory repository
+// seeded with the demo video-application model (useful for try-out); with
+// -server they talk to a repository served by `policyctl serve`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"softqos/internal/mgmt"
+	"softqos/internal/repository"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		file   = fs.String("file", "", "policy source file")
+		exe    = fs.String("exe", "", "target executable")
+		app    = fs.String("app", "", "application the executable belongs to")
+		role   = fs.String("role", "", "user role binding (empty = any role)")
+		name   = fs.String("name", "", "policy name (remove)")
+		server = fs.String("server", "", "repository server address (empty = in-memory demo)")
+		listen = fs.String("listen", "127.0.0.1:7389", "listen address (serve)")
+	)
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "serve":
+		dir := repository.NewDirectory(repository.QoSSchema())
+		seedDemoModel(repository.NewService(repository.LocalStore{Dir: dir}))
+		srv, err := repository.ServeDirectory(dir, *listen)
+		must(err)
+		fmt.Printf("policyctl: repository serving on %s (ctrl-c to stop)\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		_ = srv.Close()
+		return
+	case "check":
+		admin, _ := openAdmin(*server)
+		src := readFile(*file)
+		requireFlag(*exe, "-exe")
+		p, errs := admin.ParseAndCheck(src, *exe)
+		if p != nil {
+			fmt.Printf("parsed policy %s (subject %s, %d actions)\n", p.Name, p.Subject, len(p.Do))
+		}
+		if len(errs) == 0 {
+			fmt.Println("integrity checks passed")
+			return
+		}
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, " -", e)
+		}
+		os.Exit(1)
+	case "add":
+		admin, _ := openAdmin(*server)
+		requireFlag(*exe, "-exe")
+		must(admin.AddPolicy(readFile(*file), repository.PolicyMeta{
+			Application: *app, Executable: *exe, UserRole: *role}))
+		fmt.Println("policy stored")
+		list(admin)
+	case "remove":
+		admin, _ := openAdmin(*server)
+		requireFlag(*name, "-name")
+		requireFlag(*exe, "-exe")
+		must(admin.RemovePolicy(*name, repository.PolicyMeta{Executable: *exe, UserRole: *role}))
+		fmt.Println("policy removed")
+	case "list":
+		admin, _ := openAdmin(*server)
+		list(admin)
+	case "add-rules":
+		admin, _ := openAdmin(*server)
+		requireFlag(*name, "-name")
+		requireFlag(*role, "-role")
+		must(admin.AddRuleSet(*name, *role, readFile(*file)))
+		fmt.Println("rule set stored")
+	case "rules":
+		admin, _ := openAdmin(*server)
+		requireFlag(*role, "-role")
+		text, err := admin.RulesFor(*role)
+		must(err)
+		if text == "" {
+			fmt.Println("no rule sets stored for role", *role)
+		} else {
+			fmt.Println(text)
+		}
+	case "export":
+		_, store := openAdmin(*server)
+		entries, err := store.Search(repository.BaseDN, repository.ScopeSub, nil)
+		must(err)
+		must(repository.WriteLDIF(os.Stdout, entries))
+	default:
+		usage()
+	}
+}
+
+func list(admin *mgmt.Admin) {
+	names, err := admin.Browse()
+	must(err)
+	if len(names) == 0 {
+		fmt.Println("no policy bindings stored")
+		return
+	}
+	fmt.Println("policy bindings:")
+	for _, n := range names {
+		fmt.Println(" -", n)
+	}
+}
+
+// openAdmin returns an Admin over either a TCP repository client or a
+// fresh in-memory demo repository.
+func openAdmin(server string) (*mgmt.Admin, repository.Store) {
+	var store repository.Store
+	if server == "" {
+		dir := repository.NewDirectory(repository.QoSSchema())
+		store = repository.LocalStore{Dir: dir}
+		svc := repository.NewService(store)
+		seedDemoModel(svc)
+		return mgmt.NewAdmin(svc), store
+	}
+	client, err := repository.DialDirectory(server)
+	must(err)
+	return mgmt.NewAdmin(repository.NewService(client)), client
+}
+
+// seedDemoModel installs the video-application information model so
+// policies can be validated against real sensors out of the box.
+func seedDemoModel(svc *repository.Service) {
+	must(svc.DefineApplication("VideoApplication", "mpeg_play", "mpeg_serve"))
+	must(svc.DefineExecutable("mpeg_play", map[string][]string{
+		"fps_sensor":    {"frame_rate"},
+		"jitter_sensor": {"jitter_rate"},
+		"buffer_sensor": {"buffer_size"},
+	}))
+	must(svc.DefineExecutable("mpeg_serve", map[string][]string{}))
+	must(svc.DefineRole("physician"))
+	must(svc.DefineRole("student"))
+}
+
+func readFile(path string) string {
+	requireFlag(path, "-file")
+	data, err := os.ReadFile(path)
+	must(err)
+	return string(data)
+}
+
+func requireFlag(v, name string) {
+	if v == "" {
+		fmt.Fprintf(os.Stderr, "policyctl: %s is required\n", name)
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: policyctl <check|add|remove|list|add-rules|rules|export|serve> [flags]
+  check     -file policy.pol -exe mpeg_play
+  add       -file policy.pol -exe mpeg_play -app VideoApplication [-role r] [-server addr]
+  remove    -name Policy -exe mpeg_play [-role r] [-server addr]
+  list      [-server addr]
+  add-rules -file rules.clp -name base -role host-manager [-server addr]
+  rules     -role host-manager [-server addr]
+  export    [-server addr]
+  serve     [-listen 127.0.0.1:7389]`)
+	os.Exit(2)
+}

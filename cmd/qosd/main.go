@@ -1,0 +1,100 @@
+// Command qosd runs one managed-system scenario end to end and reports
+// the QoS timeline and summary — the quickest way to watch the framework
+// enforce a policy.
+//
+// Usage:
+//
+//	qosd [-scenario single|server-fault|network-fault|multiapp|webapp]
+//	     [-load 5] [-managed] [-duration 2m] [-seed 1] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"softqos/internal/scenario"
+	"softqos/internal/video"
+)
+
+var (
+	scen     = flag.String("scenario", "single", "single|server-fault|network-fault|multiapp|webapp")
+	load     = flag.Float64("load", 5, "background CPU load on the client host (single scenario)")
+	managed  = flag.Bool("managed", true, "enable the QoS management framework")
+	duration = flag.Duration("duration", 2*time.Minute, "virtual measurement window")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	timeline = flag.Bool("timeline", false, "print one sample per second")
+	trace    = flag.Bool("trace", false, "print the host manager's rule firing trace")
+)
+
+func main() {
+	flag.Parse()
+	switch *scen {
+	case "single":
+		run(scenario.Build(scenario.Config{
+			Seed: *seed, ClientLoad: *load, Managed: *managed}), 30*time.Second)
+	case "server-fault":
+		run(scenario.Build(scenario.Config{
+			Seed: *seed, Managed: *managed, ServerLoad: 4,
+			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
+				DecodeCost: 10 * time.Millisecond}}), 30*time.Second)
+	case "network-fault":
+		sys := scenario.Build(scenario.Config{
+			Seed: *seed, Managed: *managed, BackupRoute: true,
+			Stream: video.StreamConfig{DecodeCost: 10 * time.Millisecond}})
+		sys.Sim.RunFor(30 * time.Second)
+		sys.CongestNetwork(6.0)
+		run(sys, 0)
+	case "multiapp":
+		fmt.Print(scenario.MultiAppTable(*seed, 30*time.Second, *duration))
+	case "webapp":
+		r := scenario.WebScenario(*seed, *load, *managed, 30*time.Second, *duration)
+		fmt.Printf("smoothed response time: %.1f ms (policy bound 50 ms)\n", r.MeanLatencyMs)
+		fmt.Printf("requests served:        %d\n", r.Served)
+		fmt.Printf("max backlog:            %d\n", r.P100BacklogMax)
+		fmt.Printf("violations/adjustments: %d / %d (final boost %d)\n",
+			r.Violations, r.Adjustments, r.FinalBoost)
+	default:
+		fmt.Fprintf(os.Stderr, "qosd: unknown scenario %q\n", *scen)
+		os.Exit(2)
+	}
+}
+
+func run(sys *scenario.System, warmup time.Duration) {
+	if *trace {
+		sys.ClientHM.Engine().SetTracing(true)
+	}
+	res := sys.Run(warmup, *duration)
+	if *timeline {
+		fmt.Printf("%-8s %-8s %-8s %-8s %-8s %-8s\n", "t", "fps", "jitter", "buffer", "boost", "load")
+		for _, s := range res.Timeline {
+			fmt.Printf("%-8s %-8.1f %-8.2f %-8d %-8d %-8.2f\n",
+				s.At.Duration().Round(time.Second).String(), s.FPS, s.Jitter, s.Buffer, s.Boost, s.LoadAvg)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("mean playback throughput: %.2f FPS (policy band 23..27)\n", res.MeanFPS)
+	fmt.Printf("client host load average: %.2f\n", res.LoadAvg)
+	fmt.Printf("in-band samples:          %.0f%%\n", 100*res.InBandFraction)
+	fmt.Printf("violations / overshoots:  %d / %d (%d notifications)\n",
+		res.Violations, res.Overshoots, res.Notifies)
+	fmt.Printf("CPU adjustments:          %d (final boost %d)\n", res.CPUAdjustments, res.FinalBoost)
+	fmt.Printf("escalations:              %d (server faults %d, network faults %d)\n",
+		res.Escalations, res.ServerFaults, res.NetworkFaults)
+	fmt.Printf("frames displayed/dropped: %d / %d\n", res.Displayed, res.Dropped)
+	if sys.Rerouted > 0 {
+		fmt.Printf("network reroutes:         %d\n", sys.Rerouted)
+	}
+	if *trace {
+		firings := sys.ClientHM.Engine().Trace()
+		fmt.Printf("\nrule firings (%d total, last 20):\n", len(firings))
+		start := 0
+		if len(firings) > 20 {
+			start = len(firings) - 20
+		}
+		for _, f := range firings[start:] {
+			fmt.Println(" ", f)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const videoSpec = `{
+  "package":     "main",
+  "executable":  "mpeg_play",
+  "application": "VideoApplication",
+  "sensors": [
+    {"id": "fps_sensor",    "attr": "frame_rate",  "kind": "rate",   "param": "1s"},
+    {"id": "jitter_sensor", "attr": "jitter_rate", "kind": "jitter", "param": "33ms"},
+    {"id": "buffer_sensor", "attr": "buffer_size", "kind": "gauge"}
+  ]
+}`
+
+func TestGenerateVideoSpec(t *testing.T) {
+	code, err := Generate([]byte(videoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	for _, want := range []string{
+		"type MpegPlayInstrumentation struct",
+		"func NewMpegPlayInstrumentation(",
+		`softqos.NewRateSensor("fps_sensor", "frame_rate", clock, mustDur("1s"))`,
+		`softqos.NewJitterSensor("jitter_sensor", "jitter_rate", clock, mustDur("33ms"))`,
+		`softqos.NewValueSensor("buffer_sensor", "buffer_size", nil)`,
+		"coord.Register()",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+	// Field names derive from sensor ids.
+	for _, want := range []string{"Fps *softqos.RateSensor", "Jitter *softqos.JitterSensor", "Buffer *softqos.ValueSensor"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated fields missing %q", want)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	bad := map[string]string{
+		"not json":      `{`,
+		"unknown field": `{"package":"p","executable":"e","application":"a","frobnicate":1,"sensors":[{"id":"s","attr":"x","kind":"gauge"}]}`,
+		"no sensors":    `{"package":"p","executable":"e","application":"a","sensors":[]}`,
+		"no package":    `{"executable":"e","application":"a","sensors":[{"id":"s","attr":"x","kind":"gauge"}]}`,
+		"dup sensor":    `{"package":"p","executable":"e","application":"a","sensors":[{"id":"s","attr":"x","kind":"gauge"},{"id":"s","attr":"y","kind":"gauge"}]}`,
+		"bad kind":      `{"package":"p","executable":"e","application":"a","sensors":[{"id":"s","attr":"x","kind":"laser"}]}`,
+		"rate no param": `{"package":"p","executable":"e","application":"a","sensors":[{"id":"s","attr":"x","kind":"rate"}]}`,
+		"gauge param":   `{"package":"p","executable":"e","application":"a","sensors":[{"id":"s","attr":"x","kind":"gauge","param":"1s"}]}`,
+	}
+	for name, spec := range bad {
+		if _, err := Generate([]byte(spec)); err == nil {
+			t.Errorf("%s: generation succeeded", name)
+		}
+	}
+}
+
+func TestExportName(t *testing.T) {
+	cases := map[string]string{
+		"mpeg_play":  "MpegPlay",
+		"httpd":      "Httpd",
+		"my-app.bin": "MyAppBin",
+	}
+	for in, want := range cases {
+		if got := exportName(in); got != want {
+			t.Errorf("exportName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := fieldName("fps_sensor"); got != "Fps" {
+		t.Errorf("fieldName = %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+// Package softqos is a policy-based framework for managing soft
+// quality-of-service requirements in distributed systems, reproducing
+// Lutfiyya, Molenkamp, Katchabaw and Bauer, "Managing Soft QoS
+// Requirements in Distributed Systems" (ICPP Workshop on Multimedia
+// Systems, 2000; extended as POLICY 2001, LNCS 1995).
+//
+// Users state observable QoS expectations as obligation policies —
+//
+//	oblig NotifyQoSViolation {
+//	  subject (...)/VideoApplication/qosl_coordinator
+//	  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+//	  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+//	  do      fps_sensor->read(out frame_rate);
+//	          jitter_sensor->read(out jitter_rate);
+//	          buffer_sensor->read(out buffer_size);
+//	          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+//	}
+//
+// — never resource amounts. The framework detects violations through
+// in-process sensors, locates the fault (local CPU starvation vs server
+// vs network) with CLIPS-style inference at per-host and per-domain
+// managers, and adapts resource allocations (time-sharing priorities,
+// real-time cycles, resident pages) until expectations are met again,
+// reclaiming resources when metrics overshoot.
+//
+// The package has two execution modes:
+//
+//   - Simulation: Build/Run assemble a complete managed system (hosts
+//     with a Solaris-like time-sharing scheduler, a switched network, the
+//     video application, repository, agents and managers) on a
+//     deterministic virtual clock. All of the paper's experiments run
+//     here; see the examples/ directory and EXPERIMENTS.md.
+//
+//   - Live: NewLiveCoordinator, ServeLiveAgent and NewLiveCollector run
+//     the same instrumentation code under the wall clock over TCP, used
+//     for the paper's instrumentation-overhead measurements (≈400 µs
+//     initialisation+registration, ≈11 µs per instrumentation pass).
+package softqos

@@ -1,0 +1,73 @@
+package softqos_test
+
+import (
+	"fmt"
+	"time"
+
+	"softqos"
+)
+
+// Build a managed system, run it under heavy load and inspect the result.
+func ExampleBuild() {
+	sys := softqos.Build(softqos.Config{
+		ClientLoad: 9,    // nine CPU-bound background processes
+		Managed:    true, // QoS framework enabled
+	})
+	res := sys.Run(30*time.Second, 2*time.Minute)
+	fmt.Printf("in band: %v\n", res.MeanFPS > 23)
+	fmt.Printf("adaptation happened: %v\n", res.CPUAdjustments > 0)
+	// Output:
+	// in band: true
+	// adaptation happened: true
+}
+
+// Parse the paper's Example 1 policy and inspect its structure.
+func ExampleParsePolicy() {
+	p, err := softqos.ParsePolicy(softqos.Example1Policy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name)
+	fmt.Println(p.Subject)
+	fmt.Println(p.On)
+	// Output:
+	// NotifyQoSViolation
+	// (...)/VideoApplication/qosl_coordinator
+	// not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+}
+
+// Store a policy in the repository and resolve it for a process identity,
+// the way the policy agent does at registration.
+func ExampleRepositoryService() {
+	dir := softqos.NewDirectory()
+	svc := softqos.NewRepositoryService(dir)
+	_ = svc.DefineApplication("VideoApplication", "mpeg_play")
+	_ = svc.DefineExecutable("mpeg_play", map[string][]string{
+		"fps_sensor":    {"frame_rate"},
+		"jitter_sensor": {"jitter_rate"},
+		"buffer_sensor": {"buffer_size"},
+	})
+	admin := softqos.NewAdmin(svc)
+	if err := admin.AddPolicy(softqos.Example1Policy, softqos.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}); err != nil {
+		panic(err)
+	}
+	specs, _ := svc.PoliciesFor(softqos.Identity{
+		Executable: "mpeg_play", Application: "VideoApplication", UserRole: "viewer"})
+	for _, c := range specs[0].Conditions {
+		fmt.Printf("%s %s %g (sensor %s)\n", c.Attribute, c.Op, c.Value, c.Sensor)
+	}
+	// Output:
+	// frame_rate > 23 (sensor fps_sensor)
+	// frame_rate < 27 (sensor fps_sensor)
+	// jitter_rate < 1.25 (sensor jitter_sensor)
+}
+
+// Run the Figure 3 comparison at one load point.
+func ExampleFigure3() {
+	rows := softqos.Figure3([]float64{10.0}, 20*time.Second, 60*time.Second, 1)
+	r := rows[0]
+	fmt.Printf("managed wins by more than 3x: %v\n", r.ManagedFPS > 3*r.NormalFPS)
+	// Output:
+	// managed wins by more than 3x: true
+}

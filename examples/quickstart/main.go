@@ -1,0 +1,35 @@
+// Quickstart: enforce the paper's Example 1 QoS policy on a video
+// playback session competing with heavy CPU load, and compare against
+// normal scheduling.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"softqos"
+)
+
+func main() {
+	// A video client decodes a 30 fps stream on a host with nine
+	// CPU-bound background processes. The QoS requirement is the paper's
+	// Example 1 policy: 25±2 frames per second, jitter below 1.25.
+	fmt.Println("policy:")
+	fmt.Print(softqos.Example1Policy)
+
+	for _, managed := range []bool{false, true} {
+		sys := softqos.Build(softqos.Config{
+			ClientLoad: 9,       // background CPU-bound processes
+			Managed:    managed, // QoS framework on/off
+		})
+		res := sys.Run(30*time.Second, 2*time.Minute)
+		mode := "normal scheduling  "
+		if managed {
+			mode = "with QoS framework "
+		}
+		fmt.Printf("%s mean %.1f FPS, %3.0f%% of samples in band, %d CPU adjustments\n",
+			mode, res.MeanFPS, 100*res.InBandFraction, res.CPUAdjustments)
+	}
+}

@@ -1,0 +1,3 @@
+module softqos
+
+go 1.22

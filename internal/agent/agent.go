@@ -1,0 +1,83 @@
+// Package agent implements the Policy Agent of Section 6.2: processes
+// register with it at start-up, and it maps their identity (process,
+// executable, application, user role) to the applicable policies from the
+// repository, delivering them to the process's coordinator.
+package agent
+
+import (
+	"softqos/internal/msg"
+	"softqos/internal/repository"
+)
+
+// Send transmits a management message.
+type Send func(to string, m msg.Message) error
+
+// PolicyAgent answers process registrations with their policy sets.
+type PolicyAgent struct {
+	addr string
+	svc  *repository.Service
+	send Send
+
+	// Registrations counts successful policy deliveries; Failures counts
+	// repository lookups that failed (the coordinator then runs without
+	// policies).
+	Registrations uint64
+	Failures      uint64
+}
+
+// New creates a policy agent bound to addr, resolving policies through
+// svc.
+func New(addr string, svc *repository.Service, send Send) *PolicyAgent {
+	return &PolicyAgent{addr: addr, svc: svc, send: send}
+}
+
+// Addr returns the agent's management address.
+func (a *PolicyAgent) Addr() string { return a.addr }
+
+// HandleMessage processes one inbound management message (Register).
+func (a *PolicyAgent) HandleMessage(m msg.Message) {
+	var reg msg.Register
+	switch body := m.Body.(type) {
+	case *msg.Register:
+		reg = *body
+	case msg.Register:
+		reg = body
+	default:
+		return
+	}
+	specs, err := a.svc.PoliciesFor(reg.ID)
+	if err != nil {
+		a.Failures++
+		specs = nil
+	} else {
+		a.Registrations++
+	}
+	// Policies referencing sensors the process did not report cannot be
+	// enforced there; filter them out rather than poisoning the
+	// coordinator (the management application normally prevents this
+	// through its integrity checks).
+	if len(reg.Sensors) > 0 {
+		have := make(map[string]bool, len(reg.Sensors))
+		for _, s := range reg.Sensors {
+			have[s] = true
+		}
+		kept := specs[:0]
+		for _, spec := range specs {
+			ok := true
+			for _, c := range spec.Conditions {
+				if !have[c.Sensor] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, spec)
+			}
+		}
+		specs = kept
+	}
+	_ = a.send(m.From, msg.Message{
+		From: a.addr,
+		Body: msg.PolicySet{ID: reg.ID, Policies: specs},
+	})
+}

@@ -1,0 +1,122 @@
+package agent
+
+import (
+	"testing"
+
+	"softqos/internal/msg"
+	"softqos/internal/policy"
+	"softqos/internal/repository"
+)
+
+const videoPolicy = `
+oblig NotifyQoSViolation {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`
+
+func newAgent(t *testing.T) (*PolicyAgent, *[]msg.Message, *[]string) {
+	t.Helper()
+	dir := repository.NewDirectory(repository.QoSSchema())
+	svc := repository.NewService(repository.LocalStore{Dir: dir})
+	if err := svc.DefineApplication("VideoApplication", "mpeg_play"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DefineExecutable("mpeg_play", map[string][]string{
+		"fps_sensor":    {"frame_rate"},
+		"jitter_sensor": {"jitter_rate"},
+		"buffer_sensor": {"buffer_size"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := policy.ParseOne(videoPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.StorePolicy(p, repository.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}); err != nil {
+		t.Fatal(err)
+	}
+	var sent []msg.Message
+	var to []string
+	a := New("/agent", svc, func(addr string, m msg.Message) error {
+		to = append(to, addr)
+		sent = append(sent, m)
+		return nil
+	})
+	return a, &sent, &to
+}
+
+func register(id msg.Identity, sensors ...string) msg.Message {
+	return msg.Message{From: id.Address() + "/qosl_coordinator",
+		Body: msg.Register{ID: id, Sensors: sensors}}
+}
+
+func TestAgentDeliversPolicySet(t *testing.T) {
+	a, sent, to := newAgent(t)
+	id := msg.Identity{Host: "h", PID: 7, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(id, "fps_sensor", "jitter_sensor", "buffer_sensor"))
+	if len(*sent) != 1 {
+		t.Fatalf("sent %d messages", len(*sent))
+	}
+	if (*to)[0] != id.Address()+"/qosl_coordinator" {
+		t.Errorf("replied to %q", (*to)[0])
+	}
+	ps := (*sent)[0].Body.(msg.PolicySet)
+	if len(ps.Policies) != 1 || ps.Policies[0].Name != "NotifyQoSViolation" {
+		t.Errorf("policy set = %+v", ps)
+	}
+	if a.Registrations != 1 {
+		t.Errorf("registrations = %d", a.Registrations)
+	}
+}
+
+func TestAgentFiltersPoliciesMissingSensors(t *testing.T) {
+	a, sent, _ := newAgent(t)
+	id := msg.Identity{Host: "h", PID: 7, Executable: "mpeg_play", Application: "VideoApplication"}
+	// The process reports only the fps sensor: the policy also needs the
+	// jitter sensor, so it cannot be enforced there.
+	a.HandleMessage(register(id, "fps_sensor"))
+	ps := (*sent)[0].Body.(msg.PolicySet)
+	if len(ps.Policies) != 0 {
+		t.Errorf("unenforceable policy delivered: %+v", ps.Policies)
+	}
+}
+
+func TestAgentUnknownExecutableEmptySet(t *testing.T) {
+	a, sent, _ := newAgent(t)
+	id := msg.Identity{Host: "h", PID: 7, Executable: "ghost"}
+	a.HandleMessage(register(id, "s"))
+	// An executable with no stored policies gets an empty (but valid)
+	// policy set: the lookup itself succeeded.
+	ps := (*sent)[0].Body.(msg.PolicySet)
+	if len(ps.Policies) != 0 {
+		t.Errorf("policies for unknown executable: %+v", ps.Policies)
+	}
+	if a.Registrations != 1 || a.Failures != 0 {
+		t.Errorf("registrations=%d failures=%d", a.Registrations, a.Failures)
+	}
+}
+
+func TestAgentIgnoresNonRegister(t *testing.T) {
+	a, sent, _ := newAgent(t)
+	a.HandleMessage(msg.Message{Body: msg.Ack{Ref: "x"}})
+	if len(*sent) != 0 {
+		t.Errorf("agent replied to a non-register message")
+	}
+}
+
+func TestAgentPointerBody(t *testing.T) {
+	a, sent, _ := newAgent(t)
+	id := msg.Identity{Host: "h", PID: 9, Executable: "mpeg_play", Application: "VideoApplication"}
+	reg := msg.Register{ID: id, Sensors: []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}}
+	a.HandleMessage(msg.Message{From: id.Address(), Body: &reg})
+	if len(*sent) != 1 {
+		t.Fatalf("pointer-body register not handled")
+	}
+}

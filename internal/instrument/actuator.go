@@ -1,0 +1,31 @@
+package instrument
+
+import "fmt"
+
+// Actuator encapsulates a control function over the instrumented process
+// (Section 5.1). The current framework uses actuators sparingly — as the
+// paper notes — but they carry adaptation hooks such as stream
+// degradation or buffer resizing for QoS negotiation extensions.
+type Actuator interface {
+	// ID returns the actuator identifier referenced by policies.
+	ID() string
+	// Apply performs the control action with the given arguments.
+	Apply(args ...string) error
+}
+
+// FuncActuator adapts a function to the Actuator interface.
+type FuncActuator struct {
+	Name string
+	Fn   func(args ...string) error
+}
+
+// ID implements Actuator.
+func (a *FuncActuator) ID() string { return a.Name }
+
+// Apply implements Actuator.
+func (a *FuncActuator) Apply(args ...string) error {
+	if a.Fn == nil {
+		return fmt.Errorf("instrument: actuator %s has no function", a.Name)
+	}
+	return a.Fn(args...)
+}

@@ -1,0 +1,106 @@
+// Package loadgen creates background CPU load on simulated hosts — the
+// competing processes of the paper's Figure 3, whose offered load is the
+// experiment's independent variable (CPU load average 0.70 … 10.00).
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"softqos/internal/sched"
+)
+
+// spinBurst is the CPU burst length of load processes. It is deliberately
+// shorter than any time-sharing quantum so load processes behave like
+// ordinary CPU-bound work (priority decays to the bottom of the TS range).
+const spinBurst = 10 * time.Millisecond
+
+// Spin spawns a fully CPU-bound process.
+func Spin(h *sched.Host, name string) *sched.Proc {
+	return h.Spawn(name, func(p *sched.Proc) {
+		var loop func()
+		loop = func() { p.Use(spinBurst, func() { loop() }) }
+		loop()
+	})
+}
+
+// Duty spawns a process that is CPU-bound for duty (0..1) of each period.
+// Fractional load averages are produced this way (0.7 load = 70% duty).
+func Duty(h *sched.Host, name string, duty float64, period time.Duration) *sched.Proc {
+	if duty <= 0 || duty >= 1 {
+		panic(fmt.Sprintf("loadgen: duty %v out of (0,1)", duty))
+	}
+	busy := time.Duration(float64(period) * duty)
+	idle := period - busy
+	return h.Spawn(name, func(p *sched.Proc) {
+		var cycle func()
+		var burn func(left time.Duration)
+		burn = func(left time.Duration) {
+			chunk := spinBurst
+			if left < chunk {
+				chunk = left
+			}
+			p.Use(chunk, func() {
+				if left > chunk {
+					burn(left - chunk)
+				} else {
+					p.Sleep(idle, cycle)
+				}
+			})
+		}
+		cycle = func() { burn(busy) }
+		cycle()
+	})
+}
+
+// Offered spawns processes producing a target offered CPU load: floor(x)
+// spinners plus one fractional-duty process. It returns the spawned
+// processes.
+func Offered(h *sched.Host, x float64) []*sched.Proc {
+	if x < 0 {
+		panic(fmt.Sprintf("loadgen: negative load %v", x))
+	}
+	var procs []*sched.Proc
+	whole := int(math.Floor(x))
+	for i := 0; i < whole; i++ {
+		procs = append(procs, Spin(h, fmt.Sprintf("load-%d", i)))
+	}
+	if frac := x - float64(whole); frac > 0.01 {
+		procs = append(procs, Duty(h, "load-frac", frac, time.Second))
+	}
+	return procs
+}
+
+// Phase describes one step of a time-varying load profile.
+type Phase struct {
+	Load float64
+	For  time.Duration
+}
+
+// Profile runs a sequence of load phases on the host: at each phase
+// boundary the previous load processes exit and new ones spawn. It is
+// used by the dynamic-load experiments (reactive enforcement under
+// changing conditions).
+func Profile(h *sched.Host, phases []Phase) {
+	if len(phases) == 0 {
+		return
+	}
+	s := h.Sim()
+	var current []*sched.Proc
+	var run func(i int)
+	run = func(i int) {
+		for _, p := range current {
+			p.Exit()
+		}
+		current = nil
+		if i >= len(phases) {
+			return
+		}
+		if phases[i].Load > 0 {
+			current = Offered(h, phases[i].Load)
+		}
+		s.After(phases[i].For, func() { run(i + 1) })
+	}
+	run(0)
+}

@@ -1,0 +1,280 @@
+package manager
+
+import (
+	"fmt"
+	"strconv"
+
+	"softqos/internal/msg"
+	"softqos/internal/rules"
+)
+
+// DefaultDomainRules is the QoS Domain Manager rule set of Section 5.3,
+// extended with the paper's process-failure adaptation ("restarting a
+// failed process"): a server-side report that omits the server process's
+// CPU statistic means the process has died, and the domain manager
+// directs its host manager to restart it.
+//
+// upon an alarm from a client-side host manager, the server-side host
+// manager is queried for CPU load (both the damped load average and the
+// instantaneous run-queue length, whose maximum avoids the load average's
+// start-up lag) and memory usage; a high server CPU load (or memory
+// pressure) indicts the server machine, otherwise the fault is attributed
+// to the network.
+const DefaultDomainRules = `
+(deffacts domain-thresholds
+  (cpu-load-threshold 2.0)
+  (mem-threshold 0.9))
+
+(defrule server-process-dead
+  (declare (salience 20))
+  (episode ?e ?app)
+  (server-exe ?e ?exe)
+  (not (server-proc-alive ?e))
+  =>
+  (call restart-server ?e))
+
+(defrule server-cpu-starved
+  (declare (salience 10))
+  (episode ?e ?app)
+  (server-proc-alive ?e)
+  (server-report ?e cpu_load ?l)
+  (server-report ?e run_queue ?q)
+  (cpu-load-threshold ?t)
+  (test (>= (max ?l ?q) ?t))
+  =>
+  (call boost-server ?e 10))
+
+(defrule server-memory-starved
+  (episode ?e ?app)
+  (server-proc-alive ?e)
+  (server-report ?e cpu_load ?l)
+  (server-report ?e run_queue ?q)
+  (cpu-load-threshold ?t)
+  (test (< (max ?l ?q) ?t))
+  (server-report ?e mem_usage ?m)
+  (mem-threshold ?mt)
+  (test (>= ?m ?mt))
+  =>
+  (call grow-server-memory ?e 1024))
+
+(defrule network-fault
+  (episode ?e ?app)
+  (server-proc-alive ?e)
+  (server-report ?e cpu_load ?l)
+  (server-report ?e run_queue ?q)
+  (cpu-load-threshold ?t)
+  (test (< (max ?l ?q) ?t))
+  (server-report ?e mem_usage ?m)
+  (mem-threshold ?mt)
+  (test (< ?m ?mt))
+  =>
+  (call network-fault ?e))
+`
+
+// serverRef locates the server side of a managed application.
+type serverRef struct {
+	hostMgrAddr string
+	executable  string
+}
+
+// episode is one in-flight localization: an alarm awaiting the
+// server-side report.
+type episode struct {
+	alarm  msg.Alarm
+	server serverRef
+}
+
+// DomainManager locates sources of problems spanning hosts and issues
+// corrective directives to host managers.
+type DomainManager struct {
+	addr string
+	send Send
+
+	engine   *rules.Engine
+	servers  map[string]serverRef // application -> server side
+	episodes map[string]*episode  // ref -> pending episode
+	nextRef  int
+
+	// OnNetworkFault, if set, is invoked when an episode is diagnosed as
+	// a network problem (scenarios hook rerouting here: "rerouting
+	// traffic around a congested network switch").
+	OnNetworkFault func(al msg.Alarm)
+
+	// Statistics.
+	Alarms        uint64
+	ServerFaults  uint64
+	MemoryFaults  uint64
+	NetworkFaults uint64
+	Restarts      uint64
+	RuleErrors    uint64
+}
+
+// NewDomainManager creates a domain manager bound to addr, loading the
+// default rule set.
+func NewDomainManager(addr string, send Send) *DomainManager {
+	dm := &DomainManager{
+		addr:     addr,
+		send:     send,
+		engine:   rules.NewEngine(),
+		servers:  make(map[string]serverRef),
+		episodes: make(map[string]*episode),
+	}
+	dm.registerCallbacks()
+	if err := dm.LoadRules(DefaultDomainRules); err != nil {
+		panic("manager: default domain rules do not parse: " + err.Error())
+	}
+	return dm
+}
+
+// Addr returns the manager's management address.
+func (dm *DomainManager) Addr() string { return dm.addr }
+
+// Engine exposes the inference engine.
+func (dm *DomainManager) Engine() *rules.Engine { return dm.engine }
+
+// LoadRules replaces the rule set at run time.
+func (dm *DomainManager) LoadRules(src string) error { return dm.engine.LoadRules(src) }
+
+// RegisterAppServer tells the domain manager which host manager and
+// executable serve an application (its configuration knowledge).
+func (dm *DomainManager) RegisterAppServer(application, hostMgrAddr, executable string) {
+	dm.servers[application] = serverRef{hostMgrAddr: hostMgrAddr, executable: executable}
+}
+
+func (dm *DomainManager) registerCallbacks() {
+	dm.engine.RegisterFunc("boost-server", func(args []rules.Value) error {
+		ep, err := dm.episodeArg(args, 0)
+		if err != nil {
+			return err
+		}
+		amount := 10.0
+		if len(args) >= 2 && args[1].Kind == rules.NumberKind {
+			amount = args[1].Num
+		}
+		dm.ServerFaults++
+		return dm.send(ep.server.hostMgrAddr, msg.Message{
+			From: dm.addr,
+			Body: msg.Directive{From: dm.addr, Action: "boost_cpu",
+				Target: ep.server.executable, Amount: amount},
+		})
+	})
+	dm.engine.RegisterFunc("grow-server-memory", func(args []rules.Value) error {
+		ep, err := dm.episodeArg(args, 0)
+		if err != nil {
+			return err
+		}
+		pages := 1024.0
+		if len(args) >= 2 && args[1].Kind == rules.NumberKind {
+			pages = args[1].Num
+		}
+		dm.MemoryFaults++
+		return dm.send(ep.server.hostMgrAddr, msg.Message{
+			From: dm.addr,
+			Body: msg.Directive{From: dm.addr, Action: "adjust_memory",
+				Target: ep.server.executable, Amount: pages},
+		})
+	})
+	dm.engine.RegisterFunc("restart-server", func(args []rules.Value) error {
+		ep, err := dm.episodeArg(args, 0)
+		if err != nil {
+			return err
+		}
+		dm.Restarts++
+		return dm.send(ep.server.hostMgrAddr, msg.Message{
+			From: dm.addr,
+			Body: msg.Directive{From: dm.addr, Action: "restart_proc",
+				Target: ep.server.executable},
+		})
+	})
+	dm.engine.RegisterFunc("network-fault", func(args []rules.Value) error {
+		ep, err := dm.episodeArg(args, 0)
+		if err != nil {
+			return err
+		}
+		dm.NetworkFaults++
+		if dm.OnNetworkFault != nil {
+			dm.OnNetworkFault(ep.alarm)
+		}
+		return nil
+	})
+}
+
+func (dm *DomainManager) episodeArg(args []rules.Value, i int) (*episode, error) {
+	if len(args) <= i || args[i].Kind != rules.SymbolKind {
+		return nil, fmt.Errorf("argument %d: expected episode symbol", i)
+	}
+	ep, ok := dm.episodes[args[i].Sym]
+	if !ok {
+		return nil, fmt.Errorf("unknown episode %s", args[i].Sym)
+	}
+	return ep, nil
+}
+
+// HandleMessage processes one inbound management message.
+func (dm *DomainManager) HandleMessage(m msg.Message) {
+	switch body := m.Body.(type) {
+	case *msg.Alarm:
+		dm.handleAlarm(*body)
+	case msg.Alarm:
+		dm.handleAlarm(body)
+	case *msg.Report:
+		dm.handleReport(*body)
+	case msg.Report:
+		dm.handleReport(body)
+	case *msg.Ack, msg.Ack:
+		// Directive acknowledgements are informational.
+	}
+}
+
+// handleAlarm opens an episode and interrogates the server-side host
+// manager ("Upon receiving an alarm report from the client-side QoS Host
+// Manager, ask the corresponding server-side QoS Host Manager for CPU
+// load and memory usage").
+func (dm *DomainManager) handleAlarm(al msg.Alarm) {
+	dm.Alarms++
+	server, ok := dm.servers[al.ID.Application]
+	if !ok {
+		dm.RuleErrors++
+		return
+	}
+	dm.nextRef++
+	ref := "e" + strconv.Itoa(dm.nextRef)
+	dm.episodes[ref] = &episode{alarm: al, server: server}
+	_ = dm.send(server.hostMgrAddr, msg.Message{
+		From: dm.addr,
+		Body: msg.Query{
+			From: dm.addr,
+			Keys: []string{"cpu_load", "run_queue", "mem_usage", "proc_cpu:" + server.executable},
+			Ref:  ref,
+		},
+	})
+}
+
+// handleReport closes the episode: asserts the server statistics as
+// facts, forward-chains the diagnosis, and cleans up.
+func (dm *DomainManager) handleReport(r msg.Report) {
+	ep, ok := dm.episodes[r.Ref]
+	if !ok {
+		return
+	}
+	dm.engine.AssertF("episode", r.Ref, orUnknown(ep.alarm.ID.Application))
+	dm.engine.AssertF("server-exe", r.Ref, ep.server.executable)
+	procAlive := false
+	for k, v := range r.Values {
+		dm.engine.AssertF("server-report", r.Ref, k, v)
+		if k == "proc_cpu:"+ep.server.executable {
+			procAlive = true
+		}
+	}
+	if procAlive {
+		dm.engine.AssertF("server-proc-alive", r.Ref)
+	}
+	if _, err := dm.engine.Run(100); err != nil {
+		dm.RuleErrors++
+	}
+	dm.engine.RetractMatching(rules.F("episode", r.Ref, "?")...)
+	dm.engine.RetractMatching(rules.F("server-exe", r.Ref, "?")...)
+	dm.engine.RetractMatching(rules.F("server-proc-alive", r.Ref)...)
+	dm.engine.RetractMatching(rules.F("server-report", r.Ref, "?", "?")...)
+	delete(dm.episodes, r.Ref)
+}

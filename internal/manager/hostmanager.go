@@ -1,0 +1,578 @@
+package manager
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"softqos/internal/msg"
+	"softqos/internal/rules"
+	"softqos/internal/sched"
+)
+
+// Send transmits a management message (bus or TCP transport).
+type Send func(to string, m msg.Message) error
+
+// DefaultHostRules is the QoS Host Manager rule set described in Section
+// 5.3 of the paper, written in the CLIPS-like DSL:
+//
+//   - a violation whose communication buffer is long means the process
+//     cannot drain frames fast enough → local CPU starvation → raise the
+//     process's CPU priority, by an amount that grows with how far the
+//     metric is from its target ("Additional rules are used to determine
+//     how much to increase CPU priority based on how close the policy is
+//     to being satisfied");
+//   - a violation whose buffer is short means frames are not arriving →
+//     the fault is not local → escalate to the QoS Domain Manager;
+//   - an overshoot report (metric above expectations) → reclaim resources
+//     gently (the strategy of Section 2: reduce the allocation when the
+//     expectation is exceeded);
+//   - a violation with no buffer reading at all → apply a modest default
+//     boost (no evidence for a remote cause).
+const DefaultHostRules = `
+(deffacts host-thresholds
+  (buffer-threshold 8))
+
+(defrule local-cpu-starvation
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (>= ?len ?t))
+  (reading ?p frame_rate ?fps)
+  =>
+  (call boost-cpu ?p (max 2 (min 15 (- 25 ?fps)))))
+
+(defrule escalate-remote
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (< ?len ?t))
+  =>
+  (call notify-domain ?p ?policy))
+
+(defrule reclaim-on-overshoot
+  (overshoot ?p ?policy)
+  =>
+  (call reclaim-cpu ?p 1))
+
+(defrule local-default-boost
+  (violation ?p ?policy)
+  (not (reading ?p buffer_size ?len))
+  =>
+  (call boost-cpu ?p 5))
+`
+
+// OverloadHostRules extends the default rule set with the paper's
+// future-work overload handling (§10 iii): when a violation persists even
+// though the CPU manager has already pushed the process's priority to a
+// high level — there simply are not enough cycles — the manager asks the
+// application itself to adapt, degrading the stream through the
+// frame_skip actuator instead of thrashing priorities.
+const OverloadHostRules = `
+(deffacts host-thresholds
+  (buffer-threshold 8)
+  (boost-saturation 40))
+
+(defrule adapt-on-overload
+  (declare (salience 20))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (>= ?len ?t))
+  (proc-boost ?p ?b)
+  (boost-saturation ?sat)
+  (test (>= ?b ?sat))
+  =>
+  (call request-adaptation ?p frame_skip 3))
+
+(defrule local-cpu-starvation
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (>= ?len ?t))
+  (proc-boost ?p ?b)
+  (boost-saturation ?sat)
+  (test (< ?b ?sat))
+  (reading ?p frame_rate ?fps)
+  =>
+  (call boost-cpu ?p (max 2 (min 15 (- 25 ?fps)))))
+
+(defrule escalate-remote
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (< ?len ?t))
+  =>
+  (call notify-domain ?p ?policy))
+
+(defrule reclaim-on-overshoot
+  (overshoot ?p ?policy)
+  =>
+  (call reclaim-cpu ?p 1))
+`
+
+// MemoryAwareHostRules extends diagnosis with the memory resource: a
+// process starved while the host's CPU is idle (low load average, full
+// buffer) is suffering memory pressure, not CPU contention — the memory
+// manager restores its resident set. CPU contention keeps the usual
+// priority treatment.
+const MemoryAwareHostRules = `
+(deffacts host-thresholds
+  (buffer-threshold 8)
+  (idle-load 1.5))
+
+(defrule memory-starvation
+  (declare (salience 20))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (>= ?len ?t))
+  (host-load ?l)
+  (idle-load ?il)
+  (test (< ?l ?il))
+  =>
+  (call restore-memory ?p))
+
+(defrule local-cpu-starvation
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (>= ?len ?t))
+  (host-load ?l)
+  (idle-load ?il)
+  (test (>= ?l ?il))
+  (reading ?p frame_rate ?fps)
+  =>
+  (call boost-cpu ?p (max 2 (min 15 (- 25 ?fps)))))
+
+(defrule escalate-remote
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (buffer-threshold ?t)
+  (test (< ?len ?t))
+  =>
+  (call notify-domain ?p ?policy))
+
+(defrule reclaim-on-overshoot
+  (overshoot ?p ?policy)
+  =>
+  (call reclaim-cpu ?p 1))
+`
+
+// DifferentiatedHostRules is an administrative rule set realising the
+// constraint of Sections 2 and 3.1: when demand exceeds capacity, some
+// applications have priority over others. Violations from processes in
+// the "physician" role are corrected with the full proportional boost;
+// "student" processes receive only small, capped boosts, so under
+// contention the physician's stream keeps its expectation while the
+// student's degrades.
+const DifferentiatedHostRules = `
+(deffacts host-thresholds
+  (buffer-threshold 8))
+
+(defrule priority-role-starved
+  (declare (salience 20))
+  (violation ?p ?policy)
+  (proc-role ?p physician)
+  (reading ?p frame_rate ?fps)
+  =>
+  (call boost-cpu ?p (max 2 (min 15 (- 25 ?fps)))))
+
+(defrule best-effort-role-starved
+  (declare (salience 10))
+  (violation ?p ?policy)
+  (proc-role ?p student)
+  =>
+  (call boost-cpu ?p 2)
+  (call cap-boost ?p 5))
+
+(defrule reclaim-on-overshoot
+  (overshoot ?p ?policy)
+  =>
+  (call reclaim-cpu ?p 1))
+`
+
+// managedProc is one process under the host manager's control.
+type managedProc struct {
+	proc *sched.Proc
+	id   msg.Identity
+}
+
+// HostManager is the per-host QoS manager: inference engine, rule base,
+// fact repository and resource managers (Figure 1).
+type HostManager struct {
+	addr string
+	host *sched.Host
+	send Send
+
+	engine *rules.Engine
+	cpu    *CPUManager
+	mem    *MemoryManager
+
+	domainAddr string
+
+	procsByPID map[int]*managedProc
+	procsByExe map[string]*managedProc
+
+	// OnRestart, if set, re-spawns a failed executable (the paper's
+	// "restarting a failed process" adaptation) and returns the new
+	// process plus its identity for tracking; nil means restart is not
+	// supported on this host.
+	OnRestart func(executable string) (*sched.Proc, msg.Identity, bool)
+	// Restarts counts restart directives executed.
+	Restarts int
+
+	// Statistics for experiment reports.
+	ViolationsSeen uint64
+	OvershootsSeen uint64
+	Escalations    uint64
+	Adaptations    uint64
+	RuleErrors     uint64
+}
+
+// NewHostManager creates a host manager bound to addr on host, loading
+// the default rule set. Pass domainAddr="" for hosts without a domain
+// manager (escalations are then dropped and counted).
+func NewHostManager(addr string, host *sched.Host, send Send, domainAddr string) *HostManager {
+	hm := &HostManager{
+		addr:       addr,
+		host:       host,
+		send:       send,
+		domainAddr: domainAddr,
+		engine:     rules.NewEngine(),
+		cpu:        NewCPUManager(host),
+		mem:        NewMemoryManager(host),
+		procsByPID: make(map[int]*managedProc),
+		procsByExe: make(map[string]*managedProc),
+	}
+	hm.registerCallbacks()
+	if err := hm.LoadRules(DefaultHostRules); err != nil {
+		panic("manager: default host rules do not parse: " + err.Error())
+	}
+	return hm
+}
+
+// Addr returns the manager's management address.
+func (hm *HostManager) Addr() string { return hm.addr }
+
+// CPU returns the CPU resource manager.
+func (hm *HostManager) CPU() *CPUManager { return hm.cpu }
+
+// Memory returns the memory resource manager.
+func (hm *HostManager) Memory() *MemoryManager { return hm.mem }
+
+// Engine exposes the inference engine (tests and rule administration).
+func (hm *HostManager) Engine() *rules.Engine { return hm.engine }
+
+// LoadRules replaces the rule set at run time (dynamic rule
+// distribution).
+func (hm *HostManager) LoadRules(src string) error { return hm.engine.LoadRules(src) }
+
+// Track registers a process the manager may act upon. The prototype
+// learned processes from their registration; scenarios call this at
+// spawn. The process's role is asserted as a persistent fact so
+// administrative rules can differentiate allocations by user role.
+func (hm *HostManager) Track(p *sched.Proc, id msg.Identity) {
+	mp := &managedProc{proc: p, id: id}
+	hm.procsByPID[id.PID] = mp
+	hm.procsByExe[id.Executable] = mp
+	if id.UserRole != "" {
+		hm.engine.AssertF("proc-role", pidSym(id.PID), id.UserRole)
+	}
+}
+
+// Tracked returns the process registered for a PID, or nil.
+func (hm *HostManager) Tracked(pid int) *sched.Proc {
+	if mp := hm.procsByPID[pid]; mp != nil {
+		return mp.proc
+	}
+	return nil
+}
+
+func (hm *HostManager) registerCallbacks() {
+	hm.engine.RegisterFunc("boost-cpu", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 || args[1].Kind != rules.NumberKind {
+			return fmt.Errorf("boost-cpu needs a numeric amount")
+		}
+		hm.cpu.Boost(mp.proc, int(args[1].Num))
+		return nil
+	})
+	hm.engine.RegisterFunc("reclaim-cpu", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 || args[1].Kind != rules.NumberKind {
+			return fmt.Errorf("reclaim-cpu needs a numeric amount")
+		}
+		hm.cpu.Boost(mp.proc, -int(args[1].Num))
+		return nil
+	})
+	hm.engine.RegisterFunc("grant-rt", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		prio := 10
+		if len(args) >= 2 && args[1].Kind == rules.NumberKind {
+			prio = int(args[1].Num)
+		}
+		hm.cpu.GrantRealtime(mp.proc, prio)
+		return nil
+	})
+	hm.engine.RegisterFunc("adjust-memory", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 || args[1].Kind != rules.NumberKind {
+			return fmt.Errorf("adjust-memory needs a numeric page delta")
+		}
+		hm.mem.Adjust(mp.proc, int(args[1].Num))
+		return nil
+	})
+	hm.engine.RegisterFunc("cap-boost", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 || args[1].Kind != rules.NumberKind {
+			return fmt.Errorf("cap-boost needs a numeric cap")
+		}
+		if cap := int(args[1].Num); mp.proc.Boost() > cap {
+			hm.cpu.Boost(mp.proc, cap-mp.proc.Boost())
+		}
+		return nil
+	})
+	hm.engine.RegisterFunc("restore-memory", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		hm.mem.Ensure(mp.proc, mp.proc.WorkingSet())
+		return nil
+	})
+	hm.engine.RegisterFunc("request-adaptation", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 3 || args[1].Kind != rules.SymbolKind || args[2].Kind != rules.NumberKind {
+			return fmt.Errorf("request-adaptation needs (process actuator amount)")
+		}
+		hm.Adaptations++
+		return hm.send(mp.id.Address()+"/qosl_coordinator", msg.Message{
+			From: hm.addr,
+			Body: msg.Directive{From: hm.addr, Action: "actuate",
+				Target: args[1].Sym, Amount: args[2].Num},
+		})
+	})
+	hm.engine.RegisterFunc("notify-domain", func(args []rules.Value) error {
+		mp, err := hm.procArg(args, 0)
+		if err != nil {
+			return err
+		}
+		policy := ""
+		if len(args) >= 2 {
+			policy = args[1].Sym
+		}
+		hm.Escalations++
+		if hm.domainAddr == "" {
+			return nil
+		}
+		readings := hm.currentReadings(pidSym(mp.id.PID))
+		return hm.send(hm.domainAddr, msg.Message{
+			From: hm.addr,
+			Body: msg.Alarm{ID: mp.id, Policy: policy, Readings: readings, Suspect: "remote"},
+		})
+	})
+}
+
+// procArg resolves the pid symbol in a rule callback argument.
+func (hm *HostManager) procArg(args []rules.Value, i int) (*managedProc, error) {
+	if len(args) <= i || args[i].Kind != rules.SymbolKind {
+		return nil, fmt.Errorf("argument %d: expected process symbol", i)
+	}
+	pid, err := strconv.Atoi(strings.TrimPrefix(args[i].Sym, "p"))
+	if err != nil {
+		return nil, fmt.Errorf("argument %d: bad process symbol %q", i, args[i].Sym)
+	}
+	mp, ok := hm.procsByPID[pid]
+	if !ok {
+		return nil, fmt.Errorf("unknown process %s", args[i].Sym)
+	}
+	return mp, nil
+}
+
+// currentReadings extracts the episode's reading facts for escalation.
+func (hm *HostManager) currentReadings(psym string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range hm.engine.FactsMatching(rules.F("reading", psym, "?a", "?v")...) {
+		if f.Len() == 4 && f.At(3).Kind == rules.NumberKind {
+			out[f.At(2).Sym] = f.At(3).Num
+		}
+	}
+	return out
+}
+
+// HandleMessage processes one inbound management message.
+func (hm *HostManager) HandleMessage(m msg.Message) {
+	switch body := m.Body.(type) {
+	case *msg.Violation:
+		hm.handleViolation(*body)
+	case msg.Violation:
+		hm.handleViolation(body)
+	case *msg.Query:
+		hm.handleQuery(m.From, *body)
+	case msg.Query:
+		hm.handleQuery(m.From, body)
+	case *msg.Directive:
+		hm.handleDirective(m.From, *body)
+	case msg.Directive:
+		hm.handleDirective(m.From, body)
+	}
+}
+
+// handleViolation is one diagnosis episode: assert the report as facts,
+// forward-chain, then retract the episode facts.
+func (hm *HostManager) handleViolation(v msg.Violation) {
+	psym := pidSym(v.ID.PID)
+	if _, known := hm.procsByPID[v.ID.PID]; !known {
+		// A report for an untracked process cannot be acted upon.
+		hm.RuleErrors++
+		return
+	}
+	if v.Overshoot {
+		hm.OvershootsSeen++
+		hm.engine.AssertF("overshoot", psym, orUnknown(v.Policy))
+	} else {
+		hm.ViolationsSeen++
+		hm.engine.AssertF("violation", psym, orUnknown(v.Policy))
+	}
+	for attr, val := range v.Readings {
+		hm.engine.AssertF("reading", psym, attr, val)
+	}
+	hm.engine.AssertF("host-load", hm.host.LoadAvg())
+	hm.engine.AssertF("proc-boost", psym, float64(hm.procsByPID[v.ID.PID].proc.Boost()))
+	if _, err := hm.engine.Run(100); err != nil {
+		hm.RuleErrors++
+	}
+	// Clear the episode; persistent facts (deffacts thresholds) remain.
+	hm.engine.RetractMatching(rules.F("violation", psym, "?")...)
+	hm.engine.RetractMatching(rules.F("overshoot", psym, "?")...)
+	hm.engine.RetractMatching(rules.F("reading", psym, "?", "?")...)
+	hm.engine.RetractMatching(rules.F("host-load", "?")...)
+	hm.engine.RetractMatching(rules.F("proc-boost", psym, "?")...)
+	hm.engine.RetractMatching(rules.F("diagnosis", psym, "?")...)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// handleQuery answers statistic queries from the domain manager.
+func (hm *HostManager) handleQuery(replyTo string, q msg.Query) {
+	values := make(map[string]float64, len(q.Keys))
+	for _, k := range q.Keys {
+		switch {
+		case k == "cpu_load":
+			values[k] = hm.host.LoadAvg()
+		case k == "mem_usage":
+			phys := float64(hm.host.PhysPages())
+			if phys > 0 {
+				values[k] = 1 - float64(hm.host.FreePages())/phys
+			}
+		case k == "run_queue":
+			values[k] = float64(hm.host.RunQueueLen())
+		case strings.HasPrefix(k, "proc_cpu:"):
+			exe := strings.TrimPrefix(k, "proc_cpu:")
+			// A dead process reports nothing: the missing key is how the
+			// domain manager detects process failure.
+			if mp, ok := hm.procsByExe[exe]; ok && mp.proc.State() != sched.Exited {
+				values[k] = mp.proc.CPUTime().Seconds()
+			}
+		case strings.HasPrefix(k, "proc_boost:"):
+			exe := strings.TrimPrefix(k, "proc_boost:")
+			if mp, ok := hm.procsByExe[exe]; ok {
+				values[k] = float64(mp.proc.Boost())
+			}
+		}
+	}
+	_ = hm.send(replyTo, msg.Message{
+		From: hm.addr,
+		Body: msg.Report{Host: hm.host.Name(), Values: values, Ref: q.Ref},
+	})
+}
+
+// handleDirective executes a corrective action pushed by the domain
+// manager.
+func (hm *HostManager) handleDirective(replyTo string, d msg.Directive) {
+	var err error
+	mp, ok := hm.procsByExe[d.Target]
+	if !ok {
+		err = fmt.Errorf("manager: no tracked process for executable %q", d.Target)
+	} else {
+		switch d.Action {
+		case "boost_cpu":
+			hm.cpu.Boost(mp.proc, int(d.Amount))
+		case "reclaim_cpu":
+			hm.cpu.Boost(mp.proc, -int(d.Amount))
+		case "grant_rt":
+			hm.cpu.GrantRealtime(mp.proc, int(d.Amount))
+		case "adjust_memory":
+			hm.mem.Adjust(mp.proc, int(d.Amount))
+		case "restart_proc":
+			if hm.OnRestart == nil {
+				err = fmt.Errorf("manager: restart not supported on %s", hm.host.Name())
+				break
+			}
+			if mp.proc.State() != sched.Exited {
+				err = fmt.Errorf("manager: %s is still running", d.Target)
+				break
+			}
+			np, nid, ok := hm.OnRestart(d.Target)
+			if !ok {
+				err = fmt.Errorf("manager: restart of %s failed", d.Target)
+				break
+			}
+			hm.Track(np, nid)
+			hm.Restarts++
+		default:
+			err = fmt.Errorf("manager: unknown directive %q", d.Action)
+		}
+	}
+	ack := msg.Ack{Ref: d.Action + ":" + d.Target, OK: err == nil}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	_ = hm.send(replyTo, msg.Message{From: hm.addr, Body: ack})
+}
+
+// MemUsage reports the host's memory utilisation fraction.
+func (hm *HostManager) MemUsage() float64 {
+	phys := float64(hm.host.PhysPages())
+	if phys == 0 {
+		return 0
+	}
+	return 1 - float64(hm.host.FreePages())/phys
+}
+
+// ReactionBudget is documentation of the control loop's pacing: the
+// coordinator paces violation reports (default 500 ms) and each report
+// triggers at most one adjustment per rule, so the system applies at most
+// ~2 corrective steps per second per process.
+const ReactionBudget = 500 * time.Millisecond

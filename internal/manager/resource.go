@@ -1,0 +1,92 @@
+// Package manager implements the decision-making tier of the framework:
+// the QoS Host Manager (violation diagnosis via a CLIPS-style inference
+// engine plus per-resource managers for CPU and memory, Section 5.3) and
+// the QoS Domain Manager (cross-host fault localization distinguishing
+// server faults from network faults).
+package manager
+
+import (
+	"fmt"
+
+	"softqos/internal/sched"
+)
+
+// Boost limits for the CPU manager: how far a process's time-sharing
+// priority may be pushed above or below its natural dynamic priority.
+const (
+	minBoost = -20
+	maxBoost = 59
+)
+
+// CPUManager adjusts CPU allocations of one host's processes, the way the
+// prototype's CPU resource manager manipulated Solaris time-sharing
+// priorities or allocated real-time cycles.
+type CPUManager struct {
+	host *sched.Host
+
+	// Adjustments counts boost changes applied (for experiment reports).
+	Adjustments int
+}
+
+// NewCPUManager creates the CPU resource manager for a host.
+func NewCPUManager(h *sched.Host) *CPUManager { return &CPUManager{host: h} }
+
+// Boost shifts the process's management priority offset by delta,
+// clamped, returning the resulting offset.
+func (m *CPUManager) Boost(p *sched.Proc, delta int) int {
+	b := p.Boost() + delta
+	if b > maxBoost {
+		b = maxBoost
+	}
+	if b < minBoost {
+		b = minBoost
+	}
+	if b != p.Boost() {
+		p.SetBoost(b)
+		m.Adjustments++
+	}
+	return b
+}
+
+// GrantRealtime moves the process into the real-time class at prio
+// ("allocating units of real-time CPU cycles").
+func (m *CPUManager) GrantRealtime(p *sched.Proc, prio int) {
+	p.SetClass(sched.RT, prio)
+	m.Adjustments++
+}
+
+// RevokeRealtime returns the process to the time-sharing class.
+func (m *CPUManager) RevokeRealtime(p *sched.Proc) {
+	p.SetClass(sched.TS, 29)
+	m.Adjustments++
+}
+
+// MemoryManager adjusts resident-set allocations ("adjusting the number
+// of resident pages each process has in physical memory").
+type MemoryManager struct {
+	host *sched.Host
+
+	// Adjustments counts resident-set changes applied.
+	Adjustments int
+}
+
+// NewMemoryManager creates the memory resource manager for a host.
+func NewMemoryManager(h *sched.Host) *MemoryManager { return &MemoryManager{host: h} }
+
+// Adjust grows or shrinks the process's resident set by deltaPages,
+// bounded by physical memory, returning the resulting resident size.
+func (m *MemoryManager) Adjust(p *sched.Proc, deltaPages int) int {
+	m.Adjustments++
+	return m.host.SetResident(p, p.Resident()+deltaPages)
+}
+
+// Ensure reserves at least pages resident for the process.
+func (m *MemoryManager) Ensure(p *sched.Proc, pages int) int {
+	if p.Resident() >= pages {
+		return p.Resident()
+	}
+	m.Adjustments++
+	return m.host.SetResident(p, pages)
+}
+
+func pidSym(pid int) string { return fmt.Sprintf("p%d", pid) }

@@ -1,0 +1,83 @@
+package msg
+
+import (
+	"fmt"
+	"time"
+
+	"softqos/internal/sim"
+)
+
+// BusHandler consumes messages delivered to an address.
+type BusHandler func(Message)
+
+// Bus is the in-simulation management-plane transport. Each management
+// component (coordinator, policy agent, host manager, domain manager)
+// binds an address; Send delivers after the configured latency for the
+// address pair. It models the prototype's message queues (same host) and
+// management sockets (cross host).
+type Bus struct {
+	sim      *sim.Simulator
+	handlers map[string]BusHandler
+	hostOf   map[string]string // address -> host, for latency selection
+
+	localDelay  time.Duration
+	remoteDelay time.Duration
+
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // destination not bound at delivery time
+}
+
+// NewBus creates a bus with the given IPC latencies: localDelay applies
+// between addresses on the same host, remoteDelay otherwise.
+func NewBus(s *sim.Simulator, localDelay, remoteDelay time.Duration) *Bus {
+	return &Bus{
+		sim:         s,
+		handlers:    make(map[string]BusHandler),
+		hostOf:      make(map[string]string),
+		localDelay:  localDelay,
+		remoteDelay: remoteDelay,
+	}
+}
+
+// Bind attaches a handler to an address located on host. Rebinding an
+// address replaces the handler (used when a manager restarts).
+func (b *Bus) Bind(addr, host string, h BusHandler) {
+	b.handlers[addr] = h
+	b.hostOf[addr] = host
+}
+
+// Unbind removes an address; in-flight messages to it are dropped at
+// delivery time.
+func (b *Bus) Unbind(addr string) {
+	delete(b.handlers, addr)
+	delete(b.hostOf, addr)
+}
+
+// Bound reports whether an address has a handler.
+func (b *Bus) Bound(addr string) bool { _, ok := b.handlers[addr]; return ok }
+
+// Send delivers m to addr after the transport latency. It returns an
+// error if the destination is not currently bound (so callers can detect
+// dead managers), but a destination that unbinds while the message is in
+// flight just drops it.
+func (b *Bus) Send(addr string, m Message) error {
+	if _, ok := b.handlers[addr]; !ok {
+		return fmt.Errorf("msg: no handler bound at %q", addr)
+	}
+	b.Sent++
+	delay := b.remoteDelay
+	if from, to := b.hostOf[m.From], b.hostOf[addr]; from != "" && from == to {
+		delay = b.localDelay
+	}
+	b.sim.After(delay, func() {
+		h, ok := b.handlers[addr]
+		if !ok {
+			b.Dropped++
+			return
+		}
+		b.Delivered++
+		h(m)
+	})
+	return nil
+}

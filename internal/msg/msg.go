@@ -1,0 +1,200 @@
+// Package msg defines the management-plane protocol spoken between
+// instrumented processes (coordinators), policy agents, QoS host managers
+// and QoS domain managers, together with two interchangeable transports:
+// an in-simulation bus (the analogue of the prototype's UNIX message
+// queues) and a TCP JSON-lines transport (the analogue of its sockets)
+// used by live, wall-clock instrumentation.
+package msg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Identity names a managed process the way the paper's policy agent keys
+// policy lookup: process, executable, application, user role, host.
+type Identity struct {
+	Host        string `json:"host"`
+	PID         int    `json:"pid"`
+	Executable  string `json:"executable"`
+	Application string `json:"application"`
+	UserRole    string `json:"userRole"`
+}
+
+// Address returns the canonical hierarchical name used in policy subjects,
+// e.g. "/video-client/VideoApplication/mpeg_play/1234".
+func (id Identity) Address() string {
+	return fmt.Sprintf("/%s/%s/%s/%d", id.Host, id.Application, id.Executable, id.PID)
+}
+
+// Register is sent by a starting process to the policy agent (§6.2 Policy
+// Agent: "When a process starts up, it registers with the policy agent").
+type Register struct {
+	ID      Identity `json:"id"`
+	Sensors []string `json:"sensors"` // sensor identifiers compiled into the executable
+}
+
+// PolicySpec is the wire form of one compiled policy delivered to a
+// coordinator: the condition list, boolean connective and action list of
+// §5.2.
+type PolicySpec struct {
+	Name       string       `json:"name"`
+	Connective string       `json:"connective"` // "and" | "or"
+	Conditions []CondSpec   `json:"conditions"`
+	Actions    []ActionSpec `json:"actions"`
+}
+
+// CondSpec is one (attribute, sensor, comparison, value) condition.
+type CondSpec struct {
+	Attribute string  `json:"attribute"`
+	Sensor    string  `json:"sensor"`
+	Op        string  `json:"op"` // "<", "<=", ">", ">=", "==", "!="
+	Value     float64 `json:"value"`
+}
+
+// ActionSpec is one (target, operation, arguments) action entry.
+type ActionSpec struct {
+	Target string   `json:"target"` // sensor id or manager address
+	Op     string   `json:"op"`     // e.g. "read", "notify"
+	Args   []string `json:"args"`
+}
+
+// PolicySet is the policy agent's reply to Register.
+type PolicySet struct {
+	ID       Identity     `json:"id"`
+	Policies []PolicySpec `json:"policies"`
+}
+
+// Violation is the coordinator's report to the QoS Host Manager when a
+// policy's boolean expression evaluates false: the executed "do" actions'
+// sensor readings ride along.
+type Violation struct {
+	ID        Identity           `json:"id"`
+	Policy    string             `json:"policy"`
+	Readings  map[string]float64 `json:"readings"`
+	Overshoot bool               `json:"overshoot"` // metric exceeded expectation (resource reclaim, not a fault)
+}
+
+// Query asks a host manager for host/process statistics (domain manager
+// rule: "ask the corresponding server-side QoS Host Manager for CPU load
+// and memory usage").
+type Query struct {
+	From string   `json:"from"`
+	Keys []string `json:"keys"` // e.g. "cpu_load", "mem_usage", "proc_cpu:<pid>"
+	Ref  string   `json:"ref"`  // correlation tag echoed in the reply
+}
+
+// Report carries statistic values back to the querier.
+type Report struct {
+	Host   string             `json:"host"`
+	Values map[string]float64 `json:"values"`
+	Ref    string             `json:"ref"`
+}
+
+// Alarm escalates a suspected non-local fault from a host manager to the
+// domain manager.
+type Alarm struct {
+	ID       Identity           `json:"id"`
+	Policy   string             `json:"policy"`
+	Readings map[string]float64 `json:"readings"`
+	Suspect  string             `json:"suspect"` // "remote", "network", ...
+}
+
+// Directive is a corrective action pushed down to a host manager, e.g.
+// "increase the CPU priority of the server process".
+type Directive struct {
+	From   string  `json:"from"`
+	Action string  `json:"action"` // "boost_cpu", "set_resident", "reroute"
+	Target string  `json:"target"` // executable or pid selector
+	Amount float64 `json:"amount"`
+}
+
+// Ack confirms receipt/execution of a directive.
+type Ack struct {
+	Ref string `json:"ref"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// Message is the envelope union: exactly one well-known body type.
+type Message struct {
+	From string `json:"from"`
+	Body any    `json:"-"`
+}
+
+// envelope is the JSON wire form with an explicit type tag.
+type envelope struct {
+	From string          `json:"from"`
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body"`
+}
+
+func typeTag(body any) (string, error) {
+	switch body.(type) {
+	case Register, *Register:
+		return "register", nil
+	case PolicySet, *PolicySet:
+		return "policyset", nil
+	case Violation, *Violation:
+		return "violation", nil
+	case Query, *Query:
+		return "query", nil
+	case Report, *Report:
+		return "report", nil
+	case Alarm, *Alarm:
+		return "alarm", nil
+	case Directive, *Directive:
+		return "directive", nil
+	case Ack, *Ack:
+		return "ack", nil
+	default:
+		return "", fmt.Errorf("msg: unknown body type %T", body)
+	}
+}
+
+// Marshal encodes a message as one JSON line (no trailing newline).
+func Marshal(m Message) ([]byte, error) {
+	tag, err := typeTag(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{From: m.From, Type: tag, Body: raw})
+}
+
+// Unmarshal decodes one JSON line into a Message whose Body has the
+// concrete type named by the envelope tag.
+func Unmarshal(data []byte) (Message, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Message{}, fmt.Errorf("msg: bad envelope: %w", err)
+	}
+	var body any
+	switch env.Type {
+	case "register":
+		body = &Register{}
+	case "policyset":
+		body = &PolicySet{}
+	case "violation":
+		body = &Violation{}
+	case "query":
+		body = &Query{}
+	case "report":
+		body = &Report{}
+	case "alarm":
+		body = &Alarm{}
+	case "directive":
+		body = &Directive{}
+	case "ack":
+		body = &Ack{}
+	default:
+		return Message{}, fmt.Errorf("msg: unknown message type %q", env.Type)
+	}
+	if err := json.Unmarshal(env.Body, body); err != nil {
+		return Message{}, fmt.Errorf("msg: bad %s body: %w", env.Type, err)
+	}
+	return Message{From: env.From, Body: body}, nil
+}

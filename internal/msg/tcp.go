@@ -1,0 +1,146 @@
+package msg
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a JSON-lines message connection over a net.Conn — the live-mode
+// analogue of the prototype's management sockets.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	mu sync.Mutex // serializes writes
+	w  *bufio.Writer
+}
+
+// NewConn wraps an established network connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+}
+
+// Dial connects to a message server at addr ("host:port").
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msg: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Send writes one message as a JSON line and flushes it.
+func (c *Conn) Send(m Message) error {
+	data, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (Message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Message{}, err
+	}
+	return Unmarshal(line)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Server accepts message connections and dispatches inbound messages to a
+// handler. The handler may use the supplied connection to reply.
+type Server struct {
+	ln      net.Listener
+	handler func(*Conn, Message)
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*Conn]struct{}
+}
+
+// Serve starts a message server on addr (use "127.0.0.1:0" for an
+// ephemeral port) dispatching each inbound message to handler, which runs
+// on the connection's reader goroutine.
+func Serve(addr string, handler func(*Conn, Message)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msg: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[*Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := NewConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+func (s *Server) readLoop(c *Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		_ = c.Close()
+	}()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		s.handler(c, m)
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,273 @@
+// Package netsim simulates the network between hosts: store-and-forward
+// switches with finite service rates and drop-tail queues, static routes,
+// and cross-traffic generators used to inject the "unexpected load on a
+// network switch" faults whose localization the paper's QoS Domain Manager
+// is responsible for.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"softqos/internal/sim"
+)
+
+// Packet is one unit of traffic in flight.
+type Packet struct {
+	Src, Dst string
+	Size     int // bytes
+	Payload  any
+	SentAt   sim.Time
+}
+
+// Handler consumes packets delivered to a node.
+type Handler func(Packet)
+
+// node is a delivery endpoint (usually a simulated host).
+type node struct {
+	name    string
+	handler Handler
+}
+
+// FlowStats are per-source counters at a switch, used by experiments to
+// attribute congestion to traffic sources.
+type FlowStats struct {
+	Arrivals uint64
+	Drops    uint64
+	Bytes    uint64
+}
+
+// Switch is a store-and-forward element with a finite service rate and a
+// drop-tail queue measured in bytes.
+type Switch struct {
+	name string
+	rate float64 // bytes per second of service capacity
+	qcap int     // queue capacity in bytes
+
+	busyUntil sim.Time
+
+	// Statistics (cumulative; observers take deltas).
+	Arrivals    uint64
+	Drops       uint64
+	BytesServed uint64
+	DelaySum    time.Duration // total queueing+service delay
+
+	flows map[string]*FlowStats // keyed by packet source
+}
+
+// Name returns the switch name.
+func (w *Switch) Name() string { return w.name }
+
+// QueuedBytes returns the backlog awaiting service at virtual time now.
+func (w *Switch) QueuedBytes(now sim.Time) int {
+	if w.busyUntil <= now {
+		return 0
+	}
+	return int(float64((w.busyUntil - now).Duration()) / float64(time.Second) * w.rate)
+}
+
+// Flow returns the per-source statistics for src (zero value if the
+// source never traversed the switch).
+func (w *Switch) Flow(src string) FlowStats {
+	if fs, ok := w.flows[src]; ok {
+		return *fs
+	}
+	return FlowStats{}
+}
+
+// Flows returns the sources that traversed the switch.
+func (w *Switch) Flows() []string {
+	out := make([]string, 0, len(w.flows))
+	for src := range w.flows {
+		out = append(out, src)
+	}
+	return out
+}
+
+// Utilization returns the fraction of service capacity used since the
+// switch began operating, measured at virtual time now.
+func (w *Switch) Utilization(now sim.Time) float64 {
+	if now <= 0 || w.rate <= 0 {
+		return 0
+	}
+	return float64(w.BytesServed) / (w.rate * now.Seconds())
+}
+
+// MeanDelay returns the average per-packet delay through the switch.
+func (w *Switch) MeanDelay() time.Duration {
+	served := w.Arrivals - w.Drops
+	if served == 0 {
+		return 0
+	}
+	return w.DelaySum / time.Duration(served)
+}
+
+// Route is an ordered list of switches between two endpoints plus the total
+// propagation delay of its links.
+type Route struct {
+	Hops []*Switch
+	Prop time.Duration
+}
+
+// Network owns nodes, switches and routes.
+type Network struct {
+	sim      *sim.Simulator
+	nodes    map[string]*node
+	switches map[string]*Switch
+	routes   map[[2]string]*Route
+
+	Delivered uint64
+	Lost      uint64
+}
+
+// New creates an empty network on the simulator.
+func New(s *sim.Simulator) *Network {
+	return &Network{
+		sim:      s,
+		nodes:    make(map[string]*node),
+		switches: make(map[string]*Switch),
+		routes:   make(map[[2]string]*Route),
+	}
+}
+
+// AddNode registers a delivery endpoint. The handler runs inside a
+// simulation event when a packet arrives.
+func (n *Network) AddNode(name string, h Handler) {
+	if _, dup := n.nodes[name]; dup {
+		panic("netsim: duplicate node " + name)
+	}
+	n.nodes[name] = &node{name: name, handler: h}
+}
+
+// SetHandler replaces a node's delivery handler.
+func (n *Network) SetHandler(name string, h Handler) {
+	nd, ok := n.nodes[name]
+	if !ok {
+		panic("netsim: unknown node " + name)
+	}
+	nd.handler = h
+}
+
+// AddSwitch creates a switch serving rate bytes/second with a queue of
+// qcap bytes.
+func (n *Network) AddSwitch(name string, rate float64, qcap int) *Switch {
+	if _, dup := n.switches[name]; dup {
+		panic("netsim: duplicate switch " + name)
+	}
+	w := &Switch{name: name, rate: rate, qcap: qcap, flows: make(map[string]*FlowStats)}
+	n.switches[name] = w
+	return w
+}
+
+// Switch returns a switch by name, or nil.
+func (n *Network) Switch(name string) *Switch { return n.switches[name] }
+
+// Switches returns all switches.
+func (n *Network) Switches() []*Switch {
+	out := make([]*Switch, 0, len(n.switches))
+	for _, w := range n.switches {
+		out = append(out, w)
+	}
+	return out
+}
+
+// SetRoute installs the path used by packets from src to dst. Routes are
+// unidirectional; install both directions for duplex traffic.
+func (n *Network) SetRoute(src, dst string, prop time.Duration, hops ...*Switch) {
+	if _, ok := n.nodes[src]; !ok {
+		panic("netsim: route from unknown node " + src)
+	}
+	if _, ok := n.nodes[dst]; !ok {
+		panic("netsim: route to unknown node " + dst)
+	}
+	n.routes[[2]string{src, dst}] = &Route{Hops: hops, Prop: prop}
+}
+
+// RouteBetween returns the installed route, or nil.
+func (n *Network) RouteBetween(src, dst string) *Route {
+	return n.routes[[2]string{src, dst}]
+}
+
+// Send injects a packet from src to dst. It returns an error if no route
+// exists; queue overflow along the path silently drops the packet (like a
+// real datagram network) and is visible in switch statistics.
+func (n *Network) Send(src, dst string, size int, payload any) error {
+	r := n.routes[[2]string{src, dst}]
+	if r == nil {
+		return fmt.Errorf("netsim: no route %s -> %s", src, dst)
+	}
+	pkt := Packet{Src: src, Dst: dst, Size: size, Payload: payload, SentAt: n.sim.Now()}
+	// Propagation is split evenly across the hops plus final delivery leg.
+	legs := len(r.Hops) + 1
+	legDelay := r.Prop / time.Duration(legs)
+	n.sim.After(legDelay, func() { n.arriveAtHop(pkt, r, 0, legDelay) })
+	return nil
+}
+
+// arriveAtHop handles the packet's arrival at r.Hops[i] (or final delivery
+// when i == len(r.Hops)).
+func (n *Network) arriveAtHop(pkt Packet, r *Route, i int, legDelay time.Duration) {
+	if i == len(r.Hops) {
+		n.Delivered++
+		if nd := n.nodes[pkt.Dst]; nd != nil && nd.handler != nil {
+			nd.handler(pkt)
+		}
+		return
+	}
+	w := r.Hops[i]
+	now := n.sim.Now()
+	w.Arrivals++
+	fs, ok := w.flows[pkt.Src]
+	if !ok {
+		fs = &FlowStats{}
+		w.flows[pkt.Src] = fs
+	}
+	fs.Arrivals++
+	if w.QueuedBytes(now)+pkt.Size > w.qcap {
+		w.Drops++
+		fs.Drops++
+		n.Lost++
+		return
+	}
+	fs.Bytes += uint64(pkt.Size)
+	service := time.Duration(float64(pkt.Size) / w.rate * float64(time.Second))
+	start := w.busyUntil
+	if start < now {
+		start = now
+	}
+	departure := start + sim.Time(service)
+	w.busyUntil = departure
+	w.BytesServed += uint64(pkt.Size)
+	w.DelaySum += (departure - now).Duration()
+	n.sim.Schedule(departure+sim.Time(legDelay), func() {
+		n.arriveAtHop(pkt, r, i+1, legDelay)
+	})
+}
+
+// CrossTraffic is a constant-bit-rate background load through a route,
+// used to congest switches for fault-injection experiments.
+type CrossTraffic struct {
+	net      *Network
+	src, dst string
+	size     int
+	interval time.Duration
+	ticker   *sim.Ticker
+}
+
+// StartCrossTraffic sends a packet of size bytes from src to dst every
+// interval until stopped. src and dst must be registered nodes with a
+// route between them.
+func (n *Network) StartCrossTraffic(src, dst string, size int, interval time.Duration) *CrossTraffic {
+	if n.routes[[2]string{src, dst}] == nil {
+		panic(fmt.Sprintf("netsim: cross traffic with no route %s -> %s", src, dst))
+	}
+	ct := &CrossTraffic{net: n, src: src, dst: dst, size: size, interval: interval}
+	ct.ticker = n.sim.Every(interval, func() {
+		// Route presence was checked at start; Send cannot fail here.
+		_ = n.Send(src, dst, size, nil)
+	})
+	return ct
+}
+
+// Stop halts the background flow.
+func (ct *CrossTraffic) Stop() { ct.ticker.Stop() }

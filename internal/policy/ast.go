@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Path is a slash-separated management name, possibly starting with the
+// context wildcard "(...)" that is resolved against the deployment
+// environment at distribution time.
+type Path struct {
+	Context  bool     // leading "(...)"
+	Segments []string // path components after the context
+}
+
+func (p Path) String() string {
+	var sb strings.Builder
+	if p.Context {
+		sb.WriteString("(...)")
+		if len(p.Segments) > 0 {
+			sb.WriteString("/")
+		}
+	}
+	sb.WriteString(strings.Join(p.Segments, "/"))
+	return sb.String()
+}
+
+// Base returns the final path segment ("" for an empty path).
+func (p Path) Base() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	return p.Segments[len(p.Segments)-1]
+}
+
+// Expr is a boolean expression over process attributes.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Not negates a sub-expression. A QoS policy's "on" clause is typically
+// not(<requirement>): the actions run when the requirement is violated.
+type Not struct{ E Expr }
+
+// And is a conjunction of two or more sub-expressions.
+type And struct{ Exprs []Expr }
+
+// Or is a disjunction of two or more sub-expressions.
+type Or struct{ Exprs []Expr }
+
+// Comparison constrains one attribute: attr op value, optionally with a
+// tolerance band "value(+a)(-b)" (only meaningful with op "=").
+type Comparison struct {
+	Attr     string
+	Op       string // "=", "!=", "<", "<=", ">", ">="
+	Value    float64
+	HasTol   bool
+	TolPlus  float64
+	TolMinus float64
+}
+
+func (Not) isExpr()        {}
+func (And) isExpr()        {}
+func (Or) isExpr()         {}
+func (Comparison) isExpr() {}
+
+func (n Not) String() string { return "not (" + n.E.String() + ")" }
+
+func joinExprs(es []Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		if _, ok := e.(Comparison); ok {
+			parts[i] = e.String()
+		} else {
+			parts[i] = "(" + e.String() + ")"
+		}
+	}
+	return strings.Join(parts, sep)
+}
+
+func (a And) String() string { return joinExprs(a.Exprs, " and ") }
+func (o Or) String() string  { return joinExprs(o.Exprs, " or ") }
+
+func fnum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func (c Comparison) String() string {
+	s := fmt.Sprintf("%s %s %s", c.Attr, c.Op, fnum(c.Value))
+	if c.HasTol {
+		s += fmt.Sprintf("(+%s)(-%s)", fnum(c.TolPlus), fnum(c.TolMinus))
+	}
+	return s
+}
+
+// Arg is one argument of a do-action: either an "out" attribute binding
+// (sensor read result), a bare attribute reference, a number or a string.
+type Arg struct {
+	Out  bool
+	Name string   // attribute name for Out/bare references
+	Num  *float64 // literal number
+	Str  *string  // literal string
+}
+
+func (a Arg) String() string {
+	switch {
+	case a.Out:
+		return "out " + a.Name
+	case a.Num != nil:
+		return fnum(*a.Num)
+	case a.Str != nil:
+		return strconv.Quote(*a.Str)
+	default:
+		return a.Name
+	}
+}
+
+// Action is one do-clause entry: target->op(args).
+type Action struct {
+	Target Path
+	Op     string
+	Args   []Arg
+}
+
+func (a Action) String() string {
+	parts := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		parts[i] = arg.String()
+	}
+	return fmt.Sprintf("%s->%s(%s)", a.Target, a.Op, strings.Join(parts, ", "))
+}
+
+// Policy is one parsed obligation policy.
+type Policy struct {
+	Name    string
+	Subject Path
+	Targets []Path
+	On      Expr
+	Do      []Action
+}
+
+func (p *Policy) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "oblig %s {\n", p.Name)
+	fmt.Fprintf(&sb, "  subject %s\n", p.Subject)
+	tg := make([]string, len(p.Targets))
+	for i, t := range p.Targets {
+		tg[i] = t.String()
+	}
+	fmt.Fprintf(&sb, "  target  %s\n", strings.Join(tg, ", "))
+	fmt.Fprintf(&sb, "  on      %s\n", p.On)
+	sb.WriteString("  do      ")
+	acts := make([]string, len(p.Do))
+	for i, a := range p.Do {
+		acts[i] = a.String()
+	}
+	sb.WriteString(strings.Join(acts, ";\n          "))
+	sb.WriteString(";\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,28 @@
+package policy
+
+import "testing"
+
+// FuzzParse ensures the policy parser never panics and that anything it
+// accepts round-trips through its own pretty-printer.
+func FuzzParse(f *testing.F) {
+	f.Add(example1)
+	f.Add("oblig X { subject a target b on not (x < 1) do s->r(); }")
+	f.Add("oblig X { subject (...)/a/b target c on not (x = 5(+1)(-2) or y >= 3) do c->notify(x); }")
+	f.Add("oblig")
+	f.Add("{}()->;")
+	f.Fuzz(func(t *testing.T, src string) {
+		ps, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			re, err := ParseOne(p.String())
+			if err != nil {
+				t.Fatalf("pretty-printed policy does not re-parse: %v\n%s", err, p.String())
+			}
+			if re.String() != p.String() {
+				t.Fatalf("round trip diverged:\n%s\nvs\n%s", p.String(), re.String())
+			}
+		}
+	})
+}

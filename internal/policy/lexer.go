@@ -1,0 +1,222 @@
+// Package policy implements the paper's Ponder-style obligation-policy
+// notation (Section 4, Example 1): parsing, semantic validation, and
+// compilation into the runtime condition/action lists consumed by
+// per-process coordinators (Section 5.2).
+//
+// A policy reads:
+//
+//	oblig NotifyQoSViolation {
+//	  subject (...)/VideoApplication/qosl_coordinator
+//	  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+//	  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+//	  do      fps_sensor->read(out frame_rate);
+//	          jitter_sensor->read(out jitter_rate);
+//	          buffer_sensor->read(out buffer_size);
+//	          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+//	}
+//
+// The tolerance form "25(+2)(-2)" expands to the pair of comparisons
+// "> 23 and < 27" exactly as the paper's Example 3 describes.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokComma   // ,
+	tokSemi    // ;
+	tokSlash   // /
+	tokArrow   // ->
+	tokPlus    // +
+	tokMinus   // -
+	tokOp      // = != < <= > >=
+	tokContext // (...)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("policy: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *lexer) peek() rune { return l.src[l.pos] }
+
+func (l *lexer) advance() rune {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for !l.eof() {
+		c := l.peek()
+		switch {
+		case c == '#': // comment to end of line
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(c):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.eof() {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	line := l.line
+	c := l.peek()
+	switch {
+	case c == '(':
+		// "(...)" is the context wildcard used in subject/target paths.
+		if strings.HasPrefix(string(l.src[l.pos:]), "(...)") {
+			l.pos += 5
+			return token{kind: tokContext, text: "(...)", line: line}, nil
+		}
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line}, nil
+	case c == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line}, nil
+	case c == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line}, nil
+	case c == ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line}, nil
+	case c == '/':
+		l.advance()
+		return token{kind: tokSlash, text: "/", line: line}, nil
+	case c == '+':
+		l.advance()
+		return token{kind: tokPlus, text: "+", line: line}, nil
+	case c == '-':
+		l.advance()
+		if !l.eof() && l.peek() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line}, nil
+		}
+		return token{kind: tokMinus, text: "-", line: line}, nil
+	case c == '=':
+		l.advance()
+		return token{kind: tokOp, text: "=", line: line}, nil
+	case c == '!':
+		l.advance()
+		if l.eof() || l.peek() != '=' {
+			return token{}, l.errf("expected '=' after '!'")
+		}
+		l.advance()
+		return token{kind: tokOp, text: "!=", line: line}, nil
+	case c == '<' || c == '>':
+		l.advance()
+		op := string(c)
+		if !l.eof() && l.peek() == '=' {
+			l.advance()
+			op += "="
+		}
+		return token{kind: tokOp, text: op, line: line}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.eof() {
+				return token{}, l.errf("unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				return token{kind: tokString, text: sb.String(), line: line}, nil
+			}
+			sb.WriteRune(c)
+		}
+	case unicode.IsDigit(c):
+		var sb strings.Builder
+		for !l.eof() && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+			sb.WriteRune(l.advance())
+		}
+		f, err := strconv.ParseFloat(sb.String(), 64)
+		if err != nil {
+			return token{}, l.errf("bad number %q", sb.String())
+		}
+		return token{kind: tokNumber, num: f, text: sb.String(), line: line}, nil
+	case unicode.IsLetter(c) || c == '_':
+		var sb strings.Builder
+		for !l.eof() && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			sb.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), line: line}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}

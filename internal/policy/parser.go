@@ -1,0 +1,358 @@
+package policy
+
+import (
+	"fmt"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses policy source text containing one or more oblig blocks.
+func Parse(src string) ([]*Policy, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*Policy
+	for p.peek().kind != tokEOF {
+		pol, err := p.parseOblig()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pol)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: no oblig blocks found")
+	}
+	return out, nil
+}
+
+// ParseOne parses exactly one policy.
+func ParseOne(src string) (*Policy, error) {
+	ps, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) != 1 {
+		return nil, fmt.Errorf("policy: expected one policy, found %d", len(ps))
+	}
+	return ps[0], nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("policy: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errf(t, "expected %q, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) parseOblig() (*Policy, error) {
+	if err := p.expectKeyword("oblig"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "policy name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	pol := &Policy{Name: name.text}
+
+	if err := p.expectKeyword("subject"); err != nil {
+		return nil, err
+	}
+	if pol.Subject, err = p.parsePath(); err != nil {
+		return nil, err
+	}
+
+	if err := p.expectKeyword("target"); err != nil {
+		return nil, err
+	}
+	for {
+		tgt, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		pol.Targets = append(pol.Targets, tgt)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	if pol.On, err = p.parseOr(); err != nil {
+		return nil, err
+	}
+
+	if err := p.expectKeyword("do"); err != nil {
+		return nil, err
+	}
+	for {
+		act, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		pol.Do = append(pol.Do, act)
+		if p.peek().kind == tokSemi {
+			p.next()
+		}
+		if p.peek().kind == tokRBrace {
+			break
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// parsePath parses [ "(...)" "/" ] ident ( "/" ident )*.
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	if p.peek().kind == tokContext {
+		p.next()
+		path.Context = true
+		if p.peek().kind == tokSlash {
+			p.next()
+		} else {
+			// "(...)QoSHostManager" without a slash also appears in the
+			// paper's examples; accept an immediately following ident.
+			if p.peek().kind != tokIdent {
+				return path, nil
+			}
+		}
+	}
+	t, err := p.expect(tokIdent, "path segment")
+	if err != nil {
+		return path, err
+	}
+	path.Segments = append(path.Segments, t.text)
+	for p.peek().kind == tokSlash {
+		p.next()
+		t, err := p.expect(tokIdent, "path segment")
+		if err != nil {
+			return path, err
+		}
+		path.Segments = append(path.Segments, t.text)
+	}
+	return path, nil
+}
+
+// parseOr := parseAnd ( "or" parseAnd )*
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{first}
+	for p.peek().kind == tokIdent && lowerEq(p.peek().text, "or") {
+		p.next()
+		e, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(exprs) == 1 {
+		return exprs[0], nil
+	}
+	return Or{Exprs: exprs}, nil
+}
+
+// parseAnd := parseUnary ( "and" parseUnary )*
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{first}
+	for p.peek().kind == tokIdent && lowerEq(p.peek().text, "and") {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(exprs) == 1 {
+		return exprs[0], nil
+	}
+	return And{Exprs: exprs}, nil
+}
+
+// parseUnary := "not" parseUnary | "(" parseOr ")" | comparison
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && lowerEq(t.text, "not"):
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+// parseComparison := ident op number [ "(" "+" number ")" "(" "-" number ")" ]
+func (p *parser) parseComparison() (Expr, error) {
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	val, err := p.expect(tokNumber, "number")
+	if err != nil {
+		return nil, err
+	}
+	c := Comparison{Attr: attr.text, Op: op.text, Value: val.num}
+	// Tolerance: "(+a)(-b)" or "(-b)(+a)".
+	for p.peek().kind == tokLParen {
+		save := p.pos
+		p.next()
+		sign := p.next()
+		if sign.kind != tokPlus && sign.kind != tokMinus {
+			p.pos = save
+			break
+		}
+		n, err := p.expect(tokNumber, "tolerance value")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if op.text != "=" {
+			return nil, p.errf(sign, "tolerance only allowed with '='")
+		}
+		c.HasTol = true
+		if sign.kind == tokPlus {
+			c.TolPlus = n.num
+		} else {
+			c.TolMinus = n.num
+		}
+	}
+	return c, nil
+}
+
+// parseAction := path "->" ident "(" [ args ] ")"
+func (p *parser) parseAction() (Action, error) {
+	var a Action
+	var err error
+	if a.Target, err = p.parsePath(); err != nil {
+		return a, err
+	}
+	if _, err := p.expect(tokArrow, "'->'"); err != nil {
+		return a, err
+	}
+	op, err := p.expect(tokIdent, "operation name")
+	if err != nil {
+		return a, err
+	}
+	a.Op = op.text
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return a, err
+	}
+	if p.peek().kind == tokRParen {
+		p.next()
+		return a, nil
+	}
+	for {
+		arg, err := p.parseArg()
+		if err != nil {
+			return a, err
+		}
+		a.Args = append(a.Args, arg)
+		t := p.next()
+		if t.kind == tokRParen {
+			return a, nil
+		}
+		if t.kind != tokComma {
+			return a, p.errf(t, "expected ',' or ')' in argument list, got %s", t)
+		}
+	}
+}
+
+func (p *parser) parseArg() (Arg, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if t.text == "out" {
+			name, err := p.expect(tokIdent, "attribute name after 'out'")
+			if err != nil {
+				return Arg{}, err
+			}
+			return Arg{Out: true, Name: name.text}, nil
+		}
+		return Arg{Name: t.text}, nil
+	case tokNumber:
+		n := t.num
+		return Arg{Num: &n}, nil
+	case tokString:
+		s := t.text
+		return Arg{Str: &s}, nil
+	default:
+		return Arg{}, p.errf(t, "expected argument, got %s", t)
+	}
+}
+
+func lowerEq(s, kw string) bool {
+	if len(s) != len(kw) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}

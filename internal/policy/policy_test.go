@@ -1,0 +1,377 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// example1 is the paper's Example 1 policy, verbatim in spirit.
+const example1 = `
+oblig NotifyQoSViolation {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`
+
+var example1Sensors = map[string]string{
+	"frame_rate":  "fps_sensor",
+	"jitter_rate": "jitter_sensor",
+	"buffer_size": "buffer_sensor",
+}
+
+func parseExample1(t *testing.T) *Policy {
+	t.Helper()
+	p, err := ParseOne(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseExample1Structure(t *testing.T) {
+	p := parseExample1(t)
+	if p.Name != "NotifyQoSViolation" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if !p.Subject.Context || p.Subject.Base() != "qosl_coordinator" {
+		t.Errorf("subject = %v", p.Subject)
+	}
+	if len(p.Targets) != 4 || p.Targets[3].Base() != "QoSHostManager" {
+		t.Errorf("targets = %v", p.Targets)
+	}
+	if len(p.Do) != 4 {
+		t.Fatalf("do-actions = %d, want 4", len(p.Do))
+	}
+	last := p.Do[3]
+	if last.Op != "notify" || len(last.Args) != 3 {
+		t.Errorf("final action = %v", last)
+	}
+	not, ok := p.On.(Not)
+	if !ok {
+		t.Fatalf("on-clause is %T, want Not", p.On)
+	}
+	and, ok := not.E.(And)
+	if !ok || len(and.Exprs) != 2 {
+		t.Fatalf("requirement is %T (%v)", not.E, not.E)
+	}
+	fr := and.Exprs[0].(Comparison)
+	if fr.Attr != "frame_rate" || !fr.HasTol || fr.TolPlus != 2 || fr.TolMinus != 2 || fr.Value != 25 {
+		t.Errorf("frame_rate comparison = %+v", fr)
+	}
+}
+
+func TestCompileExample1MatchesPaperExample3(t *testing.T) {
+	p := parseExample1(t)
+	spec, err := Compile(p, example1Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Connective != "and" {
+		t.Errorf("connective = %q", spec.Connective)
+	}
+	// Example 3: frame_rate > 23, frame_rate < 27, jitter_rate < 1.25.
+	want := []struct {
+		attr, op string
+		val      float64
+	}{
+		{"frame_rate", ">", 23},
+		{"frame_rate", "<", 27},
+		{"jitter_rate", "<", 1.25},
+	}
+	if len(spec.Conditions) != len(want) {
+		t.Fatalf("conditions = %v", spec.Conditions)
+	}
+	for i, w := range want {
+		c := spec.Conditions[i]
+		if c.Attribute != w.attr || c.Op != w.op || c.Value != w.val {
+			t.Errorf("condition %d = %+v, want %+v", i, c, w)
+		}
+		if c.Sensor != example1Sensors[w.attr] {
+			t.Errorf("condition %d sensor = %q", i, c.Sensor)
+		}
+	}
+	if len(spec.Actions) != 4 || spec.Actions[3].Op != "notify" {
+		t.Errorf("actions = %v", spec.Actions)
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	p := parseExample1(t)
+	p2, err := ParseOne(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, p.String())
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip diverged:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+}
+
+func TestParseMultiplePolicies(t *testing.T) {
+	src := example1 + `
+oblig CheckThroughput {
+  subject (...)/WebApp/qosl_coordinator
+  target  rate_sensor, (...)/QoSHostManager
+  on      not (request_rate >= 100)
+  do      rate_sensor->read(out request_rate);
+          (...)/QoSHostManager->notify(request_rate);
+}
+`
+	ps, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[1].Name != "CheckThroughput" {
+		t.Fatalf("parsed %d policies", len(ps))
+	}
+}
+
+func TestDisjunctiveRequirement(t *testing.T) {
+	src := `
+oblig EitherWay {
+  subject (...)/A/qosl_coordinator
+  target  s1, (...)/QoSHostManager
+  on      not (x < 5 or y < 9)
+  do      s1->read(out x);
+          (...)/QoSHostManager->notify(x);
+}
+`
+	p, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(p, map[string]string{"x": "s1", "y": "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Connective != "or" || len(spec.Conditions) != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestCompileRejectsMixedConnectives(t *testing.T) {
+	src := `
+oblig Mixed {
+  subject (...)/A/qosl_coordinator
+  target  s1
+  on      not (x < 5 and (y < 9 or z > 1))
+  do      s1->read(out x);
+}
+`
+	p, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, map[string]string{"x": "s1", "y": "s1", "z": "s1"}); err == nil {
+		t.Fatal("mixed connectives compiled")
+	}
+}
+
+func TestCompileRejectsMissingSensor(t *testing.T) {
+	p := parseExample1(t)
+	if _, err := Compile(p, map[string]string{"frame_rate": "fps_sensor"}); err == nil {
+		t.Fatal("compile without jitter sensor succeeded")
+	}
+}
+
+func TestRequirementShapeErrors(t *testing.T) {
+	src := `
+oblig NoNot {
+  subject (...)/A/qosl_coordinator
+  target  s1
+  on      x < 5
+  do      s1->read(out x);
+}
+`
+	p, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Requirement(); err == nil {
+		t.Fatal("Requirement accepted an on-clause without not(...)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":             ``,
+		"missing brace":     `oblig X subject a target b on not (x<1) do a->b();`,
+		"bad op":            `oblig X { subject a target b on not (x ~ 1) do s->r(); }`,
+		"tolerance non-eq":  `oblig X { subject a target b on not (x < 1(+2)(-2)) do s->r(); }`,
+		"no actions":        `oblig X { subject a target b on not (x < 1) do }`,
+		"unterminated str":  `oblig X { subject a target b on not (x < 1) do s->r("q); }`,
+		"stray chars":       `oblig X { subject a target b on not (x < 1) do s->r(); } trailing`,
+		"missing subject":   `oblig X { target b on not (x<1) do s->r(); }`,
+		"bad not-eq lexeme": `oblig X { subject a target b on not (x ! 1) do s->r(); }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestEvaluateRequirement(t *testing.T) {
+	p := parseExample1(t)
+	req, err := p.Requirement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		fps, jit float64
+		ok       bool
+	}{
+		{25, 1.0, true},
+		{23.5, 1.0, true},
+		{23, 1.0, false}, // strict: exactly 23 violates (Example 3: > 23)
+		{27, 1.0, false},
+		{26.9, 1.24, true},
+		{25, 1.25, false},
+		{14, 0.5, false},
+	}
+	for _, c := range cases {
+		got, err := Evaluate(req, map[string]float64{"frame_rate": c.fps, "jitter_rate": c.jit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.ok {
+			t.Errorf("Evaluate(fps=%v, jitter=%v) = %v, want %v", c.fps, c.jit, got, c.ok)
+		}
+	}
+	// Violation condition = negation.
+	viol, err := Evaluate(p.On, map[string]float64{"frame_rate": 14, "jitter_rate": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viol {
+		t.Error("on-clause false for a clear violation")
+	}
+}
+
+func TestEvaluateMissingReading(t *testing.T) {
+	p := parseExample1(t)
+	if _, err := Evaluate(p.On, map[string]float64{"frame_rate": 25}); err == nil {
+		t.Fatal("Evaluate without jitter reading succeeded")
+	}
+}
+
+func TestValidateAcceptsExample1(t *testing.T) {
+	p := parseExample1(t)
+	errs := Validate(p, ValidateOptions{
+		SensorAttrs: map[string][]string{
+			"fps_sensor":    {"frame_rate"},
+			"jitter_sensor": {"jitter_rate"},
+			"buffer_sensor": {"buffer_size"},
+		},
+		ManagerNames: []string{"QoSHostManager"},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("validation errors: %v", errs)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	p := parseExample1(t)
+	// Missing jitter sensor, notify carries an attribute never read, and
+	// an unknown action target.
+	errs := Validate(p, ValidateOptions{
+		SensorAttrs: map[string][]string{
+			"fps_sensor":    {"frame_rate"},
+			"buffer_sensor": {"buffer_size"},
+		},
+		ManagerNames: []string{"QoSHostManager"},
+	})
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	if !strings.Contains(joined, `attribute "jitter_rate" has no monitoring sensor`) {
+		t.Errorf("missing-sensor error absent in:\n%s", joined)
+	}
+	if !strings.Contains(joined, "jitter_sensor") {
+		t.Errorf("unknown-target error absent in:\n%s", joined)
+	}
+	if !strings.Contains(joined, `"jitter_rate" is not produced`) {
+		t.Errorf("unproduced-notify-arg error absent in:\n%s", joined)
+	}
+}
+
+func TestValidateEmptyNotify(t *testing.T) {
+	src := `
+oblig X {
+  subject (...)/A/qosl_coordinator
+  target  s, (...)/QoSHostManager
+  on      not (x < 5)
+  do      (...)/QoSHostManager->notify();
+}
+`
+	p, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Validate(p, ValidateOptions{
+		SensorAttrs:  map[string][]string{"s": {"x"}},
+		ManagerNames: []string{"QoSHostManager"},
+	})
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "no data") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("empty notify not flagged: %v", errs)
+	}
+}
+
+// Property: for any tolerance band, the expanded pair of comparisons
+// accepts exactly the open interval (v-minus, v+plus).
+func TestPropertyToleranceExpansion(t *testing.T) {
+	prop := func(center float64, plus, minus uint8, probe float64) bool {
+		c := Comparison{Attr: "x", Op: "=", Value: center, HasTol: true,
+			TolPlus: float64(plus), TolMinus: float64(minus)}
+		prims := expand(c)
+		if len(prims) != 2 {
+			return false
+		}
+		inBand := probe > center-float64(minus) && probe < center+float64(plus)
+		both := true
+		for _, p := range prims {
+			ok := evalComparison(p, probe)
+			both = both && ok
+		}
+		return both == inBand
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerTolerates(t *testing.T) {
+	// Comments, both styles; context token glued to ident.
+	src := `
+# hash comment
+// slash comment
+oblig C {
+  subject (...)VideoApplication/qosl_coordinator
+  target  (...)QoSHostManager
+  on      not (a = 10(+1)(-1))
+  do      (...)QoSHostManager->notify(42, "str");
+}
+`
+	p, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Subject.Base() != "qosl_coordinator" || !p.Subject.Context {
+		t.Errorf("subject = %v", p.Subject)
+	}
+	if *p.Do[0].Args[0].Num != 42 || *p.Do[0].Args[1].Str != "str" {
+		t.Errorf("args = %v", p.Do[0].Args)
+	}
+}

@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"fmt"
+)
+
+// ValidateOptions describes the deployment facts a policy is checked
+// against — the integrity checks the paper's management application
+// performs before uploading a policy to the repository (§7):
+//
+//   - every attribute constrained by the policy must be monitored by a
+//     sensor present in the target executable, and
+//   - every action must be either a method invocation on such a sensor or
+//     a notification to the QoS Host Manager carrying non-empty data
+//     returned by sensor reads.
+type ValidateOptions struct {
+	// SensorAttrs maps each sensor identifier of the executable to the
+	// attributes it monitors.
+	SensorAttrs map[string][]string
+	// ManagerNames are action targets accepted as manager notifications
+	// (base names, e.g. "QoSHostManager").
+	ManagerNames []string
+}
+
+// Validate performs the management application's integrity checks and
+// returns a list of problems (empty means the policy is acceptable).
+func Validate(p *Policy, opts ValidateOptions) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("policy %s: %s", p.Name, fmt.Sprintf(format, args...)))
+	}
+
+	attrSensor := make(map[string]string)
+	for sensor, attrs := range opts.SensorAttrs {
+		for _, a := range attrs {
+			attrSensor[a] = sensor
+		}
+	}
+	managers := make(map[string]bool)
+	for _, m := range opts.ManagerNames {
+		managers[m] = true
+	}
+
+	// 1. Requirement shape and sensor coverage.
+	attrs, err := p.Attributes()
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, a := range attrs {
+		if _, ok := attrSensor[a]; !ok {
+			fail("attribute %q has no monitoring sensor in the executable", a)
+		}
+	}
+
+	// 2. Actions: sensor method invocations or manager notifications.
+	readAttrs := make(map[string]bool) // attributes captured by out-args
+	sawNotify := false
+	for _, act := range p.Do {
+		base := act.Target.Base()
+		switch {
+		case opts.SensorAttrs[base] != nil:
+			// A sensor invocation; out-arguments must name attributes the
+			// sensor monitors.
+			monitored := make(map[string]bool)
+			for _, a := range opts.SensorAttrs[base] {
+				monitored[a] = true
+			}
+			for _, arg := range act.Args {
+				if arg.Out {
+					if !monitored[arg.Name] {
+						fail("action %s: sensor %s does not monitor %q", act, base, arg.Name)
+						continue
+					}
+					readAttrs[arg.Name] = true
+				}
+			}
+		case managers[base]:
+			sawNotify = true
+			if act.Op != "notify" {
+				fail("action %s: manager target only supports notify", act)
+			}
+			if len(act.Args) == 0 {
+				fail("action %s: notification carries no data (must be non-empty)", act)
+			}
+			for _, arg := range act.Args {
+				if arg.Out {
+					fail("action %s: notify arguments cannot be 'out'", act)
+				} else if arg.Num == nil && arg.Str == nil && !readAttrs[arg.Name] {
+					fail("action %s: notify argument %q is not produced by a preceding sensor read", act, arg.Name)
+				}
+			}
+		default:
+			fail("action %s: target %q is neither a sensor of the executable nor a known manager", act, base)
+		}
+	}
+	if !sawNotify && len(p.Do) > 0 {
+		// Not fatal in the paper, but worth surfacing: a QoS policy whose
+		// violation nobody hears cannot drive adaptation.
+		fail("no manager notification among actions")
+	}
+	return errs
+}

@@ -1,0 +1,44 @@
+package repository
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLDIF ensures the LDIF reader never panics and that accepted
+// entries round-trip through the writer.
+func FuzzParseLDIF(f *testing.F) {
+	f.Add(sampleLDIF)
+	f.Add("dn: o=x\na: b\n")
+	f.Add("dn: o=x\na:: aGk=\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		entries, err := ParseLDIF(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		out := LDIFString(entries)
+		back, err := ParseLDIF(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("written LDIF does not re-parse: %v\n%s", err, out)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip %d vs %d entries", len(back), len(entries))
+		}
+	})
+}
+
+// FuzzParseFilter ensures the filter parser never panics and accepted
+// filters round-trip through String.
+func FuzzParseFilter(f *testing.F) {
+	f.Add("(&(objectClass=qosPolicy)(!(role=*))(|(a=1)(b>=2)))")
+	f.Add("(cn=ab*cd)")
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := ParseFilter(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseFilter(flt.String()); err != nil {
+			t.Fatalf("filter String does not re-parse: %v (%s)", err, flt.String())
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package repository
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute-level modifications, mirroring LDAP's modify operation: a
+// sequence of add/delete/replace changes applied atomically to one entry.
+
+// ModOp selects a modification kind.
+type ModOp int
+
+const (
+	// ModAdd appends values to an attribute.
+	ModAdd ModOp = iota
+	// ModDelete removes specific values, or the whole attribute when no
+	// values are given.
+	ModDelete
+	// ModReplace replaces an attribute's values entirely.
+	ModReplace
+)
+
+// Mod is one attribute change.
+type Mod struct {
+	Op     ModOp
+	Attr   string
+	Values []string
+}
+
+// ModifyAttrs applies changes to the entry at dn atomically: either every
+// change applies and the result passes schema validation, or the entry is
+// left untouched.
+func (d *Directory) ModifyAttrs(dn DN, mods ...Mod) error {
+	n := dn.Normalize()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur, ok := d.entries[n]
+	if !ok {
+		return fmt.Errorf("repository: no such entry: %s", n)
+	}
+	e := cur.Clone()
+	for _, m := range mods {
+		switch m.Op {
+		case ModAdd:
+			if len(m.Values) == 0 {
+				return fmt.Errorf("repository: modify %s: add %q with no values", n, m.Attr)
+			}
+			// Reject duplicates (LDAP attributeOrValueExists).
+			for _, v := range m.Values {
+				if e.HasValue(m.Attr, v) {
+					return fmt.Errorf("repository: modify %s: value %q already present in %q", n, v, m.Attr)
+				}
+			}
+			e.Add(m.Attr, m.Values...)
+		case ModDelete:
+			if len(m.Values) == 0 {
+				if !e.Has(m.Attr) {
+					return fmt.Errorf("repository: modify %s: no attribute %q", n, m.Attr)
+				}
+				e.Delete(m.Attr)
+				continue
+			}
+			for _, v := range m.Values {
+				if !e.HasValue(m.Attr, v) {
+					return fmt.Errorf("repository: modify %s: no value %q in %q", n, v, m.Attr)
+				}
+				remaining := e.GetAll(m.Attr)
+				kept := remaining[:0]
+				for _, have := range remaining {
+					if !strings.EqualFold(have, v) {
+						kept = append(kept, have)
+					}
+				}
+				if len(kept) == 0 {
+					e.Delete(m.Attr)
+				} else {
+					e.Set(m.Attr, kept...)
+				}
+			}
+		case ModReplace:
+			if len(m.Values) == 0 {
+				e.Delete(m.Attr)
+			} else {
+				e.Set(m.Attr, m.Values...)
+			}
+		default:
+			return fmt.Errorf("repository: modify %s: unknown op %d", n, m.Op)
+		}
+	}
+	if d.schema != nil {
+		if err := d.schema.Check(e); err != nil {
+			return err
+		}
+	}
+	d.entries[n] = e
+	return nil
+}

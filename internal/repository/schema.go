@@ -1,0 +1,120 @@
+package repository
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClassDef describes one object class: which attributes an entry of the
+// class must and may carry.
+type ClassDef struct {
+	Name     string
+	Must     []string
+	May      []string
+	Abstract bool // containers: no attribute checks beyond Must
+}
+
+// Schema validates entries against their object classes.
+type Schema struct {
+	classes map[string]ClassDef
+}
+
+// NewSchema builds a schema from class definitions.
+func NewSchema(defs ...ClassDef) *Schema {
+	s := &Schema{classes: make(map[string]ClassDef)}
+	for _, d := range defs {
+		s.classes[strings.ToLower(d.Name)] = d
+	}
+	return s
+}
+
+// Check validates an entry: it must declare at least one known object
+// class and carry every Must attribute of each declared class. Unknown
+// attributes are permitted only if some declared class lists them in May
+// (containers skip that check).
+func (s *Schema) Check(e *Entry) error {
+	classes := e.ObjectClasses()
+	if len(classes) == 0 {
+		return fmt.Errorf("repository: entry %s has no objectClass", e.DN)
+	}
+	allowed := map[string]bool{"objectclass": true}
+	lax := false
+	for _, c := range classes {
+		def, ok := s.classes[strings.ToLower(c)]
+		if !ok {
+			return fmt.Errorf("repository: entry %s: unknown objectClass %q", e.DN, c)
+		}
+		for _, m := range def.Must {
+			if !e.Has(m) {
+				return fmt.Errorf("repository: entry %s: class %s requires attribute %q", e.DN, c, m)
+			}
+			allowed[strings.ToLower(m)] = true
+		}
+		for _, m := range def.May {
+			allowed[strings.ToLower(m)] = true
+		}
+		if def.Abstract {
+			lax = true
+		}
+	}
+	if !lax {
+		for _, a := range e.Attributes() {
+			if !allowed[a] {
+				return fmt.Errorf("repository: entry %s: attribute %q not allowed by classes %v", e.DN, a, classes)
+			}
+		}
+	}
+	return nil
+}
+
+// QoSSchema returns the schema for the paper's information model
+// (Section 6.1): applications composed of executables, sensors attached
+// to executables (many-to-many via qosSensorRef), and policies composed
+// of reusable conditions and actions, keyed additionally by user role.
+func QoSSchema() *Schema {
+	return NewSchema(
+		ClassDef{Name: "organization", Must: []string{"o"}, Abstract: true},
+		ClassDef{Name: "organizationalUnit", Must: []string{"ou"}, Abstract: true},
+		ClassDef{
+			Name: "qosApplication",
+			Must: []string{"cn"},
+			May:  []string{"description", "qosExecutableRef"},
+		},
+		ClassDef{
+			Name: "qosExecutable",
+			Must: []string{"cn"},
+			May:  []string{"description", "qosApplicationRef", "qosSensorRef"},
+		},
+		ClassDef{
+			Name: "qosSensor",
+			Must: []string{"cn", "qosAttribute"},
+			May:  []string{"description"},
+		},
+		ClassDef{
+			Name: "qosUserRole",
+			Must: []string{"cn"},
+			May:  []string{"description"},
+		},
+		ClassDef{
+			Name: "qosPolicy",
+			Must: []string{"cn", "qosSubject", "qosConnective"},
+			May: []string{"description", "qosApplicationRef", "qosExecutableRef",
+				"qosUserRole", "qosPolicyText", "qosTarget"},
+		},
+		ClassDef{
+			Name: "qosCondition",
+			Must: []string{"cn", "qosAttribute", "qosOperator", "qosValue"},
+			May:  []string{"qosSensorRef", "description"},
+		},
+		ClassDef{
+			Name: "qosAction",
+			Must: []string{"cn", "qosTarget", "qosOperation"},
+			May:  []string{"qosArgument", "description"},
+		},
+		ClassDef{
+			Name: "qosRuleSet",
+			Must: []string{"cn", "qosRuleText"},
+			May:  []string{"description", "qosManagerRole"},
+		},
+	)
+}

@@ -1,0 +1,170 @@
+package rules
+
+import (
+	"testing"
+)
+
+func TestProveFactDirectly(t *testing.T) {
+	e := NewEngine()
+	e.AssertF("parent", "ann", "bob")
+	if _, ok := e.Prove(F("parent", "ann", "bob")...); !ok {
+		t.Fatal("ground fact not provable")
+	}
+	if _, ok := e.Prove(F("parent", "ann", "cid")...); ok {
+		t.Fatal("absent fact provable")
+	}
+	sol, ok := e.Prove(F("parent", "ann", "?x")...)
+	if !ok || sol["?x"].Sym != "bob" {
+		t.Fatalf("solution = %v", sol)
+	}
+}
+
+func TestProveThroughRule(t *testing.T) {
+	e := mustLoad(t, `
+(defrule grandparent
+  (parent ?a ?b)
+  (parent ?b ?c)
+  =>
+  (assert (grandparent ?a ?c)))
+`)
+	e.AssertF("parent", "ann", "bob")
+	e.AssertF("parent", "bob", "cid")
+	// No forward chaining has run: the fact does not exist...
+	if len(e.FactsMatching(Sym("grandparent"), Sym("?"), Sym("?"))) != 0 {
+		t.Fatal("grandparent fact exists without Run")
+	}
+	// ...but backward chaining derives it.
+	sol, ok := e.Prove(F("grandparent", "ann", "?who")...)
+	if !ok || sol["?who"].Sym != "cid" {
+		t.Fatalf("Prove(grandparent ann ?who) = %v, %v", sol, ok)
+	}
+	if _, ok := e.Prove(F("grandparent", "bob", "?who")...); ok {
+		t.Fatal("derived a grandparent for bob")
+	}
+	// Proofs do not pollute working memory.
+	if len(e.FactsMatching(Sym("grandparent"), Sym("?"), Sym("?"))) != 0 {
+		t.Fatal("Prove asserted facts")
+	}
+}
+
+func TestProveRecursiveRule(t *testing.T) {
+	e := mustLoad(t, `
+(defrule reach-base
+  (edge ?a ?b)
+  =>
+  (assert (reach ?a ?b)))
+(defrule reach-step
+  (edge ?a ?b)
+  (reach ?b ?c)
+  =>
+  (assert (reach ?a ?c)))
+`)
+	e.AssertF("edge", "a", "b")
+	e.AssertF("edge", "b", "c")
+	e.AssertF("edge", "c", "d")
+	for _, dst := range []string{"b", "c", "d"} {
+		if _, ok := e.Prove(F("reach", "a", dst)...); !ok {
+			t.Errorf("reach(a, %s) not provable", dst)
+		}
+	}
+	if _, ok := e.Prove(F("reach", "d", "a")...); ok {
+		t.Error("reverse reachability provable")
+	}
+	sols := e.ProveAll(0, F("reach", "a", "?x")...)
+	if len(sols) != 3 {
+		t.Errorf("ProveAll found %d solutions: %v", len(sols), sols)
+	}
+}
+
+func TestProveCyclicRulesTerminate(t *testing.T) {
+	e := mustLoad(t, `
+(defrule mutual-a (p ?x) => (assert (q ?x)))
+(defrule mutual-b (q ?x) => (assert (p ?x)))
+`)
+	// No base facts: the mutual recursion must terminate unprovable.
+	if _, ok := e.Prove(F("p", "z")...); ok {
+		t.Fatal("unfounded mutual recursion proved a goal")
+	}
+}
+
+func TestProveWithTestAndNegation(t *testing.T) {
+	e := mustLoad(t, `
+(defrule eligible
+  (score ?p ?s)
+  (test (>= ?s 60))
+  (not (banned ?p))
+  =>
+  (assert (eligible ?p)))
+`)
+	e.AssertF("score", "alice", 70)
+	e.AssertF("score", "bob", 50)
+	e.AssertF("score", "carol", 90)
+	e.AssertF("banned", "carol")
+	if _, ok := e.Prove(F("eligible", "alice")...); !ok {
+		t.Error("alice not eligible")
+	}
+	if _, ok := e.Prove(F("eligible", "bob")...); ok {
+		t.Error("bob eligible below threshold")
+	}
+	if _, ok := e.Prove(F("eligible", "carol")...); ok {
+		t.Error("banned carol eligible")
+	}
+	sols := e.ProveAll(0, F("eligible", "?who")...)
+	if len(sols) != 1 || sols[0]["?who"].Sym != "alice" {
+		t.Errorf("solutions = %v", sols)
+	}
+}
+
+func TestProveIgnoresNonHornRules(t *testing.T) {
+	e := mustLoad(t, `
+(defrule side-effects
+  (a ?x)
+  =>
+  (assert (b ?x))
+  (call boom))
+(defrule computed
+  (a ?x)
+  =>
+  (assert (c (+ ?x 1))))
+`)
+	e.AssertF("a", 1)
+	// Neither rule is a plain Horn clause: multi-action and computed
+	// heads are excluded from backward chaining.
+	if _, ok := e.Prove(F("b", 1)...); ok {
+		t.Error("multi-action rule used as clause")
+	}
+	if _, ok := e.Prove(F("c", 2)...); ok {
+		t.Error("computed-head rule used as clause")
+	}
+}
+
+func TestProveAllLimit(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.AssertF("n", i)
+	}
+	if sols := e.ProveAll(3, F("n", "?x")...); len(sols) != 3 {
+		t.Errorf("limit ignored: %d solutions", len(sols))
+	}
+}
+
+func TestProveDiagnosisQuery(t *testing.T) {
+	// A host-manager-style goal query: "is there any process whose fault
+	// would be diagnosed local?" without firing any actions.
+	e := mustLoad(t, `
+(defrule diagnose-local
+  (violation ?p)
+  (reading ?p buffer_size ?len)
+  (test (>= ?len 8))
+  =>
+  (assert (diagnosis ?p local-cpu)))
+`)
+	e.AssertF("violation", "p1")
+	e.AssertF("reading", "p1", "buffer_size", 12)
+	e.AssertF("violation", "p2")
+	e.AssertF("reading", "p2", "buffer_size", 1)
+	sols := e.ProveAll(0, F("diagnosis", "?p", "local-cpu")...)
+	if len(sols) != 1 || sols[0]["?p"].Sym != "p1" {
+		t.Fatalf("diagnosis solutions = %v", sols)
+	}
+}

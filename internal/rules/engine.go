@@ -1,0 +1,442 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Callback is a Go function the rule RHS can invoke with (call name args...).
+type Callback func(args []Value) error
+
+// Engine is the fact repository plus inference machinery of one manager.
+type Engine struct {
+	facts  map[int]*Fact
+	order  []int // assertion order (live fact ids)
+	byKey  map[string]int
+	nextID int
+
+	// byRelation indexes live fact ids by (relation, arity) — the
+	// alpha-memory of a Rete network, enough to keep pattern matching
+	// linear in the relevant facts rather than all of working memory.
+	byRelation map[relKey][]int
+
+	rs        []*Rule
+	templates map[string]*template
+	funcs     map[string]Callback
+	fired     map[string]bool // refraction memory, keyed by rule + fact ids
+
+	// Logf, if non-nil, receives (log ...) output and trace messages.
+	Logf func(format string, args ...any)
+
+	// Firing trace (see trace.go).
+	tracing bool
+	trace   []Firing
+
+	// Firings counts rule activations executed over the engine's life.
+	Firings uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		facts:      make(map[int]*Fact),
+		byKey:      make(map[string]int),
+		byRelation: make(map[relKey][]int),
+		templates:  make(map[string]*template),
+		funcs:      make(map[string]Callback),
+		fired:      make(map[string]bool),
+	}
+}
+
+// LoadRules parses src and replaces the engine's rule set (the paper's
+// dynamic rule distribution: rule sets change at run time without
+// recompilation). Initial facts from deffacts forms are asserted.
+func (e *Engine) LoadRules(src string) error {
+	rs, facts, templates, err := parseAll(src)
+	if err != nil {
+		return err
+	}
+	e.rs = rs
+	e.templates = templates
+	e.fired = make(map[string]bool)
+	for _, f := range facts {
+		e.Assert(f...)
+	}
+	return nil
+}
+
+// AddRule appends a single parsed rule (used by tests and composition).
+func (e *Engine) AddRule(r *Rule) {
+	r.order = len(e.rs)
+	e.rs = append(e.rs, r)
+}
+
+// Rules returns the loaded rule names in definition order.
+func (e *Engine) Rules() []string {
+	out := make([]string, len(e.rs))
+	for i, r := range e.rs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// RegisterFunc makes a Go callback available to (call name ...) actions.
+func (e *Engine) RegisterFunc(name string, fn Callback) { e.funcs[name] = fn }
+
+// Assert adds a fact tuple to working memory, returning its id. Asserting
+// a duplicate of a live fact is a no-op returning the existing id.
+func (e *Engine) Assert(items ...Value) int {
+	f := &Fact{items: append([]Value(nil), items...)}
+	if id, ok := e.byKey[f.key()]; ok {
+		return id
+	}
+	e.nextID++
+	f.id = e.nextID
+	e.facts[f.id] = f
+	e.byKey[f.key()] = f.id
+	e.order = append(e.order, f.id)
+	k := relKey{f.Relation(), f.Len()}
+	e.byRelation[k] = append(e.byRelation[k], f.id)
+	return f.id
+}
+
+// relKey identifies an alpha memory.
+type relKey struct {
+	rel   string
+	arity int
+}
+
+// candidates returns the fact ids a pattern can possibly match, in
+// assertion order: the relation bucket when the pattern's head is a
+// constant symbol, all facts otherwise.
+func (e *Engine) candidates(pattern []Value) []int {
+	if len(pattern) > 0 && pattern[0].Kind == SymbolKind && !pattern[0].IsVariable() {
+		return e.byRelation[relKey{pattern[0].Sym, len(pattern)}]
+	}
+	return e.order
+}
+
+// AssertF is Assert with Go-native items (see F).
+func (e *Engine) AssertF(items ...any) int { return e.Assert(F(items...)...) }
+
+// Retract removes a fact by id; it reports whether the fact existed.
+func (e *Engine) Retract(id int) bool {
+	f, ok := e.facts[id]
+	if !ok {
+		return false
+	}
+	delete(e.facts, id)
+	delete(e.byKey, f.key())
+	for i, fid := range e.order {
+		if fid == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	k := relKey{f.Relation(), f.Len()}
+	bucket := e.byRelation[k]
+	for i, fid := range bucket {
+		if fid == id {
+			e.byRelation[k] = append(bucket[:i:i], bucket[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// RetractMatching removes every fact unifying with the pattern (variables
+// allowed) and returns how many were removed. Managers use it to clear
+// per-process facts between diagnosis episodes.
+func (e *Engine) RetractMatching(pattern ...Value) int {
+	var ids []int
+	for _, id := range e.candidates(pattern) {
+		if _, ok := unify(pattern, e.facts[id], newBindings()); ok {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		e.Retract(id)
+	}
+	return len(ids)
+}
+
+// FactCount returns the number of live facts.
+func (e *Engine) FactCount() int { return len(e.facts) }
+
+// Facts returns live facts in assertion order.
+func (e *Engine) Facts() []*Fact {
+	out := make([]*Fact, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.facts[id])
+	}
+	return out
+}
+
+// FactsMatching returns live facts unifying with the pattern.
+func (e *Engine) FactsMatching(pattern ...Value) []*Fact {
+	var out []*Fact
+	for _, id := range e.candidates(pattern) {
+		if _, ok := unify(pattern, e.facts[id], newBindings()); ok {
+			out = append(out, e.facts[id])
+		}
+	}
+	return out
+}
+
+// unify matches a pattern tuple against a fact, extending b. The returned
+// bindings share structure with b only on success.
+func unify(pattern []Value, f *Fact, b *bindings) (*bindings, bool) {
+	if len(pattern) != f.Len() {
+		return nil, false
+	}
+	nb := b.clone()
+	for i, pv := range pattern {
+		fv := f.At(i)
+		if pv.IsVariable() {
+			if pv.Sym == "?" { // anonymous wildcard
+				continue
+			}
+			if bound, ok := nb.vars[pv.Sym]; ok {
+				if !bound.Equal(fv) {
+					return nil, false
+				}
+				continue
+			}
+			nb.vars[pv.Sym] = fv
+			continue
+		}
+		if !pv.Equal(fv) {
+			return nil, false
+		}
+	}
+	return nb, true
+}
+
+// activation is one (rule, match) pair eligible to fire.
+type activation struct {
+	rule    *Rule
+	binds   *bindings
+	factIDs []int
+	recency int
+}
+
+func (a *activation) key() string {
+	ids := make([]string, len(a.factIDs))
+	for i, id := range a.factIDs {
+		ids[i] = strconv.Itoa(id)
+	}
+	return a.rule.Name + "#" + strings.Join(ids, ",")
+}
+
+// matchRule enumerates all complete matches for r.
+func (e *Engine) matchRule(r *Rule) []*activation {
+	var acts []*activation
+	var rec func(i int, b *bindings, ids []int)
+	rec = func(i int, b *bindings, ids []int) {
+		if i == len(r.ces) {
+			rc := 0
+			for _, id := range ids {
+				if id > rc {
+					rc = id
+				}
+			}
+			acts = append(acts, &activation{
+				rule: r, binds: b,
+				factIDs: append([]int(nil), ids...),
+				recency: rc,
+			})
+			return
+		}
+		ce := r.ces[i]
+		switch ce.kind {
+		case cePattern:
+			for _, id := range e.candidates(ce.pattern) {
+				f := e.facts[id]
+				nb, ok := unify(ce.pattern, f, b)
+				if !ok {
+					continue
+				}
+				if ce.bindVar != "" {
+					nb.facts[ce.bindVar] = f
+				}
+				rec(i+1, nb, append(ids, id))
+			}
+		case ceNegated:
+			for _, id := range e.candidates(ce.pattern) {
+				if _, ok := unify(ce.pattern, e.facts[id], b); ok {
+					return // a match exists: negation fails
+				}
+			}
+			rec(i+1, b, ids)
+		case ceTest:
+			v, err := eval(ce.test, b)
+			if err != nil {
+				e.logf("rules: rule %s: test error: %v", r.Name, err)
+				return
+			}
+			if truthy(v) {
+				rec(i+1, b, ids)
+			}
+		}
+	}
+	rec(0, newBindings(), nil)
+	return acts
+}
+
+// agenda computes all unfired activations, ordered by salience (desc),
+// recency (desc), then rule definition order.
+func (e *Engine) agenda() []*activation {
+	var acts []*activation
+	for _, r := range e.rs {
+		for _, a := range e.matchRule(r) {
+			if !e.fired[a.key()] {
+				acts = append(acts, a)
+			}
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool {
+		if acts[i].rule.Salience != acts[j].rule.Salience {
+			return acts[i].rule.Salience > acts[j].rule.Salience
+		}
+		if acts[i].recency != acts[j].recency {
+			return acts[i].recency > acts[j].recency
+		}
+		return acts[i].rule.order < acts[j].rule.order
+	})
+	return acts
+}
+
+// Run forward-chains until quiescence or limit firings (limit <= 0 means
+// no limit). It returns the number of rules fired.
+func (e *Engine) Run(limit int) (int, error) {
+	fired := 0
+	for limit <= 0 || fired < limit {
+		agenda := e.agenda()
+		if len(agenda) == 0 {
+			return fired, nil
+		}
+		a := agenda[0]
+		e.fired[a.key()] = true
+		e.Firings++
+		fired++
+		e.recordFiring(a)
+		if err := e.execute(a); err != nil {
+			return fired, fmt.Errorf("rules: rule %s: %w", a.rule.Name, err)
+		}
+	}
+	return fired, nil
+}
+
+// execute runs an activation's RHS actions.
+func (e *Engine) execute(a *activation) error {
+	for _, act := range a.rule.actions {
+		switch act.head() {
+		case "assert":
+			if len(act.list) != 2 || !act.list[1].isList() {
+				return fmt.Errorf("assert takes one fact form")
+			}
+			form := act.list[1]
+			if t, ok := e.templates[form.head()]; ok && isSlotForm(form) {
+				tuple, err := e.assertTemplatedForm(t, form, a.binds)
+				if err != nil {
+					return err
+				}
+				e.Assert(tuple...)
+				break
+			}
+			tuple := make([]Value, 0, len(form.list))
+			for _, item := range form.list {
+				v, err := eval(item, a.binds)
+				if err != nil {
+					return err
+				}
+				tuple = append(tuple, v)
+			}
+			e.Assert(tuple...)
+		case "retract":
+			for _, item := range act.list[1:] {
+				if item.atom == nil || !item.atom.IsVariable() {
+					return fmt.Errorf("retract takes fact-address variables")
+				}
+				f, ok := a.binds.facts[item.atom.Sym]
+				if !ok {
+					return fmt.Errorf("retract: %s is not a fact address", item.atom.Sym)
+				}
+				e.Retract(f.ID())
+			}
+		case "call":
+			if len(act.list) < 2 || act.list[1].atom == nil || act.list[1].atom.Kind != SymbolKind {
+				return fmt.Errorf("call needs a function name")
+			}
+			name := act.list[1].atom.Sym
+			fn, ok := e.funcs[name]
+			if !ok {
+				return fmt.Errorf("call: unknown function %q", name)
+			}
+			args := make([]Value, 0, len(act.list)-2)
+			for _, item := range act.list[2:] {
+				v, err := eval(item, a.binds)
+				if err != nil {
+					return err
+				}
+				args = append(args, v)
+			}
+			if err := fn(args); err != nil {
+				return fmt.Errorf("call %s: %w", name, err)
+			}
+		case "log":
+			parts := make([]string, 0, len(act.list)-1)
+			for _, item := range act.list[1:] {
+				v, err := eval(item, a.binds)
+				if err != nil {
+					return err
+				}
+				if v.Kind == StringKind {
+					parts = append(parts, v.Str)
+				} else {
+					parts = append(parts, v.String())
+				}
+			}
+			e.logf("%s", strings.Join(parts, " "))
+		}
+	}
+	return nil
+}
+
+// assertTemplatedForm evaluates a templated RHS assert form, producing
+// the ordered tuple (slot values may be computed expressions).
+func (e *Engine) assertTemplatedForm(t *template, form sexpr, b *bindings) ([]Value, error) {
+	tuple := make([]Value, len(t.slots)+1)
+	tuple[0] = Sym(t.name)
+	seen := make([]bool, len(t.slots))
+	for _, c := range form.list[1:] {
+		slot := c.list[0].atom.Sym
+		i := t.slotIndex(slot)
+		if i < 0 {
+			return nil, fmt.Errorf("template %s has no slot %q", t.name, slot)
+		}
+		v, err := eval(c.list[1], b)
+		if err != nil {
+			return nil, err
+		}
+		tuple[i+1] = v
+		seen[i] = true
+	}
+	for i, s := range t.slots {
+		if !seen[i] {
+			if !s.hasD {
+				return nil, fmt.Errorf("template %s: slot %q omitted without default", t.name, s.name)
+			}
+			tuple[i+1] = s.def
+		}
+	}
+	return tuple, nil
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}

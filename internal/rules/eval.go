@@ -1,0 +1,252 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+)
+
+// bindings maps variable names (including the leading '?') to values, and
+// fact-address variables to matched facts.
+type bindings struct {
+	vars  map[string]Value
+	facts map[string]*Fact
+}
+
+func newBindings() *bindings {
+	return &bindings{vars: make(map[string]Value), facts: make(map[string]*Fact)}
+}
+
+func (b *bindings) clone() *bindings {
+	nb := newBindings()
+	for k, v := range b.vars {
+		nb.vars[k] = v
+	}
+	for k, v := range b.facts {
+		nb.facts[k] = v
+	}
+	return nb
+}
+
+// truthy: everything except the symbol FALSE is true (CLIPS convention).
+func truthy(v Value) bool {
+	return !(v.Kind == SymbolKind && v.Sym == "FALSE")
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Sym("TRUE")
+	}
+	return Sym("FALSE")
+}
+
+// eval evaluates a test/action expression under bindings. Atoms evaluate
+// to themselves (variables to their bound value); lists apply a builtin.
+func eval(e sexpr, b *bindings) (Value, error) {
+	if e.atom != nil {
+		v := *e.atom
+		if v.IsVariable() {
+			bound, ok := b.vars[v.Sym]
+			if !ok {
+				return Value{}, fmt.Errorf("unbound variable %s", v.Sym)
+			}
+			return bound, nil
+		}
+		return v, nil
+	}
+	op := e.head()
+	if op == "" {
+		return Value{}, fmt.Errorf("cannot evaluate %s", e)
+	}
+	args := e.list[1:]
+
+	// Short-circuit forms first.
+	switch op {
+	case "and":
+		for _, a := range args {
+			v, err := eval(a, b)
+			if err != nil {
+				return Value{}, err
+			}
+			if !truthy(v) {
+				return boolVal(false), nil
+			}
+		}
+		return boolVal(true), nil
+	case "or":
+		for _, a := range args {
+			v, err := eval(a, b)
+			if err != nil {
+				return Value{}, err
+			}
+			if truthy(v) {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	case "not":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("not takes one argument")
+		}
+		v, err := eval(args[0], b)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(!truthy(v)), nil
+	}
+
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := eval(a, b)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+	}
+	return applyBuiltin(op, vals)
+}
+
+func applyBuiltin(op string, vals []Value) (Value, error) {
+	nums := func() ([]float64, error) {
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			if v.Kind != NumberKind {
+				return nil, fmt.Errorf("%s: argument %d is not a number: %s", op, i+1, v)
+			}
+			out[i] = v.Num
+		}
+		return out, nil
+	}
+	cmp := func(f func(a, b float64) bool) (Value, error) {
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) < 2 {
+			return Value{}, fmt.Errorf("%s: needs at least two arguments", op)
+		}
+		for i := 1; i < len(ns); i++ {
+			if !f(ns[i-1], ns[i]) {
+				return boolVal(false), nil
+			}
+		}
+		return boolVal(true), nil
+	}
+	switch op {
+	case "+":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		s := 0.0
+		for _, n := range ns {
+			s += n
+		}
+		return Num(s), nil
+	case "-":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) == 0 {
+			return Value{}, fmt.Errorf("-: needs arguments")
+		}
+		if len(ns) == 1 {
+			return Num(-ns[0]), nil
+		}
+		s := ns[0]
+		for _, n := range ns[1:] {
+			s -= n
+		}
+		return Num(s), nil
+	case "*":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		s := 1.0
+		for _, n := range ns {
+			s *= n
+		}
+		return Num(s), nil
+	case "/":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) < 2 {
+			return Value{}, fmt.Errorf("/: needs at least two arguments")
+		}
+		s := ns[0]
+		for _, n := range ns[1:] {
+			if n == 0 {
+				return Value{}, fmt.Errorf("/: division by zero")
+			}
+			s /= n
+		}
+		return Num(s), nil
+	case "min":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) == 0 {
+			return Value{}, fmt.Errorf("min: needs arguments")
+		}
+		s := ns[0]
+		for _, n := range ns[1:] {
+			s = math.Min(s, n)
+		}
+		return Num(s), nil
+	case "max":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) == 0 {
+			return Value{}, fmt.Errorf("max: needs arguments")
+		}
+		s := ns[0]
+		for _, n := range ns[1:] {
+			s = math.Max(s, n)
+		}
+		return Num(s), nil
+	case "abs":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) != 1 {
+			return Value{}, fmt.Errorf("abs: takes one argument")
+		}
+		return Num(math.Abs(ns[0])), nil
+	case ">":
+		return cmp(func(a, b float64) bool { return a > b })
+	case ">=":
+		return cmp(func(a, b float64) bool { return a >= b })
+	case "<":
+		return cmp(func(a, b float64) bool { return a < b })
+	case "<=":
+		return cmp(func(a, b float64) bool { return a <= b })
+	case "=":
+		return cmp(func(a, b float64) bool { return a == b })
+	case "!=":
+		return cmp(func(a, b float64) bool { return a != b })
+	case "eq":
+		if len(vals) < 2 {
+			return Value{}, fmt.Errorf("eq: needs at least two arguments")
+		}
+		for i := 1; i < len(vals); i++ {
+			if !vals[0].Equal(vals[i]) {
+				return boolVal(false), nil
+			}
+		}
+		return boolVal(true), nil
+	case "neq":
+		if len(vals) != 2 {
+			return Value{}, fmt.Errorf("neq: takes two arguments")
+		}
+		return boolVal(!vals[0].Equal(vals[1])), nil
+	default:
+		return Value{}, fmt.Errorf("unknown builtin %q", op)
+	}
+}

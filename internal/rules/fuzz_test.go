@@ -1,0 +1,32 @@
+package rules
+
+import "testing"
+
+// FuzzParseRules ensures the rule-DSL parser never panics.
+func FuzzParseRules(f *testing.F) {
+	f.Add(`(defrule r (a ?x) (test (> ?x 1)) => (assert (b ?x)))`)
+	f.Add(`(deftemplate t (slot a (default 1))) (deffacts d (t (a 2)))`)
+	f.Add(`(defrule r "doc" (declare (salience 5)) ?f <- (a) (not (b)) => (retract ?f))`)
+	f.Add(`((((`)
+	f.Add(`; comment only`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _, _ = ParseRules(src)
+	})
+}
+
+// FuzzSexprRoundTrip: anything the reader accepts renders back to a form
+// the reader accepts again.
+func FuzzSexprRoundTrip(f *testing.F) {
+	f.Add(`(a (b "c \n d") -1.5 ?x)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		forms, err := readAll(src)
+		if err != nil {
+			return
+		}
+		for _, form := range forms {
+			if _, err := readAll(form.String()); err != nil {
+				t.Fatalf("rendered form does not re-read: %v\n%s", err, form.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tracing addresses the rule-debugging pain the paper reports in Section
+// 9 ("These rules heavily interact with each other. This makes it
+// difficult to debug a set of rules."): when enabled, the engine records
+// every firing with its bindings and matched facts, and can explain why a
+// rule did or did not activate against the current working memory.
+
+// Firing is one recorded rule activation.
+type Firing struct {
+	Seq      int
+	Rule     string
+	Salience int
+	Bindings map[string]string // variable -> value (rendered)
+	Matched  []string          // matched facts (rendered)
+}
+
+func (f Firing) String() string {
+	vars := make([]string, 0, len(f.Bindings))
+	for k := range f.Bindings {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	parts := make([]string, 0, len(vars))
+	for _, k := range vars {
+		parts = append(parts, k+"="+f.Bindings[k])
+	}
+	return fmt.Sprintf("#%d %s {%s} <= %s",
+		f.Seq, f.Rule, strings.Join(parts, " "), strings.Join(f.Matched, " "))
+}
+
+// SetTracing enables or disables firing capture. Disabling clears the
+// recorded trace.
+func (e *Engine) SetTracing(on bool) {
+	e.tracing = on
+	if !on {
+		e.trace = nil
+	}
+}
+
+// Trace returns the recorded firings, oldest first.
+func (e *Engine) Trace() []Firing { return append([]Firing(nil), e.trace...) }
+
+// ClearTrace drops recorded firings while keeping tracing enabled.
+func (e *Engine) ClearTrace() { e.trace = nil }
+
+func (e *Engine) recordFiring(a *activation) {
+	if !e.tracing {
+		return
+	}
+	f := Firing{
+		Seq:      len(e.trace) + 1,
+		Rule:     a.rule.Name,
+		Salience: a.rule.Salience,
+		Bindings: make(map[string]string, len(a.binds.vars)),
+	}
+	for k, v := range a.binds.vars {
+		f.Bindings[k] = v.String()
+	}
+	for _, id := range a.factIDs {
+		if fact, ok := e.facts[id]; ok {
+			f.Matched = append(f.Matched, fact.String())
+		}
+	}
+	e.trace = append(e.trace, f)
+}
+
+// Explain reports, for the named rule, how far matching gets against the
+// current working memory: which condition element first fails and why.
+// It is a diagnostic aid, not part of inference.
+func (e *Engine) Explain(ruleName string) string {
+	var r *Rule
+	for _, cand := range e.rs {
+		if cand.Name == ruleName {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		return fmt.Sprintf("rule %q is not loaded", ruleName)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rule %s (salience %d):\n", r.Name, r.Salience)
+
+	// Walk condition elements greedily, reporting the surviving binding
+	// count after each.
+	type state struct{ b *bindings }
+	cur := []state{{newBindings()}}
+	for i, ce := range r.ces {
+		var next []state
+		desc := ""
+		switch ce.kind {
+		case cePattern:
+			desc = "(" + renderPattern(ce.pattern) + ")"
+			for _, st := range cur {
+				for _, id := range e.candidates(ce.pattern) {
+					if nb, ok := unify(ce.pattern, e.facts[id], st.b); ok {
+						next = append(next, state{nb})
+					}
+				}
+			}
+		case ceNegated:
+			desc = "(not (" + renderPattern(ce.pattern) + "))"
+			for _, st := range cur {
+				blocked := false
+				for _, id := range e.candidates(ce.pattern) {
+					if _, ok := unify(ce.pattern, e.facts[id], st.b); ok {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					next = append(next, st)
+				}
+			}
+		case ceTest:
+			desc = "(test " + ce.test.String() + ")"
+			for _, st := range cur {
+				v, err := eval(ce.test, st.b)
+				if err == nil && truthy(v) {
+					next = append(next, st)
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "  CE%d %-40s -> %d candidate binding(s)\n", i+1, desc, len(next))
+		if len(next) == 0 {
+			fmt.Fprintf(&sb, "  blocked at CE%d: no facts satisfy it under the surviving bindings\n", i+1)
+			return sb.String()
+		}
+		cur = next
+	}
+	fmt.Fprintf(&sb, "  activatable: %d complete match(es)\n", len(cur))
+	return sb.String()
+}
+
+func renderPattern(p []Value) string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}

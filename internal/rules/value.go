@@ -1,0 +1,146 @@
+// Package rules implements the CLIPS-like forward-chaining production
+// system the paper's QoS Host Manager and Domain Manager use for violation
+// diagnosis ("The inference engine, rule set and fact repository are
+// implemented using CLIPS"). Rules are written in an s-expression DSL:
+//
+//	(defrule local-cpu-starvation
+//	  (declare (salience 10))
+//	  (violation ?proc ?policy)
+//	  (reading ?proc buffer_size ?len)
+//	  (test (> ?len 8))
+//	  =>
+//	  (assert (diagnosis ?proc local-cpu))
+//	  (call boost-cpu ?proc))
+//
+// Facts are ordered tuples of symbols, numbers and strings; the engine
+// performs naive join matching with variable unification, salience-ordered
+// conflict resolution with refraction, and supports negated patterns,
+// arbitrary test expressions, fact retraction via pattern bindings
+// (?f <- (...)), and callbacks into registered Go functions.
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates Value variants.
+type Kind int
+
+const (
+	// SymbolKind is a bare identifier like frame-rate or local-cpu.
+	SymbolKind Kind = iota
+	// NumberKind is a float64.
+	NumberKind
+	// StringKind is a double-quoted string.
+	StringKind
+)
+
+// Value is one atom in a fact or pattern.
+type Value struct {
+	Kind Kind
+	Sym  string
+	Num  float64
+	Str  string
+}
+
+// Sym returns a symbol value.
+func Sym(s string) Value { return Value{Kind: SymbolKind, Sym: s} }
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{Kind: NumberKind, Num: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: StringKind, Str: s} }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case SymbolKind:
+		return v.Sym == o.Sym
+	case NumberKind:
+		return v.Num == o.Num
+	default:
+		return v.Str == o.Str
+	}
+}
+
+// IsVariable reports whether a symbol names a pattern variable (?x) or the
+// anonymous wildcard (?).
+func (v Value) IsVariable() bool {
+	return v.Kind == SymbolKind && strings.HasPrefix(v.Sym, "?")
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case SymbolKind:
+		return v.Sym
+	case NumberKind:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return strconv.Quote(v.Str)
+	}
+}
+
+// Fact is an ordered tuple; the first element is conventionally the
+// relation name. Facts are immutable once asserted.
+type Fact struct {
+	id    int
+	items []Value
+}
+
+// ID returns the working-memory fact identifier.
+func (f *Fact) ID() int { return f.id }
+
+// Len returns the tuple arity.
+func (f *Fact) Len() int { return len(f.items) }
+
+// At returns the i'th atom.
+func (f *Fact) At(i int) Value { return f.items[i] }
+
+// Items returns a copy of the tuple.
+func (f *Fact) Items() []Value { return append([]Value(nil), f.items...) }
+
+// Relation returns the first symbol, or "" for malformed facts.
+func (f *Fact) Relation() string {
+	if len(f.items) > 0 && f.items[0].Kind == SymbolKind {
+		return f.items[0].Sym
+	}
+	return ""
+}
+
+func (f *Fact) String() string {
+	parts := make([]string, len(f.items))
+	for i, v := range f.items {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// key returns a canonical string for duplicate detection.
+func (f *Fact) key() string { return f.String() }
+
+// F builds a fact tuple from Go values: string → symbol, float64/int →
+// number, use Str(...) explicitly for strings.
+func F(items ...any) []Value {
+	out := make([]Value, len(items))
+	for i, it := range items {
+		switch x := it.(type) {
+		case string:
+			out[i] = Sym(x)
+		case float64:
+			out[i] = Num(x)
+		case int:
+			out[i] = Num(float64(x))
+		case Value:
+			out[i] = x
+		default:
+			panic(fmt.Sprintf("rules: unsupported fact item %T", it))
+		}
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiAppEqualBothDegrade(t *testing.T) {
+	res := MultiApp(MultiAppConfig{}, 30*time.Second, 90*time.Second)
+	// 1.5 CPUs of demand on one CPU: neither session can hold 25±2, and
+	// equal treatment splits the shortfall roughly evenly (~20 fps each).
+	if res.PhysicianFPS > 24 || res.StudentFPS > 24 {
+		t.Errorf("equal policy: fps = %.2f / %.2f, want both degraded below 24",
+			res.PhysicianFPS, res.StudentFPS)
+	}
+	ratio := res.PhysicianFPS / res.StudentFPS
+	if ratio < 0.75 || ratio > 1.33 {
+		t.Errorf("equal policy not even: %.2f vs %.2f", res.PhysicianFPS, res.StudentFPS)
+	}
+}
+
+func TestMultiAppDifferentiatedPrioritizesPhysician(t *testing.T) {
+	res := MultiApp(MultiAppConfig{Differentiated: true}, 30*time.Second, 90*time.Second)
+	if !res.PhysicianOK {
+		t.Errorf("differentiated policy: physician fps = %.2f, want within 25±2 band", res.PhysicianFPS)
+	}
+	if res.StudentFPS > res.PhysicianFPS-5 {
+		t.Errorf("student not degraded: %.2f vs physician %.2f", res.StudentFPS, res.PhysicianFPS)
+	}
+}

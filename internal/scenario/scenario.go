@@ -1,0 +1,544 @@
+// Package scenario assembles complete managed systems — simulator, hosts,
+// network, repository, policy agent, coordinators, host and domain
+// managers, the video application and background load — and runs the
+// paper's experiments on them. Everything in a scenario runs on the
+// virtual clock, so runs are deterministic for a given seed.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"softqos/internal/agent"
+	"softqos/internal/instrument"
+	"softqos/internal/loadgen"
+	"softqos/internal/manager"
+	"softqos/internal/mgmt"
+	"softqos/internal/msg"
+	"softqos/internal/netsim"
+	"softqos/internal/repository"
+	"softqos/internal/sched"
+	"softqos/internal/sim"
+	"softqos/internal/video"
+)
+
+// Example1Policy is the paper's Example 1 QoS policy, applied to the
+// video client in every canned scenario.
+const Example1Policy = `
+oblig NotifyQoSViolation {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`
+
+// Addresses of the management components.
+const (
+	AgentAddr    = "/mgmt/PolicyAgent"
+	ClientHMAddr = "/client-host/QoSHostManager"
+	ServerHMAddr = "/server-host/QoSHostManager"
+	DomainAddr   = "/mgmt/QoSDomainManager"
+)
+
+// Config parameterizes a scenario.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Stream configures the video application.
+	Stream video.StreamConfig
+	// ClientLoad is the offered background CPU load on the client host
+	// (the x-axis of Figure 3).
+	ClientLoad float64
+	// ServerLoad is the offered background CPU load on the server host
+	// (server-fault experiments).
+	ServerLoad float64
+	// Managed enables the QoS management framework. With Managed false
+	// the application runs under normal scheduling, unobserved — the
+	// paper's baseline.
+	Managed bool
+	// UserRole is the role under which the client registers.
+	UserRole string
+	// PolicySrc overrides the QoS policy (default Example1Policy).
+	PolicySrc string
+	// NotifyInterval paces coordinator violation reports (default 500ms).
+	NotifyInterval time.Duration
+	// RTLoad, when positive, runs a real-time-class process consuming
+	// this fraction of the client CPU — load the CPU manager cannot
+	// preempt with time-sharing priorities (overload experiments).
+	RTLoad float64
+	// HostRules overrides the client host manager's rule set (e.g.
+	// manager.OverloadHostRules).
+	HostRules string
+	// PredictionHorizon, when positive, makes policy conditions
+	// predictive: sensors evaluate values extrapolated this far along
+	// their trend, so adaptation starts before the expectation is
+	// actually violated (proactive QoS, §10 of the paper).
+	PredictionHorizon time.Duration
+	// BackupRoute adds a second network path and arms the domain
+	// manager's network-fault hook to reroute onto it.
+	BackupRoute bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NotifyInterval <= 0 {
+		c.NotifyInterval = 500 * time.Millisecond
+	}
+	if c.PolicySrc == "" {
+		c.PolicySrc = Example1Policy
+	}
+	if c.UserRole == "" {
+		c.UserRole = "viewer"
+	}
+	return c
+}
+
+// System is a fully wired scenario.
+type System struct {
+	Cfg Config
+	Sim *sim.Simulator
+	Bus *msg.Bus
+	Net *netsim.Network
+
+	ClientHost *sched.Host
+	ServerHost *sched.Host
+
+	Dir   *repository.Directory
+	Svc   *repository.Service
+	Admin *mgmt.Admin
+	Agent *agent.PolicyAgent
+
+	ClientHM *manager.HostManager
+	ServerHM *manager.HostManager
+	DM       *manager.DomainManager
+
+	Server *video.Server
+	Client *video.Client
+	Coord  *instrument.Coordinator
+
+	FPS    *instrument.RateSensor
+	Jitter *instrument.JitterSensor
+	Buffer *instrument.ValueSensor
+
+	CoreSwitch   *netsim.Switch
+	BackupSwitch *netsim.Switch
+
+	// Rerouted counts network-fault reroutes performed.
+	Rerouted int
+	// Restarted counts server-process restarts performed.
+	Restarted int
+
+	noise *netsim.CrossTraffic
+}
+
+// Build assembles a system; nothing has executed yet (call Run* next).
+func Build(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	sys := &System{Cfg: cfg}
+	s := sim.New(cfg.Seed)
+	sys.Sim = s
+
+	// Transports: management bus (message queues locally, sockets across
+	// hosts) and the data-plane network.
+	sys.Bus = msg.NewBus(s, 100*time.Microsecond, 2*time.Millisecond)
+	sys.Net = netsim.New(s)
+
+	// Hosts: the prototype's workstations.
+	sys.ClientHost = sched.NewHost(s, "client-host", sched.WithMemory(1<<14))
+	sys.ServerHost = sched.NewHost(s, "server-host", sched.WithMemory(1<<14))
+
+	// Network topology: server -> core switch -> client, plus a noise
+	// source that shares the core switch, and optionally a backup path.
+	sys.Net.AddNode("client-host", nil)
+	sys.Net.AddNode("server-host", nil)
+	sys.Net.AddNode("noise-src", nil)
+	// Core switch: 2 MB/s, 256 KiB of buffering. An 8 KiB frame takes
+	// ~4 ms of service; 30 fps of video is ~240 KB/s (12% utilisation).
+	sys.CoreSwitch = sys.Net.AddSwitch("sw-core", 2<<20, 256<<10)
+	sys.Net.SetRoute("server-host", "client-host", 5*time.Millisecond, sys.CoreSwitch)
+	sys.Net.SetRoute("noise-src", "client-host", 5*time.Millisecond, sys.CoreSwitch)
+	if cfg.BackupRoute {
+		sys.BackupSwitch = sys.Net.AddSwitch("sw-backup", 2<<20, 256<<10)
+	}
+
+	// Repository, information model, policy, agent.
+	sys.Dir = repository.NewDirectory(repository.QoSSchema())
+	sys.Svc = repository.NewService(repository.LocalStore{Dir: sys.Dir})
+	sys.Admin = mgmt.NewAdmin(sys.Svc)
+	mustNil(sys.Svc.DefineApplication("VideoApplication", "mpeg_play", "mpeg_serve"))
+	mustNil(sys.Svc.DefineExecutable("mpeg_play", map[string][]string{
+		"fps_sensor":    {"frame_rate"},
+		"jitter_sensor": {"jitter_rate"},
+		"buffer_sensor": {"buffer_size"},
+	}))
+	mustNil(sys.Svc.DefineExecutable("mpeg_serve", map[string][]string{}))
+	mustNil(sys.Svc.DefineRole(cfg.UserRole))
+	mustNil(sys.Admin.AddPolicy(cfg.PolicySrc, repository.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}))
+
+	send := sys.Bus.Send
+	sys.Agent = agent.New(AgentAddr, sys.Svc, send)
+	sys.Bus.Bind(AgentAddr, "mgmt", func(m msg.Message) { sys.Agent.HandleMessage(m) })
+
+	// Managers.
+	sys.ClientHM = manager.NewHostManager(ClientHMAddr, sys.ClientHost, send, DomainAddr)
+	if cfg.HostRules != "" {
+		mustNil(sys.ClientHM.LoadRules(cfg.HostRules))
+	}
+	sys.ServerHM = manager.NewHostManager(ServerHMAddr, sys.ServerHost, send, "")
+	sys.DM = manager.NewDomainManager(DomainAddr, send)
+	sys.DM.RegisterAppServer("VideoApplication", ServerHMAddr, "mpeg_serve")
+	sys.Bus.Bind(ClientHMAddr, "client-host", func(m msg.Message) { sys.ClientHM.HandleMessage(m) })
+	sys.Bus.Bind(ServerHMAddr, "server-host", func(m msg.Message) { sys.ServerHM.HandleMessage(m) })
+	sys.Bus.Bind(DomainAddr, "mgmt", func(m msg.Message) { sys.DM.HandleMessage(m) })
+	if cfg.BackupRoute {
+		sys.DM.OnNetworkFault = func(msg.Alarm) {
+			sys.Net.SetRoute("server-host", "client-host", 5*time.Millisecond, sys.BackupSwitch)
+			sys.Rerouted++
+		}
+	}
+
+	// The managed application.
+	sys.Server = video.StartServer(sys.ServerHost, sys.Net, "server-host", "client-host", cfg.Stream)
+	sys.Client = video.StartClient(sys.ClientHost, sys.Net, "client-host", cfg.Stream)
+	stream := sys.Client.Config()
+
+	serverID := msg.Identity{Host: "server-host", PID: sys.Server.Proc.PID(),
+		Executable: "mpeg_serve", Application: "VideoApplication", UserRole: cfg.UserRole}
+	clientID := msg.Identity{Host: "client-host", PID: sys.Client.Proc.PID(),
+		Executable: "mpeg_play", Application: "VideoApplication", UserRole: cfg.UserRole}
+	sys.ServerHM.Track(sys.Server.Proc, serverID)
+	sys.ClientHM.Track(sys.Client.Proc, clientID)
+
+	// Process-failure adaptation: the server host manager can re-spawn a
+	// dead video server on direction from the domain manager.
+	sys.ServerHM.OnRestart = func(exe string) (*sched.Proc, msg.Identity, bool) {
+		if exe != "mpeg_serve" {
+			return nil, msg.Identity{}, false
+		}
+		sys.Server = video.StartServer(sys.ServerHost, sys.Net, "server-host", "client-host", cfg.Stream)
+		sys.Restarted++
+		nid := serverID
+		nid.PID = sys.Server.Proc.PID()
+		return sys.Server.Proc, nid, true
+	}
+
+	// Instrumentation: sensors, probes, coordinator.
+	clock := instrument.Clock(func() time.Duration { return s.Now().Duration() })
+	sys.FPS = instrument.NewRateSensor("fps_sensor", "frame_rate", clock, time.Second)
+	sys.Jitter = instrument.NewJitterSensor("jitter_sensor", "jitter_rate", clock, stream.Interval())
+	sys.Buffer = instrument.NewValueSensor("buffer_sensor", "buffer_size",
+		func() float64 { return float64(sys.Client.Socket.Len()) })
+
+	// The display probe (Example 2): fires after decode+display.
+	sys.Client.OnDisplay = func(video.Frame) {
+		sys.FPS.Tick()
+		sys.Jitter.Tick()
+	}
+	// Periodic sampling: the buffer sensor polls the socket, and the rate
+	// sensor is flushed so a fully stalled stream still reads ~0 fps.
+	s.Every(500*time.Millisecond, func() {
+		sys.Buffer.Sample()
+		sys.FPS.Flush()
+	})
+
+	sys.Coord = instrument.NewCoordinator(clientID, clock, send, AgentAddr, ClientHMAddr)
+	sys.Coord.SetNotifyInterval(cfg.NotifyInterval)
+	if cfg.PredictionHorizon > 0 {
+		sys.Coord.SetPredictionHorizon(cfg.PredictionHorizon)
+	}
+	sys.Coord.AddSensor(sys.FPS)
+	sys.Coord.AddSensor(sys.Jitter)
+	sys.Coord.AddSensor(sys.Buffer)
+	// The stream-degradation actuator (overload adaptation): managers may
+	// direct the application to skip frames when resources cannot be
+	// found. Degradation comes with renegotiation, per the paper's
+	// strategy ("renegotiate a new resource usage allocation ... and/or
+	// adapt its behaviour"): the session's frame-rate expectations are
+	// scaled to the degraded rate and the jitter sensor re-based to the
+	// new cadence, so the degraded stream is judged against what it can
+	// deliver.
+	sys.Coord.AddActuator(&instrument.FuncActuator{Name: "frame_skip", Fn: func(args ...string) error {
+		if len(args) != 1 {
+			return fmt.Errorf("frame_skip takes one numeric argument")
+		}
+		f, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return err
+		}
+		n := int(f)
+		if n < 1 {
+			n = 1
+		}
+		prev := sys.Client.Skip()
+		if n == prev {
+			return nil
+		}
+		sys.Client.SetSkip(n)
+		scale := float64(prev) / float64(n)
+		specs := sys.Coord.InstalledSpecs()
+		for i := range specs {
+			for j := range specs[i].Conditions {
+				if specs[i].Conditions[j].Attribute == "frame_rate" {
+					specs[i].Conditions[j].Value *= scale
+				}
+			}
+		}
+		sys.Jitter.SetNominal(stream.Interval() * time.Duration(n))
+		return sys.Coord.InstallPolicies(specs)
+	}})
+	sys.Bus.Bind(sys.Coord.Address(), "client-host", func(m msg.Message) {
+		_ = sys.Coord.HandleMessage(m)
+	})
+	if cfg.Managed {
+		// Registration happens shortly after process start, as in the
+		// prototype's instrumented initialisation.
+		s.After(time.Millisecond, func() { mustNil(sys.Coord.Register()) })
+	}
+
+	// Background load.
+	if cfg.ClientLoad > 0 {
+		loadgen.Offered(sys.ClientHost, cfg.ClientLoad)
+	}
+	if cfg.RTLoad > 0 {
+		frac := cfg.RTLoad
+		if frac >= 1 {
+			frac = 0.95
+		}
+		period := 10 * time.Millisecond
+		busy := time.Duration(float64(period) * frac)
+		sys.ClientHost.Spawn("rt-codec", func(p *sched.Proc) {
+			var loop func()
+			loop = func() { p.Use(busy, func() { p.Sleep(period-busy, loop) }) }
+			loop()
+		}, sched.AsClass(sched.RT, 20))
+	}
+	if cfg.ServerLoad > 0 {
+		loadgen.Offered(sys.ServerHost, cfg.ServerLoad)
+	}
+	return sys
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+}
+
+// CongestNetwork starts cross traffic that offers roughly frac of the
+// core switch's service rate. The packets are small (comparable to video
+// frames) so drop-tail losses fall proportionally on both flows. Stop the
+// returned flow to clear the fault.
+func (sys *System) CongestNetwork(frac float64) *netsim.CrossTraffic {
+	const interval = 500 * time.Microsecond
+	bytes := int(2 * (1 << 20) * frac * interval.Seconds())
+	sys.noise = sys.Net.StartCrossTraffic("noise-src", "client-host", bytes, interval)
+	return sys.noise
+}
+
+// Sample is one timeline observation.
+type Sample struct {
+	At      sim.Time
+	FPS     float64
+	Jitter  float64
+	Buffer  int
+	Boost   int
+	LoadAvg float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// MeanFPS is the mean playback throughput over the measurement
+	// window (frames displayed / window), the paper's Figure 3 metric.
+	MeanFPS float64
+	// LoadAvg is the client host's damped load average at the end.
+	LoadAvg float64
+	// InBandFraction is the fraction of timeline samples with FPS inside
+	// the policy band [23, 27] or above it (i.e. not starved).
+	InBandFraction float64
+	// Violations / Overshoots / Notifies are coordinator statistics.
+	Violations uint64
+	Overshoots uint64
+	Notifies   uint64
+	// Escalations / NetworkFaults / ServerFaults are manager statistics.
+	Escalations   uint64
+	NetworkFaults uint64
+	ServerFaults  uint64
+	// CPUAdjustments counts CPU manager actions on the client host.
+	CPUAdjustments int
+	// FinalBoost is the client process's boost at the end.
+	FinalBoost int
+	// Displayed and Dropped count frames over the whole run.
+	Displayed int
+	Dropped   uint64
+	// Timeline holds one sample per second of the measurement window.
+	Timeline []Sample
+}
+
+// Run executes the scenario for warmup+measure of virtual time and
+// summarizes the measurement window.
+func (sys *System) Run(warmup, measure time.Duration) Result {
+	s := sys.Sim
+	s.RunFor(warmup)
+	startFrames := sys.Client.Displayed
+
+	var timeline []Sample
+	tk := s.Every(time.Second, func() {
+		timeline = append(timeline, Sample{
+			At:      s.Now(),
+			FPS:     sys.FPS.Read(),
+			Jitter:  sys.Jitter.Read(),
+			Buffer:  sys.Client.Socket.Len(),
+			Boost:   sys.Client.Proc.Boost(),
+			LoadAvg: sys.ClientHost.LoadAvg(),
+		})
+	})
+	s.RunFor(measure)
+	tk.Stop()
+
+	frames := sys.Client.Displayed - startFrames
+	inBand := 0
+	for _, smp := range timeline {
+		if smp.FPS > 23 {
+			inBand++
+		}
+	}
+	res := Result{
+		MeanFPS:        float64(frames) / measure.Seconds(),
+		LoadAvg:        sys.ClientHost.LoadAvg(),
+		Violations:     sys.Coord.Violations,
+		Overshoots:     sys.Coord.Overshoots,
+		Notifies:       sys.Coord.Notifies,
+		Escalations:    sys.ClientHM.Escalations,
+		NetworkFaults:  sys.DM.NetworkFaults,
+		ServerFaults:   sys.DM.ServerFaults,
+		CPUAdjustments: sys.ClientHM.CPU().Adjustments,
+		FinalBoost:     sys.Client.Proc.Boost(),
+		Displayed:      sys.Client.Displayed,
+		Dropped:        sys.Client.Socket.Dropped(),
+		Timeline:       timeline,
+	}
+	if len(timeline) > 0 {
+		res.InBandFraction = float64(inBand) / float64(len(timeline))
+	}
+	return res
+}
+
+// RampResult summarizes the proactive-QoS experiment: background load
+// ramps up one process at a time while the framework defends the policy
+// band, reactively or predictively.
+type RampResult struct {
+	BelowBand   int // seconds with FPS <= 23
+	MeanFPS     float64
+	Adjustments int
+}
+
+// Ramp runs a managed scenario in which one CPU-bound process arrives
+// every stepEvery until nine are running; the measurement window covers
+// the whole ramp, so BelowBand counts the seconds each arrival knocked
+// the stream out of its band before adaptation caught it.
+func Ramp(cfg Config, stepEvery, measure time.Duration) RampResult {
+	sys := Build(cfg)
+	sys.Sim.RunFor(20 * time.Second)
+	for i := 0; i < 9; i++ {
+		name := fmt.Sprintf("ramp-%d", i)
+		sys.Sim.After(time.Duration(i+1)*stepEvery, func() {
+			loadgen.Spin(sys.ClientHost, name)
+		})
+	}
+	res := sys.Run(0, measure)
+	out := RampResult{MeanFPS: res.MeanFPS, Adjustments: res.CPUAdjustments}
+	for _, smp := range res.Timeline {
+		if smp.FPS <= 23 {
+			out.BelowBand++
+		}
+	}
+	return out
+}
+
+// MemorySqueeze runs a managed scenario in which a background "thief"
+// gradually steals the client's resident pages (a slow leak elsewhere in
+// the system): paging slows the decoder smoothly until the memory
+// manager restores the resident set. With a prediction horizon the
+// declining trend triggers restoration before the frame rate actually
+// leaves the band.
+func MemorySqueeze(cfg Config, stealEvery time.Duration, stealPages int, measure time.Duration) RampResult {
+	if cfg.HostRules == "" {
+		cfg.HostRules = manager.MemoryAwareHostRules
+	}
+	sys := Build(cfg)
+	// Give the client a working set so paging matters.
+	sys.Client.Proc.SetWorkingSet(4000)
+	sys.ClientHost.SetResident(sys.Client.Proc, 4000)
+	sys.Sim.RunFor(20 * time.Second)
+	sys.Sim.Every(stealEvery, func() {
+		res := sys.Client.Proc.Resident() - stealPages
+		if res < 0 {
+			res = 0
+		}
+		sys.ClientHost.SetResident(sys.Client.Proc, res)
+	})
+	res := sys.Run(0, measure)
+	out := RampResult{MeanFPS: res.MeanFPS, Adjustments: sys.ClientHM.Memory().Adjustments}
+	for _, smp := range res.Timeline {
+		if smp.FPS <= 23 {
+			out.BelowBand++
+		}
+	}
+	return out
+}
+
+// Fig3Row is one point of the Figure 3 reproduction.
+type Fig3Row struct {
+	OfferedLoad float64
+	MeasuredLA  float64
+	NormalFPS   float64
+	ManagedFPS  float64
+}
+
+// Fig3Loads are the x-axis values of the paper's Figure 3.
+var Fig3Loads = []float64{0.70, 3.00, 5.00, 7.00, 10.00}
+
+// backgroundFor converts a target load-average x-axis value into a
+// background spinner count: the client's own demand covers the first
+// ≈0.7 of the load average.
+func backgroundFor(load float64) float64 {
+	bg := load - 0.7
+	if bg < 0 {
+		return 0
+	}
+	return float64(int(bg + 0.5))
+}
+
+// Figure3 reproduces the paper's Figure 3: mean video playback throughput
+// versus client CPU load, under normal scheduling and with the QoS
+// framework managing the client.
+func Figure3(loads []float64, warmup, measure time.Duration, seed int64) []Fig3Row {
+	if len(loads) == 0 {
+		loads = Fig3Loads
+	}
+	rows := make([]Fig3Row, 0, len(loads))
+	for _, load := range loads {
+		// The video client itself contributes ≈0.7-0.9 to the load
+		// average (a CPU-saturated decoder), so the paper's x = 0.70
+		// point is the unloaded baseline; higher points add CPU-bound
+		// background processes.
+		bg := backgroundFor(load)
+		normal := Build(Config{Seed: seed, ClientLoad: bg, Managed: false}).Run(warmup, measure)
+		managed := Build(Config{Seed: seed, ClientLoad: bg, Managed: true}).Run(warmup, measure)
+		rows = append(rows, Fig3Row{
+			OfferedLoad: load,
+			MeasuredLA:  managed.LoadAvg,
+			NormalFPS:   normal.MeanFPS,
+			ManagedFPS:  managed.MeanFPS,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWebServerHysteresisUnmanaged(t *testing.T) {
+	res := WebScenario(1, 5, false, 30*time.Second, 90*time.Second)
+	// After the burst the unmanaged server is stuck behind the background
+	// load: seconds of latency, queue pinned at capacity.
+	if res.MeanLatencyMs < 1000 {
+		t.Errorf("unmanaged latency = %.1fms, want stuck in the seconds", res.MeanLatencyMs)
+	}
+	if res.P100BacklogMax < 120 {
+		t.Errorf("unmanaged backlog max = %d, want pinned near 128", res.P100BacklogMax)
+	}
+	if res.Violations != 0 || res.Adjustments != 0 {
+		t.Errorf("unmanaged run shows management activity: %+v", res)
+	}
+}
+
+func TestWebServerManagedRecovers(t *testing.T) {
+	res := WebScenario(1, 5, true, 30*time.Second, 90*time.Second)
+	if res.MeanLatencyMs > 50 {
+		t.Errorf("managed latency = %.1fms, want under the 50ms policy bound", res.MeanLatencyMs)
+	}
+	if res.Violations == 0 || res.Adjustments == 0 {
+		t.Errorf("managed run shows no management activity: %+v", res)
+	}
+	if res.FinalBoost <= 0 {
+		t.Errorf("final boost = %d", res.FinalBoost)
+	}
+	// The managed server also served far more requests.
+	um := WebScenario(1, 5, false, 30*time.Second, 90*time.Second)
+	if res.Served < um.Served*2 {
+		t.Errorf("managed served %d vs unmanaged %d, want > 2x", res.Served, um.Served)
+	}
+}

@@ -1,0 +1,88 @@
+package sched
+
+import "time"
+
+// Class selects the scheduling class of a process, mirroring the two
+// Solaris classes the paper's CPU resource manager manipulates: the
+// time-sharing class (priorities decay and boost dynamically) and the
+// real-time class (fixed priority above all time-sharing work).
+type Class int
+
+const (
+	// TS is the time-sharing class. Dynamic priorities range 0..59,
+	// higher is more important.
+	TS Class = iota
+	// RT is the real-time class. Fixed priorities range 0..59, all of
+	// which dispatch ahead of any TS process.
+	RT
+)
+
+func (c Class) String() string {
+	switch c {
+	case TS:
+		return "TS"
+	case RT:
+		return "RT"
+	default:
+		return "class?"
+	}
+}
+
+const (
+	tsPriorities = 60  // TS dynamic priorities 0..59
+	rtBase       = 100 // global priority of RT priority 0
+	numPriority  = rtBase + tsPriorities
+)
+
+// tsQuantum returns the time slice granted at a TS dynamic priority.
+// Like the Solaris TS dispatch table, low-priority (CPU-bound) processes
+// get long quanta and high-priority (interactive) processes short ones.
+func tsQuantum(prio int) time.Duration {
+	switch {
+	case prio < 10:
+		return 200 * time.Millisecond
+	case prio < 20:
+		return 160 * time.Millisecond
+	case prio < 30:
+		return 120 * time.Millisecond
+	case prio < 40:
+		return 80 * time.Millisecond
+	case prio < 50:
+		return 40 * time.Millisecond
+	default:
+		return 20 * time.Millisecond
+	}
+}
+
+// tsExpire returns the new dynamic priority after a process uses its full
+// quantum (tqexp): CPU-bound processes sink toward priority 0.
+func tsExpire(prio int) int {
+	p := prio - 10
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// tsSleepReturn returns the new dynamic priority when a process returns
+// from a voluntary sleep or blocking wait (slpret): interactive processes
+// float toward the top of the TS range.
+func tsSleepReturn(prio int) int {
+	p := prio + 30
+	if p > tsPriorities-1 {
+		return tsPriorities - 1
+	}
+	return p
+}
+
+const rtQuantum = 100 * time.Millisecond
+
+func clampTS(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > tsPriorities-1 {
+		return tsPriorities - 1
+	}
+	return p
+}

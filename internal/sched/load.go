@@ -1,0 +1,30 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"softqos/internal/sim"
+)
+
+// loadSampleInterval is how often the run queue is sampled into the load
+// average, and loadDecayWindow the damping horizon (the classic UNIX
+// one-minute load average).
+const (
+	loadSampleInterval = time.Second
+	loadDecayWindow    = time.Minute
+)
+
+// loadTracker maintains the exponentially damped run-queue length.
+type loadTracker struct {
+	avg float64
+	k   float64
+}
+
+func (l *loadTracker) init(s *sim.Simulator, h *Host) {
+	l.k = math.Exp(-float64(loadSampleInterval) / float64(loadDecayWindow))
+	s.Every(loadSampleInterval, func() {
+		n := float64(h.RunQueueLen())
+		l.avg = l.avg*l.k + n*(1-l.k)
+	})
+}

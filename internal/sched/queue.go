@@ -1,0 +1,86 @@
+package sched
+
+// Queue is a bounded FIFO message queue processes block on — the model of
+// the prototype's UNIX message queues and socket buffers. Producers (the
+// network, other processes) push values; consumers receive them with
+// Proc.Recv. When full, Push drops the value (drop-tail, like a UDP socket
+// buffer under an unresponsive reader).
+//
+// The paper's buffer-length sensor (Example 5) reads Len to decide whether
+// a QoS fault is local (long buffer: the process cannot drain fast enough)
+// or upstream (short buffer: frames are not arriving).
+type Queue struct {
+	name    string
+	cap     int
+	items   []any
+	waiters []*Proc
+
+	pushed  uint64
+	dropped uint64
+	popped  uint64
+}
+
+// NewQueue creates a queue holding at most capacity items; capacity <= 0
+// means unbounded.
+func NewQueue(name string, capacity int) *Queue {
+	return &Queue{name: name, cap: capacity}
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue) Cap() int { return q.cap }
+
+// Pushed returns the number of successful pushes.
+func (q *Queue) Pushed() uint64 { return q.pushed }
+
+// Dropped returns the number of values dropped because the queue was full.
+func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Popped returns the number of values delivered to consumers.
+func (q *Queue) Popped() uint64 { return q.popped }
+
+// Push enqueues v, waking a blocked receiver if any. It reports false if
+// the value was dropped because the queue was full.
+func (q *Queue) Push(v any) bool {
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.pushed++
+		q.popped++
+		p.deliver(v)
+		return true
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, v)
+	q.pushed++
+	return true
+}
+
+func (q *Queue) pop() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.popped++
+	return v, true
+}
+
+func (q *Queue) addWaiter(p *Proc) { q.waiters = append(q.waiters, p) }
+
+func (q *Queue) removeWaiter(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim provides the deterministic discrete-event simulation core on
+// which every simulated substrate (CPU scheduler, network, managed
+// applications, QoS managers) runs.
+//
+// A Simulator owns a virtual clock and a time-ordered event queue. Events
+// scheduled for the same instant fire in the order they were scheduled,
+// which keeps runs reproducible. All simulated components must derive any
+// randomness they need from the Simulator's seeded RNG rather than from
+// package math/rand globals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds from the start of the
+// simulation. It deliberately mirrors time.Duration so the rest of the code
+// can use duration literals (33 * time.Millisecond) for intervals.
+type Time int64
+
+// Common conversions.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// At returns the Time corresponding to a duration from simulation start.
+func At(d time.Duration) Time { return Time(d) }
+
+// event is one pending callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 once popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (id EventID) Cancel() bool {
+	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (id EventID) Pending() bool { return id.ev != nil && !id.ev.dead && id.ev.idx >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulated concurrency is expressed as events.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Simulator whose RNG is seeded with seed, at virtual time 0.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for progress metrics).
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet reaped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: that is always a logic error in a DES.
+func (s *Simulator) Schedule(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After runs fn after duration d from the current time.
+func (s *Simulator) After(d time.Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.Schedule(s.now+Time(d), fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned Ticker is stopped or the simulation ends.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %v", interval))
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual interval.
+type Ticker struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	id       EventID
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.id = t.sim.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped { // fn may have stopped the ticker
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.id.Cancel()
+}
+
+// Stop halts the simulation after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single next event, advancing the clock to it. It
+// reports false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (so a subsequent After is relative to the deadline even when
+// the queue drained early).
+func (s *Simulator) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + Time(d)) }
+
+func (s *Simulator) peek() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(At(30*time.Millisecond), func() { got = append(got, 3) })
+	s.Schedule(At(10*time.Millisecond), func() { got = append(got, 1) })
+	s.Schedule(At(20*time.Millisecond), func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != At(30*time.Millisecond) {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(At(time.Millisecond), func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.After(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != At(12*time.Millisecond) {
+		t.Errorf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.After(time.Millisecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(0, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	id := s.After(time.Millisecond, func() { fired = true })
+	if !id.Pending() {
+		t.Fatal("event should be pending before Run")
+	}
+	if !id.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if id.Cancel() {
+		t.Fatal("second Cancel should return false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if id.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New(1)
+	id := s.After(time.Millisecond, func() {})
+	s.Run()
+	if id.Cancel() {
+		t.Fatal("Cancel after fire should return false")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(At(time.Duration(i)*time.Millisecond), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: %d events fired", count)
+	}
+	s.Run() // resume
+	if count != 10 {
+		t.Fatalf("resume after Stop fired %d total, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	s.After(time.Millisecond, func() {})
+	s.RunUntil(At(time.Second))
+	if s.Now() != At(time.Second) {
+		t.Errorf("RunUntil left clock at %v, want 1s", s.Now())
+	}
+	// Events beyond the deadline must not fire.
+	fired := false
+	s.After(2*time.Second, func() { fired = true })
+	s.RunFor(time.Second)
+	if fired {
+		t.Fatal("event beyond RunFor deadline fired")
+	}
+	if s.Now() != At(2*time.Second) {
+		t.Errorf("RunFor left clock at %v, want 2s", s.Now())
+	}
+	s.RunFor(time.Second)
+	if !fired {
+		t.Fatal("event within extended deadline did not fire")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	tk := s.Every(10*time.Millisecond, func() { ticks = append(ticks, s.Now()) })
+	s.RunUntil(At(35 * time.Millisecond))
+	tk.Stop()
+	s.RunUntil(At(100 * time.Millisecond))
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (%v)", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		want := At(time.Duration(i+1) * 10 * time.Millisecond)
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(time.Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(At(time.Second))
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after self-stop, want 2", n)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		s := New(seed)
+		var out []int
+		var step func()
+		step = func() {
+			out = append(out, s.Rand().Intn(1000))
+			if len(out) < 50 {
+				s.After(time.Duration(1+s.Rand().Intn(5))*time.Millisecond, step)
+			}
+		}
+		s.After(time.Millisecond, step)
+		s.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the clock ends at the maximum offset.
+func TestPropertyEventOrdering(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := New(7)
+		var fired []Time
+		var max Time
+		for _, off := range offsets {
+			at := At(time.Duration(off) * time.Microsecond)
+			if at > max {
+				max = at
+			}
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if At(1500*time.Millisecond).Seconds() != 1.5 {
+		t.Error("Seconds conversion wrong")
+	}
+	if At(time.Second).Duration() != time.Second {
+		t.Error("Duration conversion wrong")
+	}
+	if At(2*time.Second).String() != "2s" {
+		t.Errorf("String = %q", At(2*time.Second).String())
+	}
+}

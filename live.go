@@ -1,0 +1,191 @@
+package softqos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softqos/internal/instrument"
+	"softqos/internal/msg"
+	"softqos/internal/repository"
+)
+
+// Live mode runs the instrumentation under the wall clock with TCP
+// management transport — the configuration in which the paper measured
+// its overheads (≈400 µs to initialise and register an instrumented
+// process, ≈11 µs per instrumentation pass when QoS is met).
+
+// LiveAgent serves policy registrations over TCP.
+type LiveAgent struct {
+	srv *msg.Server
+	svc *repository.Service
+}
+
+// ServeLiveAgent starts a policy agent answering Register messages on
+// addr (use "127.0.0.1:0" for an ephemeral port).
+func ServeLiveAgent(addr string, svc *repository.Service) (*LiveAgent, error) {
+	la := &LiveAgent{svc: svc}
+	srv, err := msg.Serve(addr, func(c *msg.Conn, m msg.Message) {
+		reg, ok := m.Body.(*msg.Register)
+		if !ok {
+			return
+		}
+		specs, err := svc.PoliciesFor(reg.ID)
+		if err != nil {
+			specs = nil
+		}
+		_ = c.Send(msg.Message{From: "/live/PolicyAgent",
+			Body: msg.PolicySet{ID: reg.ID, Policies: specs}})
+	})
+	if err != nil {
+		return nil, err
+	}
+	la.srv = srv
+	return la, nil
+}
+
+// Addr returns the agent's listening address.
+func (a *LiveAgent) Addr() string { return a.srv.Addr() }
+
+// Close stops the agent.
+func (a *LiveAgent) Close() error { return a.srv.Close() }
+
+// LiveCollector is a host-manager endpoint for live mode: it receives
+// violation reports over TCP and records them. (Live mode observes real
+// processes; resource adaptation is a simulation-mode concern.)
+type LiveCollector struct {
+	srv *msg.Server
+
+	violations atomic.Uint64
+	overshoots atomic.Uint64
+
+	mu   sync.Mutex
+	last msg.Violation
+}
+
+// NewLiveCollector starts a violation collector on addr.
+func NewLiveCollector(addr string) (*LiveCollector, error) {
+	lc := &LiveCollector{}
+	srv, err := msg.Serve(addr, func(_ *msg.Conn, m msg.Message) {
+		if v, ok := m.Body.(*msg.Violation); ok {
+			if v.Overshoot {
+				lc.overshoots.Add(1)
+			} else {
+				lc.violations.Add(1)
+			}
+			lc.mu.Lock()
+			lc.last = *v
+			lc.mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	lc.srv = srv
+	return lc, nil
+}
+
+// Addr returns the collector's listening address.
+func (c *LiveCollector) Addr() string { return c.srv.Addr() }
+
+// Violations returns the number of genuine violation reports received.
+func (c *LiveCollector) Violations() uint64 { return c.violations.Load() }
+
+// Overshoots returns the number of overshoot reports received.
+func (c *LiveCollector) Overshoots() uint64 { return c.overshoots.Load() }
+
+// Last returns the most recent violation received.
+func (c *LiveCollector) Last() msg.Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Close stops the collector.
+func (c *LiveCollector) Close() error { return c.srv.Close() }
+
+// LiveCoordinator is an instrument.Coordinator wired to the wall clock
+// and TCP transport. Create it, add sensors, then call Register to fetch
+// and install policies — the instrumented initialisation whose cost the
+// paper reports.
+type LiveCoordinator struct {
+	*instrument.Coordinator
+
+	start     time.Time
+	agentAddr string
+	mgrAddr   string
+
+	mu    sync.Mutex
+	conns map[string]*msg.Conn
+}
+
+// NewLiveCoordinator creates a live coordinator for the identified
+// process. agentAddr and managerAddr are TCP addresses of a LiveAgent
+// and a LiveCollector (or compatible servers).
+func NewLiveCoordinator(id Identity, agentAddr, managerAddr string) *LiveCoordinator {
+	lc := &LiveCoordinator{
+		start:     time.Now(),
+		agentAddr: agentAddr,
+		mgrAddr:   managerAddr,
+		conns:     make(map[string]*msg.Conn),
+	}
+	clock := instrument.Clock(func() time.Duration { return time.Since(lc.start) })
+	lc.Coordinator = instrument.NewCoordinator(id, clock, lc.send, agentAddr, managerAddr)
+	return lc
+}
+
+// WallClock returns the coordinator's clock (for building sensors).
+func (lc *LiveCoordinator) WallClock() Clock {
+	return func() time.Duration { return time.Since(lc.start) }
+}
+
+func (lc *LiveCoordinator) conn(addr string) (*msg.Conn, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if c, ok := lc.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := msg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	lc.conns[addr] = c
+	return c, nil
+}
+
+func (lc *LiveCoordinator) send(to string, m msg.Message) error {
+	c, err := lc.conn(to)
+	if err != nil {
+		return err
+	}
+	return c.Send(m)
+}
+
+// Register performs the instrumented process initialisation: it sends
+// the registration to the policy agent, waits for the policy set reply,
+// and installs it. This round trip is the paper's ≈400 µs figure.
+func (lc *LiveCoordinator) Register() error {
+	if err := lc.Coordinator.Register(); err != nil {
+		return err
+	}
+	c, err := lc.conn(lc.agentAddr)
+	if err != nil {
+		return err
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("softqos: waiting for policy set: %w", err)
+	}
+	return lc.Coordinator.HandleMessage(reply)
+}
+
+// Close closes the coordinator's management connections.
+func (lc *LiveCoordinator) Close() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, c := range lc.conns {
+		_ = c.Close()
+	}
+	lc.conns = make(map[string]*msg.Conn)
+}

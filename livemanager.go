@@ -1,0 +1,164 @@
+package softqos
+
+import (
+	"strconv"
+	"sync"
+
+	"softqos/internal/manager"
+	"softqos/internal/msg"
+	"softqos/internal/rules"
+)
+
+// LiveHostManager runs the QoS Host Manager's inference machinery under
+// the wall clock over TCP: it receives violation reports from live
+// coordinators, forward-chains the same rule language the simulated
+// managers use, and emits corrective directives back over the reporting
+// connection. Live mode observes real processes, so the resource-manager
+// actions are surfaced as directives for the embedding program to apply
+// (e.g. via syscall wrappers) rather than applied to a simulated host.
+type LiveHostManager struct {
+	srv *msg.Server
+
+	mu     sync.Mutex
+	engine *rules.Engine
+	conns  map[string]*msg.Conn // coordinator address -> reply connection
+
+	// Directives records every corrective action the rules produced.
+	Directives []msg.Directive
+	// OnDirective, if non-nil, is invoked for each corrective action (in
+	// addition to sending it back to the coordinator's connection).
+	OnDirective func(d msg.Directive)
+
+	violations uint64
+	overshoots uint64
+}
+
+// NewLiveHostManager starts a live host manager on addr with the given
+// rule source (pass manager-package rule constants or custom text).
+// Callback vocabulary: boost-cpu, reclaim-cpu, grant-rt, adjust-memory,
+// restore-memory and request-adaptation all emit directives; notify-domain
+// is recorded as an "escalate" directive.
+func NewLiveHostManager(addr, rulesSrc string) (*LiveHostManager, error) {
+	lm := &LiveHostManager{
+		engine: rules.NewEngine(),
+		conns:  make(map[string]*msg.Conn),
+	}
+	if rulesSrc == "" {
+		rulesSrc = manager.DefaultHostRules
+	}
+	lm.registerCallbacks()
+	if err := lm.engine.LoadRules(rulesSrc); err != nil {
+		return nil, err
+	}
+	srv, err := msg.Serve(addr, lm.handle)
+	if err != nil {
+		return nil, err
+	}
+	lm.srv = srv
+	return lm, nil
+}
+
+// Addr returns the listening address.
+func (lm *LiveHostManager) Addr() string { return lm.srv.Addr() }
+
+// Close stops the manager.
+func (lm *LiveHostManager) Close() error { return lm.srv.Close() }
+
+// Violations returns the number of genuine violation episodes processed.
+func (lm *LiveHostManager) Violations() uint64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.violations
+}
+
+// emit records a directive, invokes the hook and replies to the
+// coordinator that triggered the episode.
+func (lm *LiveHostManager) emit(d msg.Directive) {
+	lm.Directives = append(lm.Directives, d)
+	if lm.OnDirective != nil {
+		lm.OnDirective(d)
+	}
+	if c, ok := lm.conns[d.Target]; ok {
+		_ = c.Send(msg.Message{From: "/live/QoSHostManager", Body: d})
+	}
+}
+
+func (lm *LiveHostManager) registerCallbacks() {
+	mk := func(action string) rules.Callback {
+		return func(args []rules.Value) error {
+			d := msg.Directive{From: "/live/QoSHostManager", Action: action}
+			if len(args) > 0 {
+				d.Target = args[0].Sym
+			}
+			if len(args) > 1 && args[1].Kind == rules.NumberKind {
+				d.Amount = args[1].Num
+			}
+			lm.emit(d)
+			return nil
+		}
+	}
+	lm.engine.RegisterFunc("boost-cpu", mk("boost_cpu"))
+	lm.engine.RegisterFunc("reclaim-cpu", mk("reclaim_cpu"))
+	lm.engine.RegisterFunc("grant-rt", mk("grant_rt"))
+	lm.engine.RegisterFunc("adjust-memory", mk("adjust_memory"))
+	lm.engine.RegisterFunc("restore-memory", mk("restore_memory"))
+	lm.engine.RegisterFunc("notify-domain", mk("escalate"))
+	lm.engine.RegisterFunc("request-adaptation", func(args []rules.Value) error {
+		d := msg.Directive{From: "/live/QoSHostManager", Action: "actuate"}
+		if len(args) > 1 {
+			d.Target = args[1].Sym
+		}
+		if len(args) > 2 && args[2].Kind == rules.NumberKind {
+			d.Amount = args[2].Num
+		}
+		lm.emit(d)
+		return nil
+	})
+	lm.engine.RegisterFunc("cap-boost", func([]rules.Value) error { return nil })
+}
+
+// handle processes one inbound message on a connection.
+func (lm *LiveHostManager) handle(c *msg.Conn, m msg.Message) {
+	var v msg.Violation
+	switch body := m.Body.(type) {
+	case *msg.Violation:
+		v = *body
+	default:
+		return
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	// The reply path for directives keyed by the violation's target
+	// symbol (the process symbol used by the rules).
+	psym := pidSym(v.ID.PID)
+	lm.conns[psym] = c
+
+	if v.Overshoot {
+		lm.overshoots++
+		lm.engine.AssertF("overshoot", psym, nonEmpty(v.Policy))
+	} else {
+		lm.violations++
+		lm.engine.AssertF("violation", psym, nonEmpty(v.Policy))
+	}
+	for attr, val := range v.Readings {
+		lm.engine.AssertF("reading", psym, attr, val)
+	}
+	lm.engine.AssertF("host-load", 0.0)
+	lm.engine.AssertF("proc-boost", psym, 0.0)
+	_, _ = lm.engine.Run(100)
+	lm.engine.RetractMatching(rules.F("violation", psym, "?")...)
+	lm.engine.RetractMatching(rules.F("overshoot", psym, "?")...)
+	lm.engine.RetractMatching(rules.F("reading", psym, "?", "?")...)
+	lm.engine.RetractMatching(rules.F("host-load", "?")...)
+	lm.engine.RetractMatching(rules.F("proc-boost", psym, "?")...)
+}
+
+// pidSym mirrors the simulated host manager's process symbols.
+func pidSym(pid int) string { return "p" + strconv.Itoa(pid) }
+
+func nonEmpty(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package softqos
+
+import (
+	"testing"
+	"time"
+
+	"softqos/internal/manager"
+	"softqos/internal/msg"
+)
+
+func TestLiveHostManagerDiagnosesAndDirects(t *testing.T) {
+	lm, err := NewLiveHostManager("127.0.0.1:0", manager.DefaultHostRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+
+	got := make(chan msg.Directive, 4)
+	lm.OnDirective = func(d msg.Directive) { got <- d }
+
+	c, err := msg.Dial(lm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A local-CPU-starvation episode: long buffer, low frame rate.
+	err = c.Send(msg.Message{From: "/proc", Body: msg.Violation{
+		ID:     Identity{Host: "h", PID: 321, Executable: "mpeg_play"},
+		Policy: "NotifyQoSViolation",
+		Readings: map[string]float64{
+			"frame_rate": 15, "jitter_rate": 0.4, "buffer_size": 12},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if d.Action != "boost_cpu" || d.Target != "p321" || d.Amount != 10 {
+			t.Errorf("directive = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no directive produced")
+	}
+	// The corrective directive also comes back over the wire.
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := reply.Body.(*msg.Directive); !ok || d.Action != "boost_cpu" {
+		t.Errorf("wire reply = %+v", reply.Body)
+	}
+	if lm.Violations() != 1 {
+		t.Errorf("violations = %d", lm.Violations())
+	}
+}
+
+func TestLiveHostManagerEscalatesRemote(t *testing.T) {
+	lm, err := NewLiveHostManager("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+	got := make(chan msg.Directive, 1)
+	lm.OnDirective = func(d msg.Directive) { got <- d }
+	c, err := msg.Dial(lm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.Send(msg.Message{From: "/proc", Body: msg.Violation{
+		ID: Identity{PID: 7}, Policy: "P",
+		Readings: map[string]float64{"frame_rate": 10, "buffer_size": 0},
+	}})
+	select {
+	case d := <-got:
+		if d.Action != "escalate" {
+			t.Errorf("directive = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no escalation produced")
+	}
+}
+
+func TestLiveHostManagerBadRules(t *testing.T) {
+	if _, err := NewLiveHostManager("127.0.0.1:0", "(nonsense"); err == nil {
+		t.Fatal("bad rules accepted")
+	}
+}
