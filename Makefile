@@ -1,0 +1,33 @@
+# Tier-1 verification for the softqos repository.
+#
+# `make check` is the gate every change must pass: build everything,
+# vet, and run the full test suite under the race detector. The
+# simulation core is single-threaded by design, but the TCP transport,
+# the live managers and the telemetry registry are concurrent — the
+# race detector is part of the contract, not an optional extra.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 tests: always run with -race.
+test: race
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qosbench -experiment all|fig3|overhead|locate|admin|settle|dynamic
+//	qosbench -experiment all|fig3|overhead|locate|admin|settle|dynamic|trace
 //	         [-warmup 30s] [-measure 3m] [-seed 1]
 //
 // Output is aligned text; every table states the paper's reference values
@@ -24,11 +24,12 @@ import (
 	"softqos/internal/policy"
 	"softqos/internal/repository"
 	"softqos/internal/scenario"
+	"softqos/internal/telemetry"
 	"softqos/internal/video"
 )
 
 var (
-	experiment = flag.String("experiment", "all", "fig3|overhead|locate|admin|settle|dynamic|overload|proactive|scale|webapp|all")
+	experiment = flag.String("experiment", "all", "fig3|overhead|locate|admin|settle|dynamic|overload|proactive|scale|webapp|trace|all")
 	warmup     = flag.Duration("warmup", 30*time.Second, "virtual warmup before measurement")
 	measure    = flag.Duration("measure", 3*time.Minute, "virtual measurement window")
 	seed       = flag.Int64("seed", 1, "simulation seed")
@@ -47,9 +48,10 @@ func main() {
 		"proactive": proactive,
 		"scale":     scale,
 		"webapp":    webappExp,
+		"trace":     traceExp,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig3", "overhead", "locate", "admin", "settle", "dynamic", "overload", "proactive", "scale", "webapp"} {
+		for _, name := range []string{"fig3", "overhead", "locate", "admin", "settle", "dynamic", "overload", "proactive", "scale", "webapp", "trace"} {
 			run[name]()
 			fmt.Println()
 		}
@@ -374,6 +376,48 @@ func webappExp() {
 		fmt.Printf("%-10v %-14.1f %-14d %-12d %-12d %-10d\n",
 			managed, r.MeanLatencyMs, r.P100BacklogMax, r.Served, r.Violations, r.FinalBoost)
 	}
+}
+
+// traceExp reports the time-to-recovery distribution of violation
+// episodes — first sensor alarm to the coordinator seeing the policy
+// satisfied again — across client background load points.
+func traceExp() {
+	fmt.Println("=== Violation traces: time-to-recovery vs client CPU load ===")
+	fmt.Printf("%-8s %-10s %-8s %-10s %-10s %-10s %-10s %-10s\n",
+		"load", "episodes", "open", "p50", "p95", "p99", "max", "spans/ep")
+	for _, load := range []float64{3, 5, 7, 9} {
+		sys := scenario.Build(scenario.Config{Seed: *seed, ClientLoad: load, Managed: true})
+		sys.Run(*warmup, *measure)
+		ttr := telemetry.NewHistogram(nil, 0)
+		spans, open := 0, 0
+		for _, tr := range sys.Tracer.Traces() {
+			spans += len(tr.Spans)
+			d, ok := tr.TimeToRecovery()
+			if !ok {
+				open++
+				continue
+			}
+			ttr.ObserveDuration(d)
+		}
+		p50, p95, p99 := ttr.Quantiles()
+		total := ttr.Count() + uint64(open)
+		spansPer := 0.0
+		if total > 0 {
+			spansPer = float64(spans) / float64(total)
+		}
+		fmt.Printf("%-8.0f %-10d %-8d %-10s %-10s %-10s %-10s %-10.1f\n",
+			load, total, open, durMS(p50), durMS(p95), durMS(p99), durMS(ttr.Max()), spansPer)
+	}
+	fmt.Println("(time from first sensor alarm to the policy holding again;")
+	fmt.Println(" open = episodes still violated when the run ended)")
+}
+
+// durMS renders a histogram value that holds nanoseconds as a duration.
+func durMS(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return time.Duration(v).Round(time.Millisecond).String()
 }
 
 func must(err error) {

@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	qosd [-scenario single|server-fault|network-fault|multiapp|webapp]
-//	     [-load 5] [-managed] [-duration 2m] [-seed 1] [-timeline]
+//	qosd [-scenario videostream|single|server-fault|network-fault|multiapp|webapp]
+//	     [-load 5] [-managed] [-duration 2m] [-seed 1] [-timeline] [-metrics]
+//
+// -metrics appends the full telemetry snapshot (counters, gauges,
+// histograms) and the per-violation causal trace table to the report.
 package main
 
 import (
@@ -15,23 +18,25 @@ import (
 	"time"
 
 	"softqos/internal/scenario"
+	"softqos/internal/telemetry"
 	"softqos/internal/video"
 )
 
 var (
-	scen     = flag.String("scenario", "single", "single|server-fault|network-fault|multiapp|webapp")
-	load     = flag.Float64("load", 5, "background CPU load on the client host (single scenario)")
+	scen     = flag.String("scenario", "videostream", "videostream|single|server-fault|network-fault|multiapp|webapp")
+	load     = flag.Float64("load", 5, "background CPU load on the client host (videostream scenario)")
 	managed  = flag.Bool("managed", true, "enable the QoS management framework")
 	duration = flag.Duration("duration", 2*time.Minute, "virtual measurement window")
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	timeline = flag.Bool("timeline", false, "print one sample per second")
 	trace    = flag.Bool("trace", false, "print the host manager's rule firing trace")
+	metrics  = flag.Bool("metrics", false, "print the telemetry snapshot and violation trace table")
 )
 
 func main() {
 	flag.Parse()
 	switch *scen {
-	case "single":
+	case "videostream", "single":
 		run(scenario.Build(scenario.Config{
 			Seed: *seed, ClientLoad: *load, Managed: *managed}), 30*time.Second)
 	case "server-fault":
@@ -95,6 +100,18 @@ func run(sys *scenario.System, warmup time.Duration) {
 		}
 		for _, f := range firings[start:] {
 			fmt.Println(" ", f)
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		if err := sys.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "qosd:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := telemetry.WriteTraceTable(os.Stdout, sys.Tracer.Traces()); err != nil {
+			fmt.Fprintln(os.Stderr, "qosd:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"softqos/internal/msg"
+	"softqos/internal/telemetry"
 )
 
 // SendFunc transmits a management message to an address (bus or TCP).
@@ -18,8 +19,11 @@ type policyObj struct {
 	truth []bool // truth of condition i
 	known []bool // condition i has been evaluated at least once
 	// violated tracks the previous evaluation so transitions can be
-	// counted.
+	// counted; traced tracks whether a violation trace is open for the
+	// current episode (an episode may begin as an untraced overshoot and
+	// degrade into a traced violation).
 	violated bool
+	traced   bool
 }
 
 // eval computes the boolean expression. Unevaluated conditions are
@@ -106,6 +110,23 @@ type Coordinator struct {
 	Violations uint64
 	Overshoots uint64
 	Notifies   uint64
+
+	// Telemetry (optional; see SetTelemetry).
+	metrics *coordMetrics
+	tracer  *telemetry.Tracer
+}
+
+// coordMetrics holds the coordinator's pre-resolved metric handles so hot
+// paths never touch the registry lock.
+type coordMetrics struct {
+	alarms     *telemetry.Counter
+	violations *telemetry.Counter
+	overshoots *telemetry.Counter
+	notifies   *telemetry.Counter
+	suppressed *telemetry.Counter
+	passes     *telemetry.Counter
+	passNS     *telemetry.Histogram
+	wall       telemetry.Clock
 }
 
 type condRef struct {
@@ -153,11 +174,48 @@ func (c *Coordinator) SetPredictionHorizon(d time.Duration) {
 	}
 }
 
+// SetTelemetry attaches the coordinator and its sensors to a metrics
+// registry and (optionally) a violation tracer. Pass-cost nanoseconds are
+// recorded only when the registry has a wall clock (SetWallClock), so
+// simulated runs stay byte-for-byte reproducible.
+func (c *Coordinator) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	c.tracer = tracer
+	if reg == nil {
+		c.metrics = nil
+		return
+	}
+	c.metrics = &coordMetrics{
+		alarms:     reg.Counter("instrument.alarms"),
+		violations: reg.Counter("instrument.violations"),
+		overshoots: reg.Counter("instrument.overshoots"),
+		notifies:   reg.Counter("instrument.notifies"),
+		suppressed: reg.Counter("instrument.notifies_suppressed"),
+		passes:     reg.Counter("instrument.sensor_passes"),
+		passNS:     reg.Histogram("instrument.sensor_pass_ns", 0),
+		wall:       reg.WallClock(),
+	}
+	for _, s := range c.sensors {
+		c.attachSensorTelemetry(s)
+	}
+}
+
+func (c *Coordinator) attachSensorTelemetry(s Sensor) {
+	if c.metrics == nil {
+		return
+	}
+	if ts, ok := s.(interface {
+		setPassTelemetry(*telemetry.Counter, *telemetry.Histogram, telemetry.Clock)
+	}); ok {
+		ts.setPassTelemetry(c.metrics.passes, c.metrics.passNS, c.metrics.wall)
+	}
+}
+
 // AddSensor registers an instrumented sensor and wires its alarms to the
 // coordinator.
 func (c *Coordinator) AddSensor(s Sensor) {
 	c.sensors[s.ID()] = s
 	s.SetAlarmFunc(c.onAlarm)
+	c.attachSensorTelemetry(s)
 }
 
 // AddActuator registers an actuator.
@@ -289,6 +347,9 @@ func (c *Coordinator) Policies() []string {
 // coordinator algorithm of §5.2).
 func (c *Coordinator) onAlarm(condID int, satisfied bool, _ float64) {
 	c.Alarms++
+	if c.metrics != nil {
+		c.metrics.alarms.Inc()
+	}
 	for _, ref := range c.condOwner[condID] {
 		ref.policy.truth[ref.idx] = satisfied
 		ref.policy.known[ref.idx] = true
@@ -299,19 +360,40 @@ func (c *Coordinator) onAlarm(condID int, satisfied bool, _ float64) {
 func (c *Coordinator) evaluatePolicy(po *policyObj) {
 	ok := po.eval()
 	if ok {
+		// A transition back to compliance closes any open violation trace
+		// (overshoot-only episodes never open one).
+		if po.traced && c.tracer != nil {
+			c.tracer.Resolve(c.id.Address(), po.spec.Name)
+		}
 		po.violated = false
+		po.traced = false
 		return
 	}
 	po.violated = true
 	overshoot := po.unsatisfiedUpperBoundsOnly()
 	if overshoot {
 		c.Overshoots++
+		if c.metrics != nil {
+			c.metrics.overshoots.Inc()
+		}
 	} else {
 		c.Violations++
+		if c.metrics != nil {
+			c.metrics.violations.Inc()
+		}
+		// Open the trace on the first real violation of the episode, even
+		// when the episode began as an overshoot.
+		if !po.traced && c.tracer != nil {
+			c.tracer.Begin(c.id.Address(), po.spec.Name, "policy expression false")
+			po.traced = true
+		}
 	}
 	// Pace notifications.
 	now := c.clock()
 	if last, seen := c.lastNotify[po.spec.Name]; seen && now-last < c.notifyEvery {
+		if c.metrics != nil {
+			c.metrics.suppressed.Inc()
+		}
 		return
 	}
 	c.lastNotify[po.spec.Name] = now
@@ -354,6 +436,13 @@ func (c *Coordinator) runActions(po *policyObj, overshoot bool) {
 				}
 			}
 			c.Notifies++
+			if c.metrics != nil {
+				c.metrics.notifies.Inc()
+			}
+			if !overshoot && c.tracer != nil {
+				c.tracer.Event(c.id.Address(), po.spec.Name,
+					telemetry.StageNotify, "report -> "+c.managerAddr)
+			}
 			_ = c.send(c.managerAddr, msg.Message{
 				From: c.Address(),
 				Body: msg.Violation{

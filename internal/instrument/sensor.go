@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"softqos/internal/telemetry"
 )
 
 // Clock returns the current (virtual or wall) time as a duration from an
@@ -111,6 +113,22 @@ type baseSensor struct {
 	prevValue float64
 	prevAt    time.Duration
 	haveTrend bool
+
+	// Telemetry hooks, installed by the owning coordinator. tWall, when
+	// non-nil, enables wall-clock cost profiling of each pass (left nil in
+	// simulation to keep snapshots deterministic).
+	tPasses *telemetry.Counter
+	tPassNS *telemetry.Histogram
+	tWall   telemetry.Clock
+}
+
+// setPassTelemetry wires per-pass accounting; the coordinator finds it
+// through an unexported interface assertion, so the Sensor interface is
+// unchanged.
+func (b *baseSensor) setPassTelemetry(passes *telemetry.Counter, passNS *telemetry.Histogram, wall telemetry.Clock) {
+	b.tPasses = passes
+	b.tPassNS = passNS
+	b.tWall = wall
 }
 
 func newBase(id, attr string, clock Clock) baseSensor {
@@ -188,6 +206,13 @@ func (b *baseSensor) produce(v float64) {
 	if !b.enabled {
 		return
 	}
+	if b.tPasses != nil {
+		b.tPasses.Inc()
+	}
+	var passStart time.Duration
+	if b.tWall != nil {
+		passStart = b.tWall()
+	}
 	if b.clockFn != nil {
 		now := b.clockFn()
 		if b.valid && now > b.prevAt {
@@ -206,6 +231,9 @@ func (b *baseSensor) produce(v float64) {
 	b.value = v
 	b.valid = true
 	b.evaluate()
+	if b.tWall != nil {
+		b.tPassNS.ObserveDuration(b.tWall() - passStart)
+	}
 }
 
 func (b *baseSensor) evaluate() {

@@ -3,9 +3,11 @@ package manager
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"softqos/internal/msg"
 	"softqos/internal/rules"
+	"softqos/internal/telemetry"
 )
 
 // DefaultDomainRules is the QoS Domain Manager rule set of Section 5.3,
@@ -107,6 +109,23 @@ type DomainManager struct {
 	NetworkFaults uint64
 	Restarts      uint64
 	RuleErrors    uint64
+
+	// Telemetry (optional; see SetTelemetry).
+	metrics *dmMetrics
+	tracer  *telemetry.Tracer
+}
+
+// dmMetrics holds the domain manager's pre-resolved metric handles.
+type dmMetrics struct {
+	alarms        *telemetry.Counter
+	serverFaults  *telemetry.Counter
+	memoryFaults  *telemetry.Counter
+	networkFaults *telemetry.Counter
+	restarts      *telemetry.Counter
+	ruleErrors    *telemetry.Counter
+	firings       *telemetry.Histogram
+	inferNS       *telemetry.Histogram
+	wall          telemetry.Clock
 }
 
 // NewDomainManager creates a domain manager bound to addr, loading the
@@ -128,6 +147,37 @@ func NewDomainManager(addr string, send Send) *DomainManager {
 
 // Addr returns the manager's management address.
 func (dm *DomainManager) Addr() string { return dm.addr }
+
+// SetTelemetry attaches the domain manager to a metrics registry and
+// (optionally) a violation tracer. Localization outcomes and directives
+// are attributed to the originating client violation's trace through the
+// alarm identity carried by each episode.
+func (dm *DomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	dm.tracer = tracer
+	if reg == nil {
+		dm.metrics = nil
+		return
+	}
+	dm.metrics = &dmMetrics{
+		alarms:        reg.Counter("domain.alarms"),
+		serverFaults:  reg.Counter("domain.server_faults"),
+		memoryFaults:  reg.Counter("domain.memory_faults"),
+		networkFaults: reg.Counter("domain.network_faults"),
+		restarts:      reg.Counter("domain.restarts"),
+		ruleErrors:    reg.Counter("domain.rule_errors"),
+		firings:       reg.Histogram("domain.rule_firings", 0),
+		inferNS:       reg.Histogram("domain.inference_ns", 0),
+		wall:          reg.WallClock(),
+	}
+}
+
+// traceEvent records a span on the trace of the client violation that
+// opened the episode.
+func (dm *DomainManager) traceEvent(ep *episode, stage, detail string) {
+	if dm.tracer != nil {
+		dm.tracer.Event(ep.alarm.ID.Address(), ep.alarm.Policy, stage, detail)
+	}
+}
 
 // Engine exposes the inference engine.
 func (dm *DomainManager) Engine() *rules.Engine { return dm.engine }
@@ -152,6 +202,12 @@ func (dm *DomainManager) registerCallbacks() {
 			amount = args[1].Num
 		}
 		dm.ServerFaults++
+		if dm.metrics != nil {
+			dm.metrics.serverFaults.Inc()
+		}
+		dm.traceEvent(ep, telemetry.StageLocate, "server CPU starved")
+		dm.traceEvent(ep, telemetry.StageDirective,
+			fmt.Sprintf("boost_cpu %s %+g -> %s", ep.server.executable, amount, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
 			From: dm.addr,
 			Body: msg.Directive{From: dm.addr, Action: "boost_cpu",
@@ -168,6 +224,12 @@ func (dm *DomainManager) registerCallbacks() {
 			pages = args[1].Num
 		}
 		dm.MemoryFaults++
+		if dm.metrics != nil {
+			dm.metrics.memoryFaults.Inc()
+		}
+		dm.traceEvent(ep, telemetry.StageLocate, "server memory pressure")
+		dm.traceEvent(ep, telemetry.StageDirective,
+			fmt.Sprintf("adjust_memory %s %+g pages -> %s", ep.server.executable, pages, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
 			From: dm.addr,
 			Body: msg.Directive{From: dm.addr, Action: "adjust_memory",
@@ -180,6 +242,12 @@ func (dm *DomainManager) registerCallbacks() {
 			return err
 		}
 		dm.Restarts++
+		if dm.metrics != nil {
+			dm.metrics.restarts.Inc()
+		}
+		dm.traceEvent(ep, telemetry.StageLocate, "server process dead")
+		dm.traceEvent(ep, telemetry.StageDirective,
+			fmt.Sprintf("restart_proc %s -> %s", ep.server.executable, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
 			From: dm.addr,
 			Body: msg.Directive{From: dm.addr, Action: "restart_proc",
@@ -192,7 +260,12 @@ func (dm *DomainManager) registerCallbacks() {
 			return err
 		}
 		dm.NetworkFaults++
+		if dm.metrics != nil {
+			dm.metrics.networkFaults.Inc()
+		}
+		dm.traceEvent(ep, telemetry.StageLocate, "network congestion")
 		if dm.OnNetworkFault != nil {
+			dm.traceEvent(ep, telemetry.StageDirective, "reroute around congested switch")
 			dm.OnNetworkFault(ep.alarm)
 		}
 		return nil
@@ -232,9 +305,15 @@ func (dm *DomainManager) HandleMessage(m msg.Message) {
 // load and memory usage").
 func (dm *DomainManager) handleAlarm(al msg.Alarm) {
 	dm.Alarms++
+	if dm.metrics != nil {
+		dm.metrics.alarms.Inc()
+	}
 	server, ok := dm.servers[al.ID.Application]
 	if !ok {
 		dm.RuleErrors++
+		if dm.metrics != nil {
+			dm.metrics.ruleErrors.Inc()
+		}
 		return
 	}
 	dm.nextRef++
@@ -269,8 +348,22 @@ func (dm *DomainManager) handleReport(r msg.Report) {
 	if procAlive {
 		dm.engine.AssertF("server-proc-alive", r.Ref)
 	}
-	if _, err := dm.engine.Run(100); err != nil {
+	var inferStart time.Duration
+	if dm.metrics != nil && dm.metrics.wall != nil {
+		inferStart = dm.metrics.wall()
+	}
+	fired, err := dm.engine.Run(100)
+	if dm.metrics != nil {
+		if dm.metrics.wall != nil {
+			dm.metrics.inferNS.ObserveDuration(dm.metrics.wall() - inferStart)
+		}
+		dm.metrics.firings.Observe(float64(fired))
+	}
+	if err != nil {
 		dm.RuleErrors++
+		if dm.metrics != nil {
+			dm.metrics.ruleErrors.Inc()
+		}
 	}
 	dm.engine.RetractMatching(rules.F("episode", r.Ref, "?")...)
 	dm.engine.RetractMatching(rules.F("server-exe", r.Ref, "?")...)

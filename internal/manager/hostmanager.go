@@ -9,6 +9,7 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/rules"
 	"softqos/internal/sched"
+	"softqos/internal/telemetry"
 )
 
 // Send transmits a management message (bus or TCP transport).
@@ -235,6 +236,29 @@ type HostManager struct {
 	Escalations    uint64
 	Adaptations    uint64
 	RuleErrors     uint64
+
+	// Telemetry (optional; see SetTelemetry).
+	metrics *hmMetrics
+	tracer  *telemetry.Tracer
+	// Episode context for trace attribution: rule callbacks fire
+	// synchronously inside handleViolation's engine.Run, so the subject
+	// and policy of the report being diagnosed attribute their actions.
+	epSubject string
+	epPolicy  string
+}
+
+// hmMetrics holds the host manager's pre-resolved metric handles.
+type hmMetrics struct {
+	violations  *telemetry.Counter
+	overshoots  *telemetry.Counter
+	escalations *telemetry.Counter
+	adaptations *telemetry.Counter
+	directives  *telemetry.Counter
+	ruleErrors  *telemetry.Counter
+	restarts    *telemetry.Counter
+	firings     *telemetry.Histogram // rule firings per diagnosis episode
+	inferNS     *telemetry.Histogram // wall-clock inference cost (profiling only)
+	wall        telemetry.Clock
 }
 
 // NewHostManager creates a host manager bound to addr on host, loading
@@ -261,6 +285,47 @@ func NewHostManager(addr string, host *sched.Host, send Send, domainAddr string)
 
 // Addr returns the manager's management address.
 func (hm *HostManager) Addr() string { return hm.addr }
+
+// SetTelemetry attaches the host manager to a metrics registry and
+// (optionally) a violation tracer. Metric names are scoped by host, e.g.
+// "manager.client-host.violations". Inference wall-cost is recorded only
+// when the registry has a wall clock.
+func (hm *HostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	hm.tracer = tracer
+	if reg == nil {
+		hm.metrics = nil
+		return
+	}
+	prefix := "manager." + hm.host.Name() + "."
+	hm.metrics = &hmMetrics{
+		violations:  reg.Counter(prefix + "violations"),
+		overshoots:  reg.Counter(prefix + "overshoots"),
+		escalations: reg.Counter(prefix + "escalations"),
+		adaptations: reg.Counter(prefix + "adaptations"),
+		directives:  reg.Counter(prefix + "directives"),
+		ruleErrors:  reg.Counter(prefix + "rule_errors"),
+		restarts:    reg.Counter(prefix + "restarts"),
+		firings:     reg.Histogram(prefix+"rule_firings", 0),
+		inferNS:     reg.Histogram(prefix+"inference_ns", 0),
+		wall:        reg.WallClock(),
+	}
+}
+
+// traceEvent records a span on the trace of the violation currently being
+// diagnosed; a no-op outside an episode or without a tracer.
+func (hm *HostManager) traceEvent(stage, detail string) {
+	if hm.tracer != nil && hm.epSubject != "" {
+		hm.tracer.Event(hm.epSubject, hm.epPolicy, stage, detail)
+	}
+}
+
+// countAdaptation bumps the adaptation counter (resource-manager actions
+// taken on behalf of a diagnosis).
+func (hm *HostManager) countAdaptation() {
+	if hm.metrics != nil {
+		hm.metrics.adaptations.Inc()
+	}
+}
 
 // CPU returns the CPU resource manager.
 func (hm *HostManager) CPU() *CPUManager { return hm.cpu }
@@ -306,6 +371,8 @@ func (hm *HostManager) registerCallbacks() {
 			return fmt.Errorf("boost-cpu needs a numeric amount")
 		}
 		hm.cpu.Boost(mp.proc, int(args[1].Num))
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("boost-cpu %+d -> boost %d", int(args[1].Num), mp.proc.Boost()))
 		return nil
 	})
 	hm.engine.RegisterFunc("reclaim-cpu", func(args []rules.Value) error {
@@ -317,6 +384,8 @@ func (hm *HostManager) registerCallbacks() {
 			return fmt.Errorf("reclaim-cpu needs a numeric amount")
 		}
 		hm.cpu.Boost(mp.proc, -int(args[1].Num))
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("reclaim-cpu %d", int(args[1].Num)))
 		return nil
 	})
 	hm.engine.RegisterFunc("grant-rt", func(args []rules.Value) error {
@@ -329,6 +398,8 @@ func (hm *HostManager) registerCallbacks() {
 			prio = int(args[1].Num)
 		}
 		hm.cpu.GrantRealtime(mp.proc, prio)
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("grant-rt prio %d", prio))
 		return nil
 	})
 	hm.engine.RegisterFunc("adjust-memory", func(args []rules.Value) error {
@@ -340,6 +411,8 @@ func (hm *HostManager) registerCallbacks() {
 			return fmt.Errorf("adjust-memory needs a numeric page delta")
 		}
 		hm.mem.Adjust(mp.proc, int(args[1].Num))
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("adjust-memory %+d pages", int(args[1].Num)))
 		return nil
 	})
 	hm.engine.RegisterFunc("cap-boost", func(args []rules.Value) error {
@@ -352,6 +425,8 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		if cap := int(args[1].Num); mp.proc.Boost() > cap {
 			hm.cpu.Boost(mp.proc, cap-mp.proc.Boost())
+			hm.countAdaptation()
+			hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("cap-boost at %d", cap))
 		}
 		return nil
 	})
@@ -361,6 +436,8 @@ func (hm *HostManager) registerCallbacks() {
 			return err
 		}
 		hm.mem.Ensure(mp.proc, mp.proc.WorkingSet())
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("restore-memory to %d pages", mp.proc.WorkingSet()))
 		return nil
 	})
 	hm.engine.RegisterFunc("request-adaptation", func(args []rules.Value) error {
@@ -372,6 +449,8 @@ func (hm *HostManager) registerCallbacks() {
 			return fmt.Errorf("request-adaptation needs (process actuator amount)")
 		}
 		hm.Adaptations++
+		hm.countAdaptation()
+		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("request-adaptation %s %g", args[1].Sym, args[2].Num))
 		return hm.send(mp.id.Address()+"/qosl_coordinator", msg.Message{
 			From: hm.addr,
 			Body: msg.Directive{From: hm.addr, Action: "actuate",
@@ -388,9 +467,14 @@ func (hm *HostManager) registerCallbacks() {
 			policy = args[1].Sym
 		}
 		hm.Escalations++
+		if hm.metrics != nil {
+			hm.metrics.escalations.Inc()
+		}
 		if hm.domainAddr == "" {
+			hm.traceEvent(telemetry.StageEscalate, "dropped (no domain manager)")
 			return nil
 		}
+		hm.traceEvent(telemetry.StageEscalate, "alarm -> "+hm.domainAddr)
 		readings := hm.currentReadings(pidSym(mp.id.PID))
 		return hm.send(hm.domainAddr, msg.Message{
 			From: hm.addr,
@@ -451,23 +535,51 @@ func (hm *HostManager) handleViolation(v msg.Violation) {
 	if _, known := hm.procsByPID[v.ID.PID]; !known {
 		// A report for an untracked process cannot be acted upon.
 		hm.RuleErrors++
+		if hm.metrics != nil {
+			hm.metrics.ruleErrors.Inc()
+		}
 		return
 	}
 	if v.Overshoot {
 		hm.OvershootsSeen++
+		if hm.metrics != nil {
+			hm.metrics.overshoots.Inc()
+		}
 		hm.engine.AssertF("overshoot", psym, orUnknown(v.Policy))
 	} else {
 		hm.ViolationsSeen++
+		if hm.metrics != nil {
+			hm.metrics.violations.Inc()
+		}
 		hm.engine.AssertF("violation", psym, orUnknown(v.Policy))
+		// Episode context: rule callbacks fired by Run attribute their
+		// adaptations and escalations to this violation's trace.
+		hm.epSubject, hm.epPolicy = v.ID.Address(), v.Policy
+		hm.traceEvent(telemetry.StageDiagnose, "inference episode on "+hm.addr)
 	}
 	for attr, val := range v.Readings {
 		hm.engine.AssertF("reading", psym, attr, val)
 	}
 	hm.engine.AssertF("host-load", hm.host.LoadAvg())
 	hm.engine.AssertF("proc-boost", psym, float64(hm.procsByPID[v.ID.PID].proc.Boost()))
-	if _, err := hm.engine.Run(100); err != nil {
-		hm.RuleErrors++
+	var inferStart time.Duration
+	if hm.metrics != nil && hm.metrics.wall != nil {
+		inferStart = hm.metrics.wall()
 	}
+	fired, err := hm.engine.Run(100)
+	if hm.metrics != nil {
+		if hm.metrics.wall != nil {
+			hm.metrics.inferNS.ObserveDuration(hm.metrics.wall() - inferStart)
+		}
+		hm.metrics.firings.Observe(float64(fired))
+	}
+	if err != nil {
+		hm.RuleErrors++
+		if hm.metrics != nil {
+			hm.metrics.ruleErrors.Inc()
+		}
+	}
+	hm.epSubject, hm.epPolicy = "", ""
 	// Clear the episode; persistent facts (deffacts thresholds) remain.
 	hm.engine.RetractMatching(rules.F("violation", psym, "?")...)
 	hm.engine.RetractMatching(rules.F("overshoot", psym, "?")...)
@@ -521,6 +633,9 @@ func (hm *HostManager) handleQuery(replyTo string, q msg.Query) {
 // handleDirective executes a corrective action pushed by the domain
 // manager.
 func (hm *HostManager) handleDirective(replyTo string, d msg.Directive) {
+	if hm.metrics != nil {
+		hm.metrics.directives.Inc()
+	}
 	var err error
 	mp, ok := hm.procsByExe[d.Target]
 	if !ok {
@@ -551,6 +666,9 @@ func (hm *HostManager) handleDirective(replyTo string, d msg.Directive) {
 			}
 			hm.Track(np, nid)
 			hm.Restarts++
+			if hm.metrics != nil {
+				hm.metrics.restarts.Inc()
+			}
 		default:
 			err = fmt.Errorf("manager: unknown directive %q", d.Action)
 		}

@@ -5,7 +5,13 @@ import (
 	"time"
 
 	"softqos/internal/sim"
+	"softqos/internal/telemetry"
 )
+
+// typeTags lists every message body tag, for pre-registering per-type
+// counters at attach time (keeps the metric name set stable between runs
+// regardless of which types actually flow).
+var typeTags = []string{"register", "policyset", "violation", "query", "report", "alarm", "directive", "ack"}
 
 // BusHandler consumes messages delivered to an address.
 type BusHandler func(Message)
@@ -26,6 +32,17 @@ type Bus struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64 // destination not bound at delivery time
+
+	metrics *busMetrics
+}
+
+// busMetrics holds the bus transport's pre-resolved metric handles.
+type busMetrics struct {
+	sent      *telemetry.Counter
+	delivered *telemetry.Counter
+	dropped   *telemetry.Counter
+	bytes     *telemetry.Counter
+	byType    map[string]*telemetry.Counter
 }
 
 // NewBus creates a bus with the given IPC latencies: localDelay applies
@@ -38,6 +55,27 @@ func NewBus(s *sim.Simulator, localDelay, remoteDelay time.Duration) *Bus {
 		localDelay:  localDelay,
 		remoteDelay: remoteDelay,
 	}
+}
+
+// SetMetrics attaches the bus to a metrics registry: counters for
+// messages sent/delivered/dropped, wire bytes, and per-type message
+// counts under "msg.bus.*".
+func (b *Bus) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		b.metrics = nil
+		return
+	}
+	m := &busMetrics{
+		sent:      reg.Counter("msg.bus.sent"),
+		delivered: reg.Counter("msg.bus.delivered"),
+		dropped:   reg.Counter("msg.bus.dropped"),
+		bytes:     reg.Counter("msg.bus.bytes"),
+		byType:    make(map[string]*telemetry.Counter, len(typeTags)),
+	}
+	for _, tag := range typeTags {
+		m.byType[tag] = reg.Counter("msg.bus.sent." + tag)
+	}
+	b.metrics = m
 }
 
 // Bind attaches a handler to an address located on host. Rebinding an
@@ -66,6 +104,17 @@ func (b *Bus) Send(addr string, m Message) error {
 		return fmt.Errorf("msg: no handler bound at %q", addr)
 	}
 	b.Sent++
+	if b.metrics != nil {
+		b.metrics.sent.Inc()
+		if tag, err := typeTag(m.Body); err == nil {
+			if c, ok := b.metrics.byType[tag]; ok {
+				c.Inc()
+			}
+		}
+		if data, err := Marshal(m); err == nil {
+			b.metrics.bytes.Add(uint64(len(data)))
+		}
+	}
 	delay := b.remoteDelay
 	if from, to := b.hostOf[m.From], b.hostOf[addr]; from != "" && from == to {
 		delay = b.localDelay
@@ -74,9 +123,15 @@ func (b *Bus) Send(addr string, m Message) error {
 		h, ok := b.handlers[addr]
 		if !ok {
 			b.Dropped++
+			if b.metrics != nil {
+				b.metrics.dropped.Inc()
+			}
 			return
 		}
 		b.Delivered++
+		if b.metrics != nil {
+			b.metrics.delivered.Inc()
+		}
 		h(m)
 	})
 	return nil

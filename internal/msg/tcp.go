@@ -5,7 +5,34 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"softqos/internal/telemetry"
 )
+
+// tcpMetrics holds the TCP transport's pre-resolved metric handles,
+// shared by every connection attached to the same registry.
+type tcpMetrics struct {
+	sent      *telemetry.Counter
+	received  *telemetry.Counter
+	sentBytes *telemetry.Counter
+	recvBytes *telemetry.Counter
+	byType    map[string]*telemetry.Counter
+}
+
+func newTCPMetrics(reg *telemetry.Registry) *tcpMetrics {
+	m := &tcpMetrics{
+		sent:      reg.Counter("msg.tcp.sent"),
+		received:  reg.Counter("msg.tcp.received"),
+		sentBytes: reg.Counter("msg.tcp.sent_bytes"),
+		recvBytes: reg.Counter("msg.tcp.recv_bytes"),
+		byType:    make(map[string]*telemetry.Counter, len(typeTags)),
+	}
+	for _, tag := range typeTags {
+		m.byType[tag] = reg.Counter("msg.tcp.sent." + tag)
+	}
+	return m
+}
 
 // Conn is a JSON-lines message connection over a net.Conn — the live-mode
 // analogue of the prototype's management sockets.
@@ -15,6 +42,18 @@ type Conn struct {
 
 	mu sync.Mutex // serializes writes
 	w  *bufio.Writer
+
+	metrics atomic.Pointer[tcpMetrics]
+}
+
+// SetMetrics attaches the connection to a metrics registry (counters
+// under "msg.tcp.*"). Safe to call concurrently with Send/Recv.
+func (c *Conn) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		c.metrics.Store(nil)
+		return
+	}
+	c.metrics.Store(newTCPMetrics(reg))
 }
 
 // NewConn wraps an established network connection.
@@ -45,7 +84,19 @@ func (c *Conn) Send(m Message) error {
 	if err := c.w.WriteByte('\n'); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if tm := c.metrics.Load(); tm != nil {
+		tm.sent.Inc()
+		tm.sentBytes.Add(uint64(len(data) + 1))
+		if tag, err := typeTag(m.Body); err == nil {
+			if ctr, ok := tm.byType[tag]; ok {
+				ctr.Inc()
+			}
+		}
+	}
+	return nil
 }
 
 // Recv blocks for the next message.
@@ -53,6 +104,10 @@ func (c *Conn) Recv() (Message, error) {
 	line, err := c.r.ReadBytes('\n')
 	if err != nil {
 		return Message{}, err
+	}
+	if tm := c.metrics.Load(); tm != nil {
+		tm.received.Inc()
+		tm.recvBytes.Add(uint64(len(line)))
 	}
 	return Unmarshal(line)
 }
@@ -70,6 +125,22 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	conns  map[*Conn]struct{}
+	tm     *tcpMetrics
+}
+
+// SetMetrics attaches the server to a metrics registry: every current and
+// future accepted connection records under "msg.tcp.*".
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	var tm *tcpMetrics
+	if reg != nil {
+		tm = newTCPMetrics(reg)
+	}
+	s.mu.Lock()
+	s.tm = tm
+	for c := range s.conns {
+		c.metrics.Store(tm)
+	}
+	s.mu.Unlock()
 }
 
 // Serve starts a message server on addr (use "127.0.0.1:0" for an
@@ -104,6 +175,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[c] = struct{}{}
+		c.metrics.Store(s.tm)
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.readLoop(c)

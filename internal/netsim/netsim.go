@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"softqos/internal/sim"
+	"softqos/internal/telemetry"
 )
 
 // Packet is one unit of traffic in flight.
@@ -118,6 +119,32 @@ type Network struct {
 
 	Delivered uint64
 	Lost      uint64
+
+	reg *telemetry.Registry
+}
+
+// SetMetrics attaches the network to a metrics registry: pull gauges for
+// delivery/loss totals and, per switch, instantaneous queue depth plus
+// cumulative arrivals/drops/served bytes ("netsim.<switch>.*"). Switches
+// added later register automatically.
+func (n *Network) SetMetrics(reg *telemetry.Registry) {
+	n.reg = reg
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("netsim.delivered", func() float64 { return float64(n.Delivered) })
+	reg.GaugeFunc("netsim.lost", func() float64 { return float64(n.Lost) })
+	for _, w := range n.switches {
+		n.registerSwitchMetrics(w)
+	}
+}
+
+func (n *Network) registerSwitchMetrics(w *Switch) {
+	prefix := "netsim." + w.name + "."
+	n.reg.GaugeFunc(prefix+"queued_bytes", func() float64 { return float64(w.QueuedBytes(n.sim.Now())) })
+	n.reg.GaugeFunc(prefix+"arrivals", func() float64 { return float64(w.Arrivals) })
+	n.reg.GaugeFunc(prefix+"drops", func() float64 { return float64(w.Drops) })
+	n.reg.GaugeFunc(prefix+"bytes_served", func() float64 { return float64(w.BytesServed) })
 }
 
 // New creates an empty network on the simulator.
@@ -156,6 +183,9 @@ func (n *Network) AddSwitch(name string, rate float64, qcap int) *Switch {
 	}
 	w := &Switch{name: name, rate: rate, qcap: qcap, flows: make(map[string]*FlowStats)}
 	n.switches[name] = w
+	if n.reg != nil {
+		n.registerSwitchMetrics(w)
+	}
 	return w
 }
 

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"softqos/internal/telemetry"
+	"softqos/internal/video"
+)
+
+// snapshotRun builds cfg, runs warmup+measure, and renders the telemetry
+// snapshot plus trace table as one text blob.
+func snapshotRun(t *testing.T, cfg Config, warmup, measure time.Duration) (string, []*telemetry.Trace) {
+	t.Helper()
+	sys := Build(cfg)
+	sys.Run(warmup, measure)
+	var b strings.Builder
+	if err := sys.Metrics.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	traces := sys.Tracer.Traces()
+	if err := telemetry.WriteTraceTable(&b, traces); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), traces
+}
+
+// TestDeterminismGolden runs each scenario twice with the same seed and
+// requires byte-identical telemetry output: the simulation — including
+// every counter, histogram quantile and trace span — must be a pure
+// function of the seed.
+func TestDeterminismGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"single-host", Config{Seed: 7, ClientLoad: 5, Managed: true}},
+		{"cross-host", Config{Seed: 7, Managed: true, ServerLoad: 4,
+			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
+				DecodeCost: 10 * time.Millisecond}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, traces := snapshotRun(t, tc.cfg, 30*time.Second, 2*time.Minute)
+			b, _ := snapshotRun(t, tc.cfg, 30*time.Second, 2*time.Minute)
+			if a != b {
+				t.Fatalf("same seed produced different telemetry:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+			recovered := 0
+			for _, tr := range traces {
+				if _, ok := tr.TimeToRecovery(); ok {
+					recovered++
+				}
+			}
+			if recovered == 0 {
+				t.Errorf("no recovered violation trace in %d traces", len(traces))
+			}
+			if !strings.Contains(a, "# counters") || !strings.Contains(a, "# histograms") {
+				t.Error("snapshot text missing expected sections")
+			}
+		})
+	}
+}
+
+// TestDeterminismConfigSensitivity guards against the trivial way the
+// golden test could pass: telemetry that never varies at all.
+func TestDeterminismConfigSensitivity(t *testing.T) {
+	a, _ := snapshotRun(t, Config{Seed: 7, ClientLoad: 5, Managed: true}, 30*time.Second, 2*time.Minute)
+	b, _ := snapshotRun(t, Config{Seed: 7, ClientLoad: 7, Managed: true}, 30*time.Second, 2*time.Minute)
+	if a == b {
+		t.Error("different loads produced identical telemetry snapshots")
+	}
+}

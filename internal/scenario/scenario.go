@@ -20,6 +20,7 @@ import (
 	"softqos/internal/repository"
 	"softqos/internal/sched"
 	"softqos/internal/sim"
+	"softqos/internal/telemetry"
 	"softqos/internal/video"
 )
 
@@ -130,6 +131,11 @@ type System struct {
 	CoreSwitch   *netsim.Switch
 	BackupSwitch *netsim.Switch
 
+	// Metrics and Tracer observe the whole control loop on the virtual
+	// clock; snapshots are byte-identical across same-seed runs.
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
+
 	// Rerouted counts network-fault reroutes performed.
 	Rerouted int
 	// Restarted counts server-process restarts performed.
@@ -145,14 +151,23 @@ func Build(cfg Config) *System {
 	s := sim.New(cfg.Seed)
 	sys.Sim = s
 
+	// Telemetry runs on the virtual clock; no wall clock is installed, so
+	// wall-cost histograms stay silent and snapshots deterministic.
+	sys.Metrics = telemetry.NewRegistry(func() time.Duration { return s.Now().Duration() })
+	sys.Tracer = telemetry.NewTracer(sys.Metrics.Clock())
+
 	// Transports: management bus (message queues locally, sockets across
 	// hosts) and the data-plane network.
 	sys.Bus = msg.NewBus(s, 100*time.Microsecond, 2*time.Millisecond)
 	sys.Net = netsim.New(s)
+	sys.Bus.SetMetrics(sys.Metrics)
+	sys.Net.SetMetrics(sys.Metrics)
 
 	// Hosts: the prototype's workstations.
 	sys.ClientHost = sched.NewHost(s, "client-host", sched.WithMemory(1<<14))
 	sys.ServerHost = sched.NewHost(s, "server-host", sched.WithMemory(1<<14))
+	sys.ClientHost.SetMetrics(sys.Metrics)
+	sys.ServerHost.SetMetrics(sys.Metrics)
 
 	// Network topology: server -> core switch -> client, plus a noise
 	// source that shares the core switch, and optionally a backup path.
@@ -195,6 +210,9 @@ func Build(cfg Config) *System {
 	sys.ServerHM = manager.NewHostManager(ServerHMAddr, sys.ServerHost, send, "")
 	sys.DM = manager.NewDomainManager(DomainAddr, send)
 	sys.DM.RegisterAppServer("VideoApplication", ServerHMAddr, "mpeg_serve")
+	sys.ClientHM.SetTelemetry(sys.Metrics, sys.Tracer)
+	sys.ServerHM.SetTelemetry(sys.Metrics, sys.Tracer)
+	sys.DM.SetTelemetry(sys.Metrics, sys.Tracer)
 	sys.Bus.Bind(ClientHMAddr, "client-host", func(m msg.Message) { sys.ClientHM.HandleMessage(m) })
 	sys.Bus.Bind(ServerHMAddr, "server-host", func(m msg.Message) { sys.ServerHM.HandleMessage(m) })
 	sys.Bus.Bind(DomainAddr, "mgmt", func(m msg.Message) { sys.DM.HandleMessage(m) })
@@ -250,6 +268,7 @@ func Build(cfg Config) *System {
 	})
 
 	sys.Coord = instrument.NewCoordinator(clientID, clock, send, AgentAddr, ClientHMAddr)
+	sys.Coord.SetTelemetry(sys.Metrics, sys.Tracer)
 	sys.Coord.SetNotifyInterval(cfg.NotifyInterval)
 	if cfg.PredictionHorizon > 0 {
 		sys.Coord.SetPredictionHorizon(cfg.PredictionHorizon)

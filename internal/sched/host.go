@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"softqos/internal/sim"
+	"softqos/internal/telemetry"
 )
 
 // pagePenalty is the slowdown multiplier applied to a process whose
@@ -60,6 +61,34 @@ type Host struct {
 	load loadTracker
 
 	busy time.Duration // cumulative CPU busy time across all CPUs
+
+	metrics *hostSchedMetrics
+}
+
+// hostSchedMetrics holds the scheduler's pre-resolved metric handles.
+type hostSchedMetrics struct {
+	dispatches      *telemetry.Counter // context switches onto a CPU
+	preemptions     *telemetry.Counter
+	priorityChanges *telemetry.Counter // management-driven SetBoost/SetClass
+}
+
+// SetMetrics attaches the host's scheduler to a metrics registry:
+// counters for context switches, preemptions and management priority
+// changes, plus pull gauges for run-queue length and load average, all
+// under "sched.<host>.*".
+func (h *Host) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		h.metrics = nil
+		return
+	}
+	prefix := "sched." + h.name + "."
+	h.metrics = &hostSchedMetrics{
+		dispatches:      reg.Counter(prefix + "dispatches"),
+		preemptions:     reg.Counter(prefix + "preemptions"),
+		priorityChanges: reg.Counter(prefix + "priority_changes"),
+	}
+	reg.GaugeFunc(prefix+"run_queue", func() float64 { return float64(h.RunQueueLen()) })
+	reg.GaugeFunc(prefix+"load_avg", func() float64 { return h.LoadAvg() })
 }
 
 // NewHost creates a host attached to the simulator. Load-average sampling
@@ -267,6 +296,9 @@ func (h *Host) rebalance() {
 		}
 		h.unplug(victim)
 		victim.preemptions++
+		if h.metrics != nil {
+			h.metrics.preemptions.Inc()
+		}
 		h.enqueueFront(victim)
 		h.dispatch(h.popReady(hp))
 	}
@@ -285,6 +317,9 @@ func (h *Host) popReady(prio int) *Proc {
 func (h *Host) dispatch(p *Proc) {
 	p.state = Running
 	p.dispatches++
+	if h.metrics != nil {
+		h.metrics.dispatches.Inc()
+	}
 	p.dispatchedAt = h.sim.Now()
 	h.running = append(h.running, p)
 

@@ -274,6 +274,9 @@ func (p *Proc) SetBoost(b int) {
 		return
 	}
 	p.boost = b
+	if p.host.metrics != nil {
+		p.host.metrics.priorityChanges.Inc()
+	}
 	p.reprioritize()
 }
 
@@ -285,6 +288,9 @@ func (p *Proc) SetClass(c Class, prio int) {
 	}
 	p.class = c
 	p.dyn = clampTS(prio)
+	if p.host.metrics != nil {
+		p.host.metrics.priorityChanges.Inc()
+	}
 	p.reprioritize()
 }
 

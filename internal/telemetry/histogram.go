@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultMaxSamples bounds the raw samples a histogram retains per
+// window. Beyond it the sample set is deterministically decimated (every
+// second retained sample kept, then every fourth, ...), so quantiles stay
+// exact for small populations and become a uniform thinning for huge
+// ones — never a random reservoir, which would break reproducibility.
+const defaultMaxSamples = 8192
+
+// Histogram records a stream of observations and reports exact quantiles
+// over a sliding window (or the whole run when the window is zero).
+// Min/max/sum/count always cover every observation ever made, windowed or
+// not. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	clock  Clock
+	window time.Duration
+	maxN   int
+
+	cur      []float64
+	prev     []float64
+	curStart time.Duration
+	started  bool
+	stride   int // record every stride-th observation once decimating
+	skip     int // observations until the next recorded sample
+
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// NewHistogram creates a histogram on the given clock. A positive window
+// makes quantiles cover roughly the last two windows of observations;
+// window 0 means cumulative. Most callers use Registry.Histogram instead.
+func NewHistogram(clock Clock, window time.Duration) *Histogram {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Histogram{clock: clock, window: window, maxN: defaultMaxSamples, stride: 1}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rollover(h.clock())
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.skip > 0 {
+		h.skip--
+		return
+	}
+	h.skip = h.stride - 1
+	h.cur = append(h.cur, v)
+	if len(h.cur) >= h.maxN {
+		// Deterministic decimation: halve the retained samples and record
+		// half as often from here on.
+		kept := h.cur[:0]
+		for i := 0; i < len(h.cur); i += 2 {
+			kept = append(kept, h.cur[i])
+		}
+		h.cur = kept
+		h.stride *= 2
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// rollover advances the window state to the instant now. Called with the
+// lock held.
+func (h *Histogram) rollover(now time.Duration) {
+	if h.window <= 0 {
+		return
+	}
+	if !h.started {
+		h.started = true
+		h.curStart = now
+		return
+	}
+	elapsed := now - h.curStart
+	switch {
+	case elapsed < h.window:
+		return
+	case elapsed < 2*h.window:
+		// One window boundary crossed: the current window completes.
+		h.prev = h.cur
+		h.cur = nil
+		h.curStart += h.window
+	default:
+		// An idle gap longer than a full window: everything is stale.
+		h.prev = nil
+		h.cur = nil
+		h.curStart = now - (elapsed % h.window)
+	}
+	h.stride, h.skip = 1, 0
+}
+
+// Count returns the total number of observations ever made.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of every observation ever made.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean of every observation ever made (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max cover every observation ever made (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the windowed sample
+// set using the nearest-rank method on the sorted samples: the value at
+// index ceil(q*n)-1. It reports false when the window holds no samples
+// (nothing observed yet, or the window went idle).
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rollover(h.clock())
+	n := len(h.prev) + len(h.cur)
+	if n == 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	samples := make([]float64, 0, n)
+	samples = append(samples, h.prev...)
+	samples = append(samples, h.cur...)
+	sort.Float64s(samples)
+	idx := int(float64(n)*q+0.9999999999) - 1 // ceil(q*n)-1 without math.Ceil FP drama
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return samples[idx], true
+}
+
+// Quantiles returns p50, p95 and p99 in one pass (all zero when the
+// window is empty).
+func (h *Histogram) Quantiles() (p50, p95, p99 float64) {
+	p50, _ = h.Quantile(0.50)
+	p95, _ = h.Quantile(0.95)
+	p99, _ = h.Quantile(0.99)
+	return
+}
+
+// WindowSamples reports how many raw samples currently back quantile
+// queries (after any decimation).
+func (h *Histogram) WindowSamples() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rollover(h.clock())
+	return len(h.prev) + len(h.cur)
+}

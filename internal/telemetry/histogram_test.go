@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for window tests.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) fn() Clock { return func() time.Duration { return c.now } }
+
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+		ok      bool
+	}{
+		{"empty window", nil, 0.5, 0, false},
+		{"single sample p50", []float64{42}, 0.5, 42, true},
+		{"single sample p99", []float64{42}, 0.99, 42, true},
+		{"two samples p50", []float64{1, 9}, 0.5, 1, true},
+		{"two samples p95", []float64{1, 9}, 0.95, 9, true},
+		{"four samples p50", []float64{4, 1, 3, 2}, 0.5, 2, true},
+		{"four samples p75", []float64{4, 1, 3, 2}, 0.75, 3, true},
+		{"ten samples p90", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.9, 9, true},
+		{"hundred samples p99", seq(100), 0.99, 99, true},
+		{"hundred samples p100", seq(100), 1.0, 100, true},
+		{"invalid q zero", []float64{1, 2}, 0, 0, false},
+		{"invalid q above one", []float64{1, 2}, 1.5, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(nil, 0)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			got, ok := h.Quantile(tc.q)
+			if ok != tc.ok || got != tc.want {
+				t.Errorf("Quantile(%v) = (%v, %v), want (%v, %v)", tc.q, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func TestHistogramCumulativeStats(t *testing.T) {
+	h := NewHistogram(nil, 0)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram stats: count=%d mean=%v min=%v max=%v",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	for _, v := range []float64{3, -1, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Min() != -1 || h.Max() != 10 || h.Mean() != 4 {
+		t.Errorf("stats: count=%d min=%v max=%v mean=%v", h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramWindowRollover(t *testing.T) {
+	clk := &fakeClock{}
+	h := NewHistogram(clk.fn(), time.Second)
+
+	// Window 1: observe 1..4.
+	for i, v := range []float64{1, 2, 3, 4} {
+		clk.now = time.Duration(i) * 100 * time.Millisecond
+		h.Observe(v)
+	}
+	// Cross into window 2: window 1 becomes the previous window and
+	// still backs quantiles alongside new samples.
+	clk.now = 1100 * time.Millisecond
+	h.Observe(100)
+	if got, ok := h.Quantile(1.0); !ok || got != 100 {
+		t.Errorf("after one rollover p100 = (%v,%v), want 100", got, ok)
+	}
+	if got, ok := h.Quantile(0.5); !ok || got != 3 {
+		t.Errorf("after one rollover p50 = (%v,%v), want 3 over {1,2,3,4,100}", got, ok)
+	}
+	if n := h.WindowSamples(); n != 5 {
+		t.Errorf("window samples = %d, want 5", n)
+	}
+
+	// Cross into window 3: samples from window 1 age out.
+	clk.now = 2100 * time.Millisecond
+	h.Observe(200)
+	if got, ok := h.Quantile(0.5); !ok || got != 100 {
+		t.Errorf("after two rollovers p50 = (%v,%v), want 100 over {100,200}", got, ok)
+	}
+
+	// A gap longer than a full window empties the whole sample set, but
+	// cumulative stats survive.
+	clk.now = 10 * time.Second
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("quantile available after idle gap, want empty window")
+	}
+	if h.Count() != 6 || h.Max() != 200 {
+		t.Errorf("cumulative stats lost: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramDecimationStaysDeterministic(t *testing.T) {
+	a := NewHistogram(nil, 0)
+	b := NewHistogram(nil, 0)
+	for i := 0; i < 3*defaultMaxSamples; i++ {
+		v := float64(i % 1000)
+		a.Observe(v)
+		b.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		av, aok := a.Quantile(q)
+		bv, bok := b.Quantile(q)
+		if av != bv || aok != bok {
+			t.Errorf("q=%v diverged: %v vs %v", q, av, bv)
+		}
+	}
+	if a.Count() != uint64(3*defaultMaxSamples) {
+		t.Errorf("count = %d, want %d", a.Count(), 3*defaultMaxSamples)
+	}
+	// Decimated quantiles stay close to the true distribution.
+	if p50, _ := a.Quantile(0.5); p50 < 400 || p50 > 600 {
+		t.Errorf("decimated p50 = %v, want ≈500", p50)
+	}
+}

@@ -1,0 +1,153 @@
+// Package telemetry is the measurement substrate of the control loop: a
+// lock-cheap metrics registry (counters, gauges, windowed histograms) and
+// a causal trace log that stitches one QoS violation's lifecycle — sensor
+// alarm → coordinator violation → host-manager diagnosis → directive or
+// escalation → resource adaptation → recovery — into a single spanned
+// record with a time-to-recovery.
+//
+// Everything runs on an injected clock, so the same code measures the
+// virtual clock of the simulation (deterministic: two runs with the same
+// seed produce byte-identical snapshots) and the wall clock in live mode.
+// Real-time cost profiling (nanoseconds spent inside an instrumentation
+// pass or an inference episode) is opt-in via SetWallClock; it is left
+// off in simulation so snapshots stay reproducible.
+//
+// Hot-path discipline: components resolve their Counter/Gauge/Histogram
+// handles once at attach time and then update them with a single atomic
+// operation (counters, gauges) or a short mutex (histograms). The
+// registry lock is only taken at registration and snapshot time.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock returns the current time as a duration from an arbitrary fixed
+// origin — the virtual clock in simulation, wall clock in live mode.
+type Clock func() time.Duration
+
+// Counter is a monotonically increasing count. Safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value-wins instantaneous measurement. Safe for
+// concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (not atomic against concurrent Set; the
+// management plane mutates each gauge from one goroutine).
+func (g *Gauge) Add(delta float64) { g.Set(g.Value() + delta) }
+
+// Value returns the last recorded value (zero before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry owns a flat, name-keyed set of metrics. Metric names are
+// dot-separated paths, lowercase, with the owning component first:
+// "instrument.alarms", "sched.client-host.dispatches",
+// "netsim.sw-core.queued_bytes".
+type Registry struct {
+	clock Clock
+	wall  Clock // nil unless wall-cost profiling is enabled
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates a registry on the given clock (virtual or wall).
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Registry{
+		clock:    clock,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Clock returns the registry's primary clock.
+func (r *Registry) Clock() Clock { return r.clock }
+
+// SetWallClock enables real-time cost profiling: components that measure
+// the wall-clock cost of hot operations (instrumentation passes, rule
+// inference) record into their *_ns histograms only when this is set.
+// Leave it nil in simulation so snapshots stay deterministic.
+func (r *Registry) SetWallClock(fn Clock) {
+	r.mu.Lock()
+	r.wall = fn
+	r.mu.Unlock()
+}
+
+// WallClock returns the profiling clock, or nil when profiling is off.
+func (r *Registry) WallClock() Clock {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wall
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at snapshot
+// time (e.g. a switch's instantaneous queue depth). Re-registering a name
+// replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the named histogram. A
+// positive window makes it a sliding-window histogram over roughly the
+// last two windows of observations; window 0 accumulates over the whole
+// run. The window of an already-registered histogram is not changed.
+func (r *Registry) Histogram(name string, window time.Duration) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(r.clock, window)
+		r.hists[name] = h
+	}
+	return h
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage names used by the framework's spans. The set is open — Event
+// accepts any stage string — but the canonical lifecycle is:
+//
+//	violation  coordinator: policy expression went false
+//	notify     coordinator: violation report sent to the host manager
+//	diagnose   host manager: inference episode over the report
+//	adapt      resource manager action (boost-cpu, adjust-memory, ...)
+//	escalate   host manager: alarm forwarded to the domain manager
+//	locate     domain manager: cross-host diagnosis outcome
+//	directive  corrective directive pushed to a host manager / process
+//	recovered  coordinator: policy expression true again
+const (
+	StageViolation = "violation"
+	StageNotify    = "notify"
+	StageDiagnose  = "diagnose"
+	StageAdapt     = "adapt"
+	StageEscalate  = "escalate"
+	StageLocate    = "locate"
+	StageDirective = "directive"
+	StageRecovered = "recovered"
+)
+
+// Span is one step of a violation's lifecycle.
+type Span struct {
+	At     time.Duration // clock time the step happened
+	Stage  string
+	Detail string
+}
+
+// Trace is the causal record of one violation episode: from the instant
+// a policy's expression went false to the instant it evaluated true
+// again, with every management step between.
+type Trace struct {
+	Subject string // the managed process (Identity.Address())
+	Policy  string
+	Start   time.Duration
+	Spans   []Span
+	// End and Recovered are set when the policy evaluated true again. A
+	// trace that never recovers exports with Recovered false.
+	End       time.Duration
+	Recovered bool
+}
+
+// TimeToRecovery returns how long the violation lasted; ok is false for
+// a still-open trace.
+func (t *Trace) TimeToRecovery() (time.Duration, bool) {
+	if !t.Recovered {
+		return 0, false
+	}
+	return t.End - t.Start, true
+}
+
+// maxTraces bounds retained completed traces; older episodes are kept
+// (they are complete) and newer ones are dropped and counted.
+const maxTraces = 4096
+
+// Tracer assembles violation traces. One violation per (subject, policy)
+// pair may be open at a time: a repeated violation report while open is
+// recorded as a span of the existing trace rather than a new trace.
+// Safe for concurrent use.
+type Tracer struct {
+	clock Clock
+
+	mu      sync.Mutex
+	active  map[string]*Trace
+	done    []*Trace
+	dropped uint64
+}
+
+// NewTracer creates a tracer on the given clock.
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Tracer{clock: clock, active: make(map[string]*Trace)}
+}
+
+func traceKey(subject, policy string) string { return subject + "|" + policy }
+
+// Begin opens a trace for the (subject, policy) violation, recording the
+// initial violation span. If a trace is already open for the pair the
+// call records a re-violation span on it instead.
+func (tr *Tracer) Begin(subject, policy, detail string) {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	key := traceKey(subject, policy)
+	if t, open := tr.active[key]; open {
+		t.Spans = append(t.Spans, Span{At: now, Stage: StageViolation, Detail: detail})
+		return
+	}
+	tr.active[key] = &Trace{
+		Subject: subject,
+		Policy:  policy,
+		Start:   now,
+		Spans:   []Span{{At: now, Stage: StageViolation, Detail: detail}},
+	}
+}
+
+// Event appends a span to the open trace for (subject, policy); it is a
+// no-op when no trace is open (e.g. management actions for overshoot
+// episodes, which are not violations).
+func (tr *Tracer) Event(subject, policy, stage, detail string) {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if t, open := tr.active[traceKey(subject, policy)]; open {
+		t.Spans = append(t.Spans, Span{At: now, Stage: stage, Detail: detail})
+	}
+}
+
+// Resolve closes the open trace for (subject, policy): the policy's
+// expression evaluated true again. No-op when no trace is open.
+func (tr *Tracer) Resolve(subject, policy string) {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	key := traceKey(subject, policy)
+	t, open := tr.active[key]
+	if !open {
+		return
+	}
+	delete(tr.active, key)
+	t.Spans = append(t.Spans, Span{At: now, Stage: StageRecovered})
+	t.End = now
+	t.Recovered = true
+	if len(tr.done) >= maxTraces {
+		tr.dropped++
+		return
+	}
+	tr.done = append(tr.done, t)
+}
+
+// Traces returns completed traces in completion order followed by
+// still-open traces ordered by (subject, policy) — a deterministic
+// ordering for a deterministic simulation. The returned slice is a
+// snapshot; the *Trace values of open traces may still gain spans.
+func (tr *Tracer) Traces() []*Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Trace, 0, len(tr.done)+len(tr.active))
+	out = append(out, tr.done...)
+	open := make([]*Trace, 0, len(tr.active))
+	for _, t := range tr.active {
+		open = append(open, t)
+	}
+	sort.Slice(open, func(i, j int) bool {
+		if open[i].Subject != open[j].Subject {
+			return open[i].Subject < open[j].Subject
+		}
+		return open[i].Policy < open[j].Policy
+	})
+	return append(out, open...)
+}
+
+// Completed returns how many traces have recovered.
+func (tr *Tracer) Completed() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.done)
+}
+
+// Open returns how many traces are still unresolved.
+func (tr *Tracer) Open() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.active)
+}
+
+// Dropped returns how many completed traces were discarded after the
+// retention cap was reached.
+func (tr *Tracer) Dropped() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dropped
+}

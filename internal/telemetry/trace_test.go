@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	clk := &fakeClock{now: 10 * time.Second}
+	tr := NewTracer(clk.fn())
+
+	tr.Begin("/h/app/exe/101", "P", "frame_rate=14")
+	clk.now = 11 * time.Second
+	tr.Event("/h/app/exe/101", "P", StageNotify, "")
+	tr.Event("/h/app/exe/101", "P", StageAdapt, "boost-cpu +10")
+	clk.now = 12 * time.Second
+	tr.Resolve("/h/app/exe/101", "P")
+
+	traces := tr.Traces()
+	if len(traces) != 1 || tr.Completed() != 1 || tr.Open() != 0 {
+		t.Fatalf("traces=%d completed=%d open=%d", len(traces), tr.Completed(), tr.Open())
+	}
+	got := traces[0]
+	if ttr, ok := got.TimeToRecovery(); !ok || ttr != 2*time.Second {
+		t.Errorf("TTR = (%v, %v), want 2s", ttr, ok)
+	}
+	stages := make([]string, len(got.Spans))
+	for i, sp := range got.Spans {
+		stages[i] = sp.Stage
+	}
+	want := []string{StageViolation, StageNotify, StageAdapt, StageRecovered}
+	if strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Errorf("stages = %v, want %v", stages, want)
+	}
+}
+
+func TestTraceReviolationJoinsOpenTrace(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Begin("s", "P", "first")
+	tr.Begin("s", "P", "second") // paced re-report, same episode
+	if tr.Open() != 1 {
+		t.Fatalf("open = %d, want 1", tr.Open())
+	}
+	tr.Resolve("s", "P")
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (violation, violation, recovered)", len(traces[0].Spans))
+	}
+}
+
+func TestTraceNeverRecoversStillExports(t *testing.T) {
+	clk := &fakeClock{now: 5 * time.Second}
+	tr := NewTracer(clk.fn())
+	tr.Begin("/h/app/exe/200", "Q", "stuck")
+	clk.now = 6 * time.Second
+	tr.Event("/h/app/exe/200", "Q", StageEscalate, "")
+
+	traces := tr.Traces()
+	if len(traces) != 1 || traces[0].Recovered {
+		t.Fatalf("open trace not exported: %+v", traces)
+	}
+	if _, ok := traces[0].TimeToRecovery(); ok {
+		t.Error("open trace reported a time-to-recovery")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTraceTable(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ttr=open") || !strings.Contains(out, "0 recovered, 1 open") {
+		t.Errorf("trace table missing open marker:\n%s", out)
+	}
+	if !strings.Contains(out, StageEscalate) {
+		t.Errorf("trace table missing span stage:\n%s", out)
+	}
+}
+
+func TestTraceEventWithoutOpenTraceIsNoop(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Event("s", "P", StageAdapt, "stray")
+	tr.Resolve("s", "P")
+	if len(tr.Traces()) != 0 {
+		t.Error("stray event/resolve created a trace")
+	}
+}
+
+func TestTracerOpenOrderDeterministic(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Begin("b", "P", "")
+	tr.Begin("a", "Z", "")
+	tr.Begin("a", "A", "")
+	got := tr.Traces()
+	if len(got) != 3 || got[0].Subject != "a" || got[0].Policy != "A" ||
+		got[1].Policy != "Z" || got[2].Subject != "b" {
+		t.Errorf("open order = %v", got)
+	}
+}
+
+func TestRegistrySnapshotSortedAndDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry(nil)
+		r.Counter("z.count").Add(3)
+		r.Counter("a.count").Inc()
+		r.Gauge("m.gauge").Set(1.5)
+		r.GaugeFunc("f.gauge", func() float64 { return 2.25 })
+		h := r.Histogram("h.hist", 0)
+		for _, v := range []float64{5, 1, 3} {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("snapshots differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	if strings.Index(out, "a.count") > strings.Index(out, "z.count") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "p50=3") {
+		t.Errorf("histogram line missing quantiles:\n%s", out)
+	}
+
+	var csv bytes.Buffer
+	if err := build().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "counter,a.count,value,1") {
+		t.Errorf("csv missing counter row:\n%s", csv.String())
+	}
+}
