@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench examples live-smoke clean
 
 all: check
 
@@ -18,13 +18,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Compile every runnable entry point (the examples and qosd) so a
+# library refactor cannot silently break them.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+
 # Tier-1 tests: always run with -race.
 test: race
 
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet examples race
+
+# The live-mode gate: the full control loop (register -> violation ->
+# rule firing -> directive -> recovery) over real TCP, plus the live
+# manager wiring tests, under the race detector with a short timeout.
+live-smoke:
+	$(GO) test -race -timeout 60s -v -run 'TestLiveEndToEndControlLoop|TestLiveHostManager|TestFullLiveStack' .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

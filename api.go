@@ -100,7 +100,17 @@ type (
 	Coordinator = instrument.Coordinator
 	// Clock supplies time to sensors.
 	Clock = instrument.Clock
+	// Actuator is an adaptation knob a manager can drive through an
+	// actuate directive.
+	Actuator = instrument.Actuator
+	// FuncActuator adapts a plain function into an Actuator.
+	FuncActuator = instrument.FuncActuator
 )
+
+// NewFuncActuator wraps fn as an actuator with the given ID.
+func NewFuncActuator(name string, fn func(args ...string) error) *FuncActuator {
+	return &FuncActuator{Name: name, Fn: fn}
+}
 
 // NewRateSensor creates a rate sensor with the given reporting window.
 func NewRateSensor(id, attr string, clock Clock, window time.Duration) *RateSensor {

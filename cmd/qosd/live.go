@@ -1,0 +1,209 @@
+// Live mode: qosd -live runs the exact same management stack as the
+// simulator — internal/manager's HostManager with its inference engine
+// and resource managers, the policy agent, the instrumented coordinator
+// — over real TCP under the wall clock.
+//
+// One process, full session (default):
+//
+//	qosd -live -duration 5s [-metrics]
+//
+// starts a policy agent node, a host-manager node and an instrumented
+// "player" workload on loopback, starves the player, and reports the
+// control loop closing: violation reports → rule firings → CPU boosts →
+// saturation → a frame_skip adaptation directive → recovery.
+//
+// Multi-process session (one role per OS process):
+//
+//	qosd -live -role agent   -listen 127.0.0.1:7001
+//	qosd -live -role manager -listen 127.0.0.1:7002
+//	qosd -live -role workload -agent-addr 127.0.0.1:7001 \
+//	     -manager-addr 127.0.0.1:7002 -duration 5s
+//
+// The agent and manager roles serve until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"softqos"
+	"softqos/internal/manager"
+	"softqos/internal/runtime"
+	"softqos/internal/telemetry"
+)
+
+var (
+	live     = flag.Bool("live", false, "run in live mode (TCP + wall clock) instead of simulating")
+	role     = flag.String("role", "all", "live role: all|agent|manager|workload")
+	listen   = flag.String("listen", "127.0.0.1:0", "listen address for the agent and manager roles")
+	agentTCP = flag.String("agent-addr", "", "policy agent TCP address (workload role)")
+	mgrTCP   = flag.String("manager-addr", "", "host manager TCP address (workload role)")
+)
+
+// liveRepository builds the paper's video-application information model
+// with the Example 1 policy — the repository the live agent serves from.
+func liveRepository() *softqos.RepositoryService {
+	svc := softqos.NewRepositoryService(softqos.NewDirectory())
+	checkLive(svc.DefineApplication("VideoApplication", "mpeg_play"))
+	checkLive(svc.DefineExecutable("mpeg_play", map[string][]string{
+		"fps_sensor":    {"frame_rate"},
+		"jitter_sensor": {"jitter_rate"},
+		"buffer_sensor": {"buffer_size"},
+	}))
+	checkLive(softqos.NewAdmin(svc).AddPolicy(softqos.Example1Policy, softqos.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}))
+	return svc
+}
+
+func runLive() {
+	switch *role {
+	case "agent":
+		agent, err := softqos.ServeLiveAgent(*listen, liveRepository())
+		checkLive(err)
+		defer agent.Close()
+		fmt.Printf("policy agent listening on %s\n", agent.Addr())
+		waitForInterrupt()
+		regs, fails := agent.Stats()
+		fmt.Printf("registrations: %d ok, %d refused\n", regs, fails)
+
+	case "manager":
+		lm, err := softqos.NewLiveHostManager(*listen, manager.OverloadHostRules)
+		checkLive(err)
+		defer lm.Close()
+		lm.SetOnAdjust(func(a runtime.Adjustment) {
+			fmt.Printf("adjust pid %d: %s -> %d\n", a.PID, a.What, a.Value)
+		})
+		fmt.Printf("host manager listening on %s\n", lm.Addr())
+		waitForInterrupt()
+		fmt.Printf("violations handled: %d (overshoots %d, adjustments %d)\n",
+			lm.Violations(), lm.Overshoots(), len(lm.Adjustments()))
+
+	case "workload":
+		if *agentTCP == "" || *mgrTCP == "" {
+			fmt.Fprintln(os.Stderr, "qosd: -role workload needs -agent-addr and -manager-addr")
+			os.Exit(2)
+		}
+		liveWorkload(*agentTCP, *mgrTCP, nil, nil)
+
+	case "all":
+		agent, err := softqos.ServeLiveAgent("127.0.0.1:0", liveRepository())
+		checkLive(err)
+		defer agent.Close()
+		lm, err := softqos.NewLiveHostManager("127.0.0.1:0", manager.OverloadHostRules)
+		checkLive(err)
+		defer lm.Close()
+		fmt.Printf("policy agent on %s, host manager on %s\n", agent.Addr(), lm.Addr())
+
+		start := time.Now()
+		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
+		agent.SetTelemetry(reg)
+		lm.SetTelemetry(reg, nil)
+		liveWorkload(agent.Addr(), lm.Addr(), lm, reg)
+
+	default:
+		fmt.Fprintf(os.Stderr, "qosd: unknown live role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+// liveWorkload runs the instrumented player: it registers, decodes at a
+// starved ~10 fps against the 25±2 policy, and lets the managers drive
+// it back into the band — first by CPU boosts, then (at saturation) by a
+// frame_skip adaptation directive its actuator applies. lm and reg are
+// non-nil only in the single-process session.
+func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, reg *telemetry.Registry) {
+	coord := softqos.NewLiveCoordinator(softqos.Identity{
+		Host: "live-host", PID: os.Getpid(), Executable: "mpeg_play",
+		Application: "VideoApplication", UserRole: "viewer",
+	}, agentAddr, managerAddr)
+	defer coord.Close()
+	tracer := telemetry.NewTracer(coord.WallClock())
+	coord.SetTelemetry(reg, tracer)
+
+	fps := softqos.NewValueSensor("fps_sensor", "frame_rate", nil)
+	jit := softqos.NewValueSensor("jitter_sensor", "jitter_rate", nil)
+	buf := softqos.NewValueSensor("buffer_sensor", "buffer_size", nil)
+	coord.AddSensor(fps)
+	coord.AddSensor(jit)
+	coord.AddSensor(buf)
+
+	// The player's adaptation knob: skipping frames restores the
+	// delivered rate into the policy band.
+	rate := 10.0
+	coord.AddActuator(softqos.NewFuncActuator("frame_skip", func(args ...string) error {
+		fmt.Printf("t=%v actuate frame_skip %s: degrading gracefully\n",
+			coord.WallClock()().Round(time.Millisecond), strings.Join(args, " "))
+		rate = 23.5
+		return nil
+	}))
+	coord.SetNotifyInterval(0)
+
+	t0 := time.Now()
+	checkLive(coord.Register())
+	fmt.Printf("registered in %v; policies: %v\n",
+		time.Since(t0).Round(time.Microsecond), coord.Policies())
+
+	fmt.Printf("decoding at %.0f fps against the 25±2 policy ...\n", rate)
+	deadline := time.Now().Add(*duration)
+	recovered := false
+	for time.Now().Before(deadline) && !recovered {
+		coord.Sync(func() {
+			jit.Set(0.3)
+			buf.Set(12) // frames queued locally: a host fault
+			fps.Set(rate)
+		})
+		time.Sleep(20 * time.Millisecond)
+		for _, tr := range tracer.Traces() {
+			if _, ok := tr.TimeToRecovery(); ok {
+				recovered = true
+			}
+		}
+	}
+
+	traces := tracer.Traces()
+	fmt.Printf("violation episodes: %d\n", len(traces))
+	for _, tr := range traces {
+		if ttr, ok := tr.TimeToRecovery(); ok {
+			fmt.Printf("recovered in %v\n", ttr.Round(time.Millisecond))
+		}
+	}
+	if !recovered {
+		fmt.Println("no recovery within the deadline")
+	}
+	if lm != nil {
+		fmt.Printf("manager: %d violations handled, %d resource adjustments\n",
+			lm.Violations(), len(lm.Adjustments()))
+		for _, a := range lm.Adjustments() {
+			fmt.Printf("  pid %d: %s -> %d\n", a.PID, a.What, a.Value)
+		}
+	}
+	if *metrics && reg != nil {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			checkLive(err)
+		}
+		fmt.Println()
+		checkLive(telemetry.WriteTraceTable(os.Stdout, traces))
+	}
+	if !recovered {
+		os.Exit(1)
+	}
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func checkLive(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

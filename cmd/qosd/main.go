@@ -9,6 +9,9 @@
 //
 // -metrics appends the full telemetry snapshot (counters, gauges,
 // histograms) and the per-violation causal trace table to the report.
+//
+// qosd -live runs the same manager stack over TCP under the wall clock
+// instead of simulating; see live.go for the roles.
 package main
 
 import (
@@ -35,6 +38,10 @@ var (
 
 func main() {
 	flag.Parse()
+	if *live {
+		runLive()
+		return
+	}
 	switch *scen {
 	case "videostream", "single":
 		run(scenario.Build(scenario.Config{

@@ -31,8 +31,19 @@
 //     deterministic virtual clock. All of the paper's experiments run
 //     here; see the examples/ directory and EXPERIMENTS.md.
 //
-//   - Live: NewLiveCoordinator, ServeLiveAgent and NewLiveCollector run
-//     the same instrumentation code under the wall clock over TCP, used
-//     for the paper's instrumentation-overhead measurements (≈400 µs
-//     initialisation+registration, ≈11 µs per instrumentation pass).
+//   - Live: the same manager stack under the wall clock over TCP.
+//     ServeLiveAgent, NewLiveHostManager and NewLiveDomainManager wire
+//     the identical internal managers (inference engine, resource
+//     managers, escalation) onto TCP transport nodes; NewLiveCoordinator
+//     instruments a real process that registers, reports violations and
+//     executes actuate directives. `qosd -live` runs a full session end
+//     to end. Live mode also hosts the paper's instrumentation-overhead
+//     measurements (≈400 µs initialisation+registration, ≈11 µs per
+//     instrumentation pass).
+//
+// Both modes run the same manager, agent and coordinator code: the
+// runtime differences — clock, transport, process control — are behind
+// the seams runtime.Clock, msg.Transport and runtime.ProcHandle /
+// runtime.HostControl, bound to the simulator in one mode and to the
+// wall clock, TCP and live process handles in the other.
 package softqos

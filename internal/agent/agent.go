@@ -7,10 +7,11 @@ package agent
 import (
 	"softqos/internal/msg"
 	"softqos/internal/repository"
+	"softqos/internal/telemetry"
 )
 
 // Send transmits a management message.
-type Send func(to string, m msg.Message) error
+type Send = msg.SendFunc
 
 // PolicyAgent answers process registrations with their policy sets.
 type PolicyAgent struct {
@@ -19,10 +20,13 @@ type PolicyAgent struct {
 	send Send
 
 	// Registrations counts successful policy deliveries; Failures counts
-	// repository lookups that failed (the coordinator then runs without
-	// policies).
+	// repository lookups that failed (the registrant then receives an
+	// explicit Nack rather than a silently empty policy set).
 	Registrations uint64
 	Failures      uint64
+
+	mRegistrations *telemetry.Counter
+	mFailures      *telemetry.Counter
 }
 
 // New creates a policy agent bound to addr, resolving policies through
@@ -33,6 +37,18 @@ func New(addr string, svc *repository.Service, send Send) *PolicyAgent {
 
 // Addr returns the agent's management address.
 func (a *PolicyAgent) Addr() string { return a.addr }
+
+// SetTelemetry attaches the agent to a metrics registry: counters
+// "agent.registrations" and "agent.failures" (failed repository lookups,
+// i.e. Nacks sent).
+func (a *PolicyAgent) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		a.mRegistrations, a.mFailures = nil, nil
+		return
+	}
+	a.mRegistrations = reg.Counter("agent.registrations")
+	a.mFailures = reg.Counter("agent.failures")
+}
 
 // HandleMessage processes one inbound management message (Register).
 func (a *PolicyAgent) HandleMessage(m msg.Message) {
@@ -47,10 +63,22 @@ func (a *PolicyAgent) HandleMessage(m msg.Message) {
 	}
 	specs, err := a.svc.PoliciesFor(reg.ID)
 	if err != nil {
+		// A failed lookup must not masquerade as "no policies apply":
+		// reply with an explicit Nack so the coordinator knows it is
+		// unmanaged because of a fault, not by configuration.
 		a.Failures++
-		specs = nil
-	} else {
-		a.Registrations++
+		if a.mFailures != nil {
+			a.mFailures.Inc()
+		}
+		_ = a.send(m.From, msg.Message{
+			From: a.addr,
+			Body: msg.Nack{ID: reg.ID, Ref: "register", Reason: err.Error()},
+		})
+		return
+	}
+	a.Registrations++
+	if a.mRegistrations != nil {
+		a.mRegistrations.Inc()
 	}
 	// Policies referencing sensors the process did not report cannot be
 	// enforced there; filter them out rather than poisoning the

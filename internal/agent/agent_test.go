@@ -1,11 +1,15 @@
 package agent
 
 import (
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"softqos/internal/msg"
 	"softqos/internal/policy"
 	"softqos/internal/repository"
+	"softqos/internal/telemetry"
 )
 
 const videoPolicy = `
@@ -100,6 +104,57 @@ func TestAgentUnknownExecutableEmptySet(t *testing.T) {
 	}
 	if a.Registrations != 1 || a.Failures != 0 {
 		t.Errorf("registrations=%d failures=%d", a.Registrations, a.Failures)
+	}
+}
+
+// brokenStore fails every search: the repository is unreachable, the
+// situation the explicit-Nack path exists for.
+type brokenStore struct{ repository.LocalStore }
+
+func (brokenStore) Search(repository.DN, repository.Scope, repository.Filter) ([]*repository.Entry, error) {
+	return nil, errors.New("repository unreachable")
+}
+
+func TestAgentNacksOnLookupFailure(t *testing.T) {
+	svc := repository.NewService(brokenStore{})
+	var sent []msg.Message
+	var to []string
+	a := New("/agent", svc, func(addr string, m msg.Message) error {
+		to = append(to, addr)
+		sent = append(sent, m)
+		return nil
+	})
+	reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+	a.SetTelemetry(reg)
+
+	id := msg.Identity{Host: "h", PID: 7, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(id, "fps_sensor"))
+	if len(sent) != 1 {
+		t.Fatalf("sent %d messages", len(sent))
+	}
+	// The failed lookup must be answered with an explicit Nack — not a
+	// PolicySet the coordinator would mistake for "no policies apply".
+	n, ok := sent[0].Body.(msg.Nack)
+	if !ok {
+		t.Fatalf("reply = %T, want msg.Nack", sent[0].Body)
+	}
+	if n.Ref != "register" || !strings.Contains(n.Reason, "repository unreachable") {
+		t.Errorf("nack = %+v", n)
+	}
+	if n.ID != id {
+		t.Errorf("nack identity = %+v", n.ID)
+	}
+	if to[0] != id.Address()+"/qosl_coordinator" {
+		t.Errorf("nack sent to %q", to[0])
+	}
+	if a.Registrations != 0 || a.Failures != 1 {
+		t.Errorf("registrations=%d failures=%d", a.Registrations, a.Failures)
+	}
+	if v := reg.Counter("agent.failures").Value(); v != 1 {
+		t.Errorf("agent.failures = %d", v)
+	}
+	if v := reg.Counter("agent.registrations").Value(); v != 0 {
+		t.Errorf("agent.registrations = %d", v)
 	}
 }
 

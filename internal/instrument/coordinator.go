@@ -9,7 +9,7 @@ import (
 )
 
 // SendFunc transmits a management message to an address (bus or TCP).
-type SendFunc func(to string, m msg.Message) error
+type SendFunc = msg.SendFunc
 
 // policyObj is the coordinator's runtime representation of one policy
 // (§5.2): a boolean variable per condition, the connective joining them,
@@ -110,6 +110,11 @@ type Coordinator struct {
 	Violations uint64
 	Overshoots uint64
 	Notifies   uint64
+	// Nacks counts registrations the policy agent refused (repository
+	// fault); NackReason keeps the latest cause. The process then runs
+	// unmanaged, knowingly.
+	Nacks      uint64
+	NackReason string
 
 	// Telemetry (optional; see SetTelemetry).
 	metrics *coordMetrics
@@ -255,9 +260,22 @@ func (c *Coordinator) HandleMessage(m msg.Message) error {
 		return c.handleDirective(*body)
 	case msg.Directive:
 		return c.handleDirective(body)
+	case *msg.Nack:
+		return c.handleNack(*body)
+	case msg.Nack:
+		return c.handleNack(body)
 	default:
 		return fmt.Errorf("instrument: coordinator %s: unexpected message %T", c.id.Address(), m.Body)
 	}
+}
+
+// handleNack records a refused registration: the policy agent could not
+// resolve this process's policies, so it stays unmanaged — explicitly,
+// rather than by mistaking the fault for an empty policy set.
+func (c *Coordinator) handleNack(n msg.Nack) error {
+	c.Nacks++
+	c.NackReason = n.Reason
+	return fmt.Errorf("instrument: coordinator %s: registration refused: %s", c.id.Address(), n.Reason)
 }
 
 // handleDirective executes a management directive addressed to the

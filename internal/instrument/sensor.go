@@ -17,12 +17,13 @@ import (
 	"math"
 	"time"
 
+	"softqos/internal/runtime"
 	"softqos/internal/telemetry"
 )
 
 // Clock returns the current (virtual or wall) time as a duration from an
-// arbitrary fixed origin.
-type Clock func() time.Duration
+// arbitrary fixed origin — the runtime seam's clock type.
+type Clock = runtime.Clock
 
 // AlarmFunc receives sensor condition evaluations: condID identifies the
 // watched condition, satisfied its current truth, value the reading that

@@ -8,12 +8,12 @@ import (
 
 	"softqos/internal/msg"
 	"softqos/internal/rules"
-	"softqos/internal/sched"
+	"softqos/internal/runtime"
 	"softqos/internal/telemetry"
 )
 
 // Send transmits a management message (bus or TCP transport).
-type Send func(to string, m msg.Message) error
+type Send = msg.SendFunc
 
 // DefaultHostRules is the QoS Host Manager rule set described in Section
 // 5.3 of the paper, written in the CLIPS-like DSL:
@@ -202,15 +202,19 @@ const DifferentiatedHostRules = `
 
 // managedProc is one process under the host manager's control.
 type managedProc struct {
-	proc *sched.Proc
+	proc runtime.ProcHandle
 	id   msg.Identity
 }
 
 // HostManager is the per-host QoS manager: inference engine, rule base,
-// fact repository and resource managers (Figure 1).
+// fact repository and resource managers (Figure 1). It touches its
+// environment only through the runtime seams (runtime.HostControl,
+// runtime.ProcHandle, a Send function and — for pacing — whatever clock
+// the telemetry registry carries), so the same manager runs under the
+// virtual-clock simulator and in live wall-clock deployments.
 type HostManager struct {
 	addr string
-	host *sched.Host
+	host runtime.HostControl
 	send Send
 
 	engine *rules.Engine
@@ -226,7 +230,13 @@ type HostManager struct {
 	// "restarting a failed process" adaptation) and returns the new
 	// process plus its identity for tracking; nil means restart is not
 	// supported on this host.
-	OnRestart func(executable string) (*sched.Proc, msg.Identity, bool)
+	OnRestart func(executable string) (runtime.ProcHandle, msg.Identity, bool)
+	// OnUnknownProc, if set, resolves a violation report from a process
+	// the manager is not yet tracking (live mode learns processes from
+	// their registrations rather than at spawn). Returning ok tracks the
+	// handle and lets the episode proceed; nil (the simulator's setting)
+	// keeps the strict behavior: count a rule error and drop the report.
+	OnUnknownProc func(id msg.Identity) (runtime.ProcHandle, bool)
 	// Restarts counts restart directives executed.
 	Restarts int
 
@@ -264,7 +274,7 @@ type hmMetrics struct {
 // NewHostManager creates a host manager bound to addr on host, loading
 // the default rule set. Pass domainAddr="" for hosts without a domain
 // manager (escalations are then dropped and counted).
-func NewHostManager(addr string, host *sched.Host, send Send, domainAddr string) *HostManager {
+func NewHostManager(addr string, host runtime.HostControl, send Send, domainAddr string) *HostManager {
 	hm := &HostManager{
 		addr:       addr,
 		host:       host,
@@ -344,7 +354,7 @@ func (hm *HostManager) LoadRules(src string) error { return hm.engine.LoadRules(
 // learned processes from their registration; scenarios call this at
 // spawn. The process's role is asserted as a persistent fact so
 // administrative rules can differentiate allocations by user role.
-func (hm *HostManager) Track(p *sched.Proc, id msg.Identity) {
+func (hm *HostManager) Track(p runtime.ProcHandle, id msg.Identity) {
 	mp := &managedProc{proc: p, id: id}
 	hm.procsByPID[id.PID] = mp
 	hm.procsByExe[id.Executable] = mp
@@ -354,7 +364,7 @@ func (hm *HostManager) Track(p *sched.Proc, id msg.Identity) {
 }
 
 // Tracked returns the process registered for a PID, or nil.
-func (hm *HostManager) Tracked(pid int) *sched.Proc {
+func (hm *HostManager) Tracked(pid int) runtime.ProcHandle {
 	if mp := hm.procsByPID[pid]; mp != nil {
 		return mp.proc
 	}
@@ -533,6 +543,13 @@ func (hm *HostManager) HandleMessage(m msg.Message) {
 func (hm *HostManager) handleViolation(v msg.Violation) {
 	psym := pidSym(v.ID.PID)
 	if _, known := hm.procsByPID[v.ID.PID]; !known {
+		if hm.OnUnknownProc != nil {
+			if p, ok := hm.OnUnknownProc(v.ID); ok {
+				hm.Track(p, v.ID)
+			}
+		}
+	}
+	if _, known := hm.procsByPID[v.ID.PID]; !known {
 		// A report for an untracked process cannot be acted upon.
 		hm.RuleErrors++
 		if hm.metrics != nil {
@@ -614,7 +631,7 @@ func (hm *HostManager) handleQuery(replyTo string, q msg.Query) {
 			exe := strings.TrimPrefix(k, "proc_cpu:")
 			// A dead process reports nothing: the missing key is how the
 			// domain manager detects process failure.
-			if mp, ok := hm.procsByExe[exe]; ok && mp.proc.State() != sched.Exited {
+			if mp, ok := hm.procsByExe[exe]; ok && mp.proc.Alive() {
 				values[k] = mp.proc.CPUTime().Seconds()
 			}
 		case strings.HasPrefix(k, "proc_boost:"):
@@ -655,7 +672,7 @@ func (hm *HostManager) handleDirective(replyTo string, d msg.Directive) {
 				err = fmt.Errorf("manager: restart not supported on %s", hm.host.Name())
 				break
 			}
-			if mp.proc.State() != sched.Exited {
+			if mp.proc.Alive() {
 				err = fmt.Errorf("manager: %s is still running", d.Target)
 				break
 			}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"softqos/internal/msg"
+	"softqos/internal/runtime"
 	"softqos/internal/sched"
 )
 
@@ -41,7 +42,7 @@ func TestHostManagerRestartNotSupported(t *testing.T) {
 
 func TestHostManagerRestartWhileStillRunning(t *testing.T) {
 	r := newRig(t, "")
-	r.hm.OnRestart = func(string) (*sched.Proc, msg.Identity, bool) {
+	r.hm.OnRestart = func(string) (runtime.ProcHandle, msg.Identity, bool) {
 		t.Fatal("OnRestart called for a live process")
 		return nil, msg.Identity{}, false
 	}
@@ -71,7 +72,7 @@ func deadProcRig(t *testing.T) (*rig, msg.Identity) {
 
 func TestHostManagerRestartCallbackFailure(t *testing.T) {
 	r, _ := deadProcRig(t)
-	r.hm.OnRestart = func(string) (*sched.Proc, msg.Identity, bool) {
+	r.hm.OnRestart = func(string) (runtime.ProcHandle, msg.Identity, bool) {
 		return nil, msg.Identity{}, false
 	}
 	r.hm.HandleMessage(directive("restart_proc", "mpeg_serve", 0))
@@ -86,7 +87,7 @@ func TestHostManagerRestartCallbackFailure(t *testing.T) {
 
 func TestHostManagerRestartSuccess(t *testing.T) {
 	r, id := deadProcRig(t)
-	r.hm.OnRestart = func(exe string) (*sched.Proc, msg.Identity, bool) {
+	r.hm.OnRestart = func(exe string) (runtime.ProcHandle, msg.Identity, bool) {
 		np := r.host.Spawn(exe, func(p *sched.Proc) { p.Sleep(time.Hour, p.Exit) })
 		nid := id
 		nid.PID = np.PID()
@@ -102,7 +103,7 @@ func TestHostManagerRestartSuccess(t *testing.T) {
 	}
 	// The replacement is tracked under the same executable and is alive.
 	mp, ok := r.hm.procsByExe["mpeg_serve"]
-	if !ok || mp.proc.State() == sched.Exited {
+	if !ok || !mp.proc.Alive() {
 		t.Error("replacement process not tracked after restart")
 	}
 }

@@ -8,7 +8,7 @@ package manager
 import (
 	"fmt"
 
-	"softqos/internal/sched"
+	"softqos/internal/runtime"
 )
 
 // Boost limits for the CPU manager: how far a process's time-sharing
@@ -20,20 +20,22 @@ const (
 
 // CPUManager adjusts CPU allocations of one host's processes, the way the
 // prototype's CPU resource manager manipulated Solaris time-sharing
-// priorities or allocated real-time cycles.
+// priorities or allocated real-time cycles. It acts through the
+// runtime.ProcHandle port, so the same manager drives simulated and real
+// processes.
 type CPUManager struct {
-	host *sched.Host
+	host runtime.HostControl
 
 	// Adjustments counts boost changes applied (for experiment reports).
 	Adjustments int
 }
 
 // NewCPUManager creates the CPU resource manager for a host.
-func NewCPUManager(h *sched.Host) *CPUManager { return &CPUManager{host: h} }
+func NewCPUManager(h runtime.HostControl) *CPUManager { return &CPUManager{host: h} }
 
 // Boost shifts the process's management priority offset by delta,
 // clamped, returning the resulting offset.
-func (m *CPUManager) Boost(p *sched.Proc, delta int) int {
+func (m *CPUManager) Boost(p runtime.ProcHandle, delta int) int {
 	b := p.Boost() + delta
 	if b > maxBoost {
 		b = maxBoost
@@ -50,43 +52,43 @@ func (m *CPUManager) Boost(p *sched.Proc, delta int) int {
 
 // GrantRealtime moves the process into the real-time class at prio
 // ("allocating units of real-time CPU cycles").
-func (m *CPUManager) GrantRealtime(p *sched.Proc, prio int) {
-	p.SetClass(sched.RT, prio)
+func (m *CPUManager) GrantRealtime(p runtime.ProcHandle, prio int) {
+	p.SetSchedClass(true, prio)
 	m.Adjustments++
 }
 
 // RevokeRealtime returns the process to the time-sharing class.
-func (m *CPUManager) RevokeRealtime(p *sched.Proc) {
-	p.SetClass(sched.TS, 29)
+func (m *CPUManager) RevokeRealtime(p runtime.ProcHandle) {
+	p.SetSchedClass(false, 29)
 	m.Adjustments++
 }
 
 // MemoryManager adjusts resident-set allocations ("adjusting the number
 // of resident pages each process has in physical memory").
 type MemoryManager struct {
-	host *sched.Host
+	host runtime.HostControl
 
 	// Adjustments counts resident-set changes applied.
 	Adjustments int
 }
 
 // NewMemoryManager creates the memory resource manager for a host.
-func NewMemoryManager(h *sched.Host) *MemoryManager { return &MemoryManager{host: h} }
+func NewMemoryManager(h runtime.HostControl) *MemoryManager { return &MemoryManager{host: h} }
 
 // Adjust grows or shrinks the process's resident set by deltaPages,
 // bounded by physical memory, returning the resulting resident size.
-func (m *MemoryManager) Adjust(p *sched.Proc, deltaPages int) int {
+func (m *MemoryManager) Adjust(p runtime.ProcHandle, deltaPages int) int {
 	m.Adjustments++
-	return m.host.SetResident(p, p.Resident()+deltaPages)
+	return p.SetResident(p.Resident() + deltaPages)
 }
 
 // Ensure reserves at least pages resident for the process.
-func (m *MemoryManager) Ensure(p *sched.Proc, pages int) int {
+func (m *MemoryManager) Ensure(p runtime.ProcHandle, pages int) int {
 	if p.Resident() >= pages {
 		return p.Resident()
 	}
 	m.Adjustments++
-	return m.host.SetResident(p, pages)
+	return p.SetResident(pages)
 }
 
 func pidSym(pid int) string { return fmt.Sprintf("p%d", pid) }

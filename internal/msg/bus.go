@@ -14,7 +14,7 @@ import (
 var typeTags = []string{"register", "policyset", "violation", "query", "report", "alarm", "directive", "ack"}
 
 // BusHandler consumes messages delivered to an address.
-type BusHandler func(Message)
+type BusHandler = func(Message)
 
 // Bus is the in-simulation management-plane transport. Each management
 // component (coordinator, policy agent, host manager, domain manager)

@@ -116,15 +116,28 @@ type Ack struct {
 	Err string `json:"err,omitempty"`
 }
 
+// Nack is an explicit failure reply: the receiver could not serve the
+// request (e.g. the policy agent's repository lookup failed), so the
+// sender must not mistake the outcome for an empty result.
+type Nack struct {
+	ID     Identity `json:"id"`
+	Ref    string   `json:"ref"`    // what was being answered, e.g. "register"
+	Reason string   `json:"reason"` // human-readable cause
+}
+
 // Message is the envelope union: exactly one well-known body type.
 type Message struct {
 	From string `json:"from"`
 	Body any    `json:"-"`
 }
 
-// envelope is the JSON wire form with an explicit type tag.
+// envelope is the JSON wire form with an explicit type tag. To carries
+// the destination management address when the frame travels over a
+// routed transport (NetTransport); point-to-point connections leave it
+// empty.
 type envelope struct {
 	From string          `json:"from"`
+	To   string          `json:"to,omitempty"`
 	Type string          `json:"type"`
 	Body json.RawMessage `json:"body"`
 }
@@ -147,6 +160,8 @@ func typeTag(body any) (string, error) {
 		return "directive", nil
 	case Ack, *Ack:
 		return "ack", nil
+	case Nack, *Nack:
+		return "nack", nil
 	default:
 		return "", fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -154,6 +169,12 @@ func typeTag(body any) (string, error) {
 
 // Marshal encodes a message as one JSON line (no trailing newline).
 func Marshal(m Message) ([]byte, error) {
+	return marshalRouted("", m)
+}
+
+// marshalRouted encodes a message addressed to a management address, for
+// transports that multiplex many destinations over one connection.
+func marshalRouted(to string, m Message) ([]byte, error) {
 	tag, err := typeTag(m.Body)
 	if err != nil {
 		return nil, err
@@ -162,15 +183,22 @@ func Marshal(m Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(envelope{From: m.From, Type: tag, Body: raw})
+	return json.Marshal(envelope{From: m.From, To: to, Type: tag, Body: raw})
 }
 
 // Unmarshal decodes one JSON line into a Message whose Body has the
 // concrete type named by the envelope tag.
 func Unmarshal(data []byte) (Message, error) {
+	_, m, err := unmarshalRouted(data)
+	return m, err
+}
+
+// unmarshalRouted decodes one JSON line, also returning the destination
+// management address (empty for point-to-point frames).
+func unmarshalRouted(data []byte) (string, Message, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return Message{}, fmt.Errorf("msg: bad envelope: %w", err)
+		return "", Message{}, fmt.Errorf("msg: bad envelope: %w", err)
 	}
 	var body any
 	switch env.Type {
@@ -190,11 +218,18 @@ func Unmarshal(data []byte) (Message, error) {
 		body = &Directive{}
 	case "ack":
 		body = &Ack{}
+	case "nack":
+		body = &Nack{}
 	default:
-		return Message{}, fmt.Errorf("msg: unknown message type %q", env.Type)
+		return "", Message{}, fmt.Errorf("msg: unknown message type %q", env.Type)
 	}
 	if err := json.Unmarshal(env.Body, body); err != nil {
-		return Message{}, fmt.Errorf("msg: bad %s body: %w", env.Type, err)
+		return "", Message{}, fmt.Errorf("msg: bad %s body: %w", env.Type, err)
 	}
-	return Message{From: env.From, Body: body}, nil
+	return env.To, Message{From: env.From, Body: body}, nil
 }
+
+// SendFunc transmits a management message to a management address. The
+// Send methods of both transports (Bus and NetTransport) satisfy it; the
+// managers and coordinators depend only on this signature.
+type SendFunc func(to string, m Message) error

@@ -1,0 +1,468 @@
+package msg
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"softqos/internal/telemetry"
+)
+
+// Transport is the management-plane transport seam: what the manager
+// stack needs to exchange messages, satisfied by both the in-simulation
+// Bus and the live TCP NetTransport. Send must return an error when the
+// destination is not reachable (unbound address, no route) so callers
+// can detect dead managers.
+type Transport interface {
+	Send(to string, m Message) error
+	Bind(addr, host string, h BusHandler)
+	Unbind(addr string)
+	Bound(addr string) bool
+}
+
+var (
+	_ Transport = (*Bus)(nil)
+	_ Transport = (*NetTransport)(nil)
+)
+
+// netMetrics holds the routed TCP transport's pre-resolved metric
+// handles under "msg.net.*". The per-type tag set includes "nack", which
+// only ever flows live (the sim's pre-registered "msg.bus.*" name set is
+// unchanged, keeping determinism goldens stable).
+type netMetrics struct {
+	sent      *telemetry.Counter
+	delivered *telemetry.Counter
+	dropped   *telemetry.Counter
+	bytes     *telemetry.Counter
+	byType    map[string]*telemetry.Counter
+}
+
+func newNetMetrics(reg *telemetry.Registry) *netMetrics {
+	tags := append(append([]string(nil), typeTags...), "nack")
+	m := &netMetrics{
+		sent:      reg.Counter("msg.net.sent"),
+		delivered: reg.Counter("msg.net.delivered"),
+		dropped:   reg.Counter("msg.net.dropped"),
+		bytes:     reg.Counter("msg.net.bytes"),
+		byType:    make(map[string]*telemetry.Counter, len(tags)),
+	}
+	for _, tag := range tags {
+		m.byType[tag] = reg.Counter("msg.net.sent." + tag)
+	}
+	return m
+}
+
+// NetTransport is the live-mode Transport: one node of a distributed
+// management session. Each process creates one NetTransport, binds its
+// local components' management addresses, and sends to any address —
+// local addresses are delivered in-process, remote ones travel as routed
+// JSON-line envelopes over TCP connections that are dialed on demand and
+// reused.
+//
+// Routing: a destination resolves, in order, to (1) a locally bound
+// handler, (2) a connection learned from a previous inbound message with
+// that From address (reply routing), (3) a static Route entry mapping
+// the management address to a "host:port", or (4) the address itself
+// when it looks like a "host:port". A node receiving a frame whose To
+// address is not bound delivers it to its sole handler if it has exactly
+// one (this lets a single-component node be addressed by its TCP
+// address), otherwise drops it.
+//
+// All local handler invocations — whether from local sends or from any
+// connection's read loop — are serialized on one dispatcher goroutine,
+// so the managers run exactly as single-threaded as they do under the
+// simulator and need no locking. Handlers may call Send freely (it only
+// enqueues or writes, never blocks on dispatch).
+type NetTransport struct {
+	host string
+	ln   net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	handlers map[string]func(Message)
+	routes   map[string]string // management address -> "host:port"
+	learned  map[string]*Conn  // sender management address -> conn
+	dialed   map[string]*Conn  // "host:port" -> conn
+	conns    map[*Conn]struct{}
+	wg       sync.WaitGroup
+
+	dmu   sync.Mutex
+	dcond *sync.Cond
+	queue []func()
+	ddone bool
+	dexit chan struct{}
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	metrics atomic.Pointer[netMetrics]
+}
+
+// NewNetTransport creates a live transport node named host. listen is
+// the TCP listen address ("127.0.0.1:0" for an ephemeral port) or empty
+// for a dial-only node (a pure client, e.g. an instrumented process that
+// only talks to its agent and host manager).
+func NewNetTransport(host, listen string) (*NetTransport, error) {
+	t := &NetTransport{
+		host:     host,
+		handlers: make(map[string]func(Message)),
+		routes:   make(map[string]string),
+		learned:  make(map[string]*Conn),
+		dialed:   make(map[string]*Conn),
+		conns:    make(map[*Conn]struct{}),
+		dexit:    make(chan struct{}),
+	}
+	t.dcond = sync.NewCond(&t.dmu)
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return nil, fmt.Errorf("msg: listen %s: %w", listen, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	go t.dispatchLoop()
+	return t, nil
+}
+
+// Addr returns the node's TCP listen address, or "" for dial-only nodes.
+func (t *NetTransport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// SetMetrics attaches the transport to a metrics registry: counters for
+// messages sent/delivered/dropped, wire bytes, and per-type message
+// counts under "msg.net.*".
+func (t *NetTransport) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		t.metrics.Store(nil)
+		return
+	}
+	t.metrics.Store(newNetMetrics(reg))
+}
+
+// Stats returns messages sent, delivered to local handlers, and dropped.
+func (t *NetTransport) Stats() (sent, delivered, dropped uint64) {
+	return t.sent.Load(), t.delivered.Load(), t.dropped.Load()
+}
+
+// Bind attaches a handler to a local management address. The host label
+// is informational (the Transport seam shares the Bus signature).
+// Rebinding replaces the handler.
+func (t *NetTransport) Bind(addr, host string, h BusHandler) {
+	t.mu.Lock()
+	t.handlers[addr] = h
+	t.mu.Unlock()
+	_ = host
+}
+
+// Unbind removes a local address.
+func (t *NetTransport) Unbind(addr string) {
+	t.mu.Lock()
+	delete(t.handlers, addr)
+	t.mu.Unlock()
+}
+
+// Bound reports whether a local handler is bound at addr.
+func (t *NetTransport) Bound(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.handlers[addr]
+	return ok
+}
+
+// Route statically maps a management address to the TCP address of the
+// node hosting it (the live analogue of the simulator's address table).
+func (t *NetTransport) Route(mgmtAddr, tcpAddr string) {
+	t.mu.Lock()
+	t.routes[mgmtAddr] = tcpAddr
+	t.mu.Unlock()
+}
+
+// Do runs fn on the dispatcher goroutine, after any queued deliveries.
+// It is how embedding code touches the (lock-free) managers safely.
+func (t *NetTransport) Do(fn func()) {
+	t.dispatch(fn)
+}
+
+// Sync runs fn on the dispatcher goroutine and waits for it to finish.
+// It must not be called from inside a handler (it would deadlock).
+func (t *NetTransport) Sync(fn func()) {
+	done := make(chan struct{})
+	t.dispatch(func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// Send delivers m to a management address: in-process when the address
+// is bound locally, over TCP otherwise (see NetTransport's routing
+// order). It returns an error when no local handler, learned reply
+// route, static route or dialable address resolves the destination.
+func (t *NetTransport) Send(to string, m Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("msg: transport closed")
+	}
+	if h, ok := t.handlers[to]; ok {
+		t.mu.Unlock()
+		t.countSent(m, true)
+		t.dispatch(func() {
+			t.delivered.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.delivered.Inc()
+			}
+			h(m)
+		})
+		return nil
+	}
+	c := t.learned[to]
+	var dialAddr string
+	if c == nil {
+		tcpAddr, ok := t.routes[to]
+		if !ok && looksLikeHostPort(to) {
+			tcpAddr, ok = to, true
+		}
+		if !ok {
+			t.mu.Unlock()
+			return fmt.Errorf("msg: no handler or route for %q", to)
+		}
+		if c = t.dialed[tcpAddr]; c == nil {
+			dialAddr = tcpAddr
+		}
+	}
+	t.mu.Unlock()
+
+	if c == nil {
+		nc, err := net.Dial("tcp", dialAddr)
+		if err != nil {
+			return fmt.Errorf("msg: dial %s: %w", dialAddr, err)
+		}
+		c = NewConn(nc)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return fmt.Errorf("msg: transport closed")
+		}
+		if prev, ok := t.dialed[dialAddr]; ok {
+			// lost a dial race; use the established conn
+			t.mu.Unlock()
+			_ = c.Close()
+			c = prev
+		} else {
+			t.dialed[dialAddr] = c
+			t.conns[c] = struct{}{}
+			t.wg.Add(1)
+			go t.readLoop(c)
+			t.mu.Unlock()
+		}
+	}
+
+	data, err := marshalRouted(to, m)
+	if err != nil {
+		return err
+	}
+	if err := c.sendLine(data); err != nil {
+		t.forgetConn(c)
+		return fmt.Errorf("msg: send to %q: %w", to, err)
+	}
+	t.countSent(m, false)
+	if nm := t.metrics.Load(); nm != nil {
+		nm.bytes.Add(uint64(len(data) + 1))
+	}
+	return nil
+}
+
+func (t *NetTransport) countSent(m Message, local bool) {
+	t.sent.Add(1)
+	nm := t.metrics.Load()
+	if nm == nil {
+		return
+	}
+	nm.sent.Inc()
+	if tag, err := typeTag(m.Body); err == nil {
+		if c, ok := nm.byType[tag]; ok {
+			c.Inc()
+		}
+	}
+	if local {
+		// parity with Bus: local deliveries still account wire bytes
+		if data, err := Marshal(m); err == nil {
+			nm.bytes.Add(uint64(len(data)))
+		}
+	}
+}
+
+func looksLikeHostPort(addr string) bool {
+	return !strings.HasPrefix(addr, "/") && strings.Contains(addr, ":")
+}
+
+func (t *NetTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := NewConn(nc)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.conns[c] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(c)
+	}
+}
+
+func (t *NetTransport) readLoop(c *Conn) {
+	defer t.wg.Done()
+	defer t.forgetConn(c)
+	for {
+		line, err := c.recvLine()
+		if err != nil {
+			return
+		}
+		to, m, err := unmarshalRouted(line)
+		if err != nil {
+			t.dropped.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.dropped.Inc()
+			}
+			continue
+		}
+		t.mu.Lock()
+		if m.From != "" {
+			t.learned[m.From] = c
+		}
+		h := t.handlers[to]
+		if h == nil && len(t.handlers) == 1 {
+			for _, only := range t.handlers {
+				h = only
+			}
+		}
+		t.mu.Unlock()
+		if h == nil {
+			t.dropped.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.dropped.Inc()
+			}
+			continue
+		}
+		t.dispatch(func() {
+			t.delivered.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.delivered.Inc()
+			}
+			h(m)
+		})
+	}
+}
+
+// forgetConn drops a dead connection from every table and closes it.
+func (t *NetTransport) forgetConn(c *Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	for addr, lc := range t.learned {
+		if lc == c {
+			delete(t.learned, addr)
+		}
+	}
+	for addr, dc := range t.dialed {
+		if dc == c {
+			delete(t.dialed, addr)
+		}
+	}
+	t.mu.Unlock()
+	_ = c.Close()
+}
+
+func (t *NetTransport) dispatch(fn func()) {
+	t.dmu.Lock()
+	if t.ddone {
+		t.dmu.Unlock()
+		return
+	}
+	t.queue = append(t.queue, fn)
+	t.dcond.Signal()
+	t.dmu.Unlock()
+}
+
+func (t *NetTransport) dispatchLoop() {
+	defer close(t.dexit)
+	for {
+		t.dmu.Lock()
+		for len(t.queue) == 0 && !t.ddone {
+			t.dcond.Wait()
+		}
+		if len(t.queue) == 0 {
+			t.dmu.Unlock()
+			return
+		}
+		fn := t.queue[0]
+		t.queue = t.queue[1:]
+		t.dmu.Unlock()
+		fn()
+	}
+}
+
+// Close shuts the node down: stops accepting, closes every connection,
+// waits for read loops, then drains and stops the dispatcher.
+func (t *NetTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	var err error
+	if t.ln != nil {
+		err = t.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	t.dmu.Lock()
+	t.ddone = true
+	t.dcond.Signal()
+	t.dmu.Unlock()
+	<-t.dexit
+	return err
+}
+
+// sendLine writes one pre-marshaled JSON line and flushes it.
+func (c *Conn) sendLine(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// recvLine blocks for the next raw JSON line.
+func (c *Conn) recvLine() ([]byte, error) {
+	return c.r.ReadBytes('\n')
+}

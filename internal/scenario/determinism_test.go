@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
 
+	"softqos/internal/manager"
 	"softqos/internal/telemetry"
 	"softqos/internal/video"
 )
@@ -26,26 +28,53 @@ func snapshotRun(t *testing.T, cfg Config, warmup, measure time.Duration) (strin
 	return b.String(), traces
 }
 
+// goldenCases are the scenarios pinned by testdata goldens. The
+// overload-adapt case exercises every refactored runtime seam at once:
+// the transport (escalation + directives), the resource managers acting
+// through ProcHandle, and the coordinator's actuate path.
+var goldenCases = []struct {
+	name string
+	cfg  Config
+	// wantRecovery: the run must contain at least one violation trace
+	// that resolved (false for overload-adapt, which degrades the stream
+	// rather than restoring the original expectation).
+	wantRecovery bool
+}{
+	{"single-host", Config{Seed: 7, ClientLoad: 5, Managed: true}, true},
+	{"cross-host", Config{Seed: 7, Managed: true, ServerLoad: 4,
+		Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
+			DecodeCost: 10 * time.Millisecond}}, true},
+	{"overload-adapt", Config{Seed: 7, Managed: true, RTLoad: 0.65,
+		HostRules: manager.OverloadHostRules}, false},
+}
+
 // TestDeterminismGolden runs each scenario twice with the same seed and
 // requires byte-identical telemetry output: the simulation — including
 // every counter, histogram quantile and trace span — must be a pure
-// function of the seed.
+// function of the seed. Each run must also match the checked-in golden
+// file, so refactors of the manager stack (e.g. the runtime-seam
+// abstraction) provably leave simulated behavior untouched. Regenerate
+// with GEN_GOLDEN=1 after an intentional behavior change.
 func TestDeterminismGolden(t *testing.T) {
-	cases := []struct {
-		name string
-		cfg  Config
-	}{
-		{"single-host", Config{Seed: 7, ClientLoad: 5, Managed: true}},
-		{"cross-host", Config{Seed: 7, Managed: true, ServerLoad: 4,
-			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
-				DecodeCost: 10 * time.Millisecond}}},
-	}
-	for _, tc := range cases {
+	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
 			a, traces := snapshotRun(t, tc.cfg, 30*time.Second, 2*time.Minute)
 			b, _ := snapshotRun(t, tc.cfg, 30*time.Second, 2*time.Minute)
 			if a != b {
 				t.Fatalf("same seed produced different telemetry:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+			golden := "testdata/determinism_" + tc.name + ".golden"
+			if os.Getenv("GEN_GOLDEN") != "" {
+				if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != string(want) {
+				t.Errorf("telemetry snapshot differs from %s (same seed, code change altered simulated behavior); rerun with GEN_GOLDEN=1 if intended", golden)
 			}
 			recovered := 0
 			for _, tr := range traces {
@@ -53,7 +82,7 @@ func TestDeterminismGolden(t *testing.T) {
 					recovered++
 				}
 			}
-			if recovered == 0 {
+			if tc.wantRecovery && recovered == 0 {
 				t.Errorf("no recovered violation trace in %d traces", len(traces))
 			}
 			if !strings.Contains(a, "# counters") || !strings.Contains(a, "# histograms") {

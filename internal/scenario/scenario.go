@@ -18,6 +18,7 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/netsim"
 	"softqos/internal/repository"
+	"softqos/internal/runtime"
 	"softqos/internal/sched"
 	"softqos/internal/sim"
 	"softqos/internal/telemetry"
@@ -237,7 +238,7 @@ func Build(cfg Config) *System {
 
 	// Process-failure adaptation: the server host manager can re-spawn a
 	// dead video server on direction from the domain manager.
-	sys.ServerHM.OnRestart = func(exe string) (*sched.Proc, msg.Identity, bool) {
+	sys.ServerHM.OnRestart = func(exe string) (runtime.ProcHandle, msg.Identity, bool) {
 		if exe != "mpeg_serve" {
 			return nil, msg.Identity{}, false
 		}

@@ -1,0 +1,24 @@
+package sched
+
+// This file adapts *Proc to the runtime.ProcHandle port, so the resource
+// managers drive simulated and live processes through one interface.
+
+// Alive reports whether the process has not exited. Dead processes stop
+// reporting statistics, which is how the managers detect failure.
+func (p *Proc) Alive() bool { return p.state != Exited }
+
+// SetSchedClass moves the process into (rt=true) or out of the real-time
+// class at class-local priority prio.
+func (p *Proc) SetSchedClass(rt bool, prio int) {
+	c := TS
+	if rt {
+		c = RT
+	}
+	p.SetClass(c, prio)
+}
+
+// SetResident adjusts the process's resident-set allotment on its host,
+// returning the granted page count.
+func (p *Proc) SetResident(pages int) int {
+	return p.host.SetResident(p, pages)
+}

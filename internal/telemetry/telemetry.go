@@ -23,11 +23,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"softqos/internal/runtime"
 )
 
 // Clock returns the current time as a duration from an arbitrary fixed
 // origin — the virtual clock in simulation, wall clock in live mode.
-type Clock func() time.Duration
+// It is the runtime seam's clock type (see internal/runtime).
+type Clock = runtime.Clock
 
 // Counter is a monotonically increasing count. Safe for concurrent use.
 type Counter struct{ v atomic.Uint64 }

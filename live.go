@@ -6,56 +6,82 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softqos/internal/agent"
 	"softqos/internal/instrument"
 	"softqos/internal/msg"
 	"softqos/internal/repository"
+	"softqos/internal/telemetry"
 )
 
-// Live mode runs the instrumentation under the wall clock with TCP
-// management transport — the configuration in which the paper measured
-// its overheads (≈400 µs to initialise and register an instrumented
-// process, ≈11 µs per instrumentation pass when QoS is met).
+// Live mode runs the same management stack as the simulator — the
+// coordinator, policy agent, host and domain managers of internal/* —
+// under the wall clock with the TCP management transport
+// (msg.NetTransport). This is the configuration in which the paper
+// measured its overheads (≈400 µs to initialise and register an
+// instrumented process, ≈11 µs per instrumentation pass when QoS is
+// met). Nothing management-specific is reimplemented here: each Live*
+// type is thin wiring of an internal component onto a transport node.
 
-// LiveAgent serves policy registrations over TCP.
+// Management addresses of the live deployment's singleton components.
+const (
+	LiveAgentAddr         = "/live/PolicyAgent"
+	LiveHostManagerAddr   = "/live/QoSHostManager"
+	LiveDomainManagerAddr = "/live/QoSDomainManager"
+)
+
+// Directive is a corrective action message (re-exported from the
+// management protocol).
+type Directive = msg.Directive
+
+// Violation is a policy-violation report (re-exported from the
+// management protocol).
+type Violation = msg.Violation
+
+// LiveAgent serves policy registrations over TCP: the same
+// agent.PolicyAgent the simulator wires onto the bus, bound to a
+// NetTransport node. A failed repository lookup is answered with an
+// explicit Nack (and counted), never a silently empty policy set.
 type LiveAgent struct {
-	srv *msg.Server
-	svc *repository.Service
+	nt *msg.NetTransport
+	pa *agent.PolicyAgent
 }
 
 // ServeLiveAgent starts a policy agent answering Register messages on
 // addr (use "127.0.0.1:0" for an ephemeral port).
 func ServeLiveAgent(addr string, svc *repository.Service) (*LiveAgent, error) {
-	la := &LiveAgent{svc: svc}
-	srv, err := msg.Serve(addr, func(c *msg.Conn, m msg.Message) {
-		reg, ok := m.Body.(*msg.Register)
-		if !ok {
-			return
-		}
-		specs, err := svc.PoliciesFor(reg.ID)
-		if err != nil {
-			specs = nil
-		}
-		_ = c.Send(msg.Message{From: "/live/PolicyAgent",
-			Body: msg.PolicySet{ID: reg.ID, Policies: specs}})
-	})
+	nt, err := msg.NewNetTransport("live-agent", addr)
 	if err != nil {
 		return nil, err
 	}
-	la.srv = srv
-	return la, nil
+	pa := agent.New(LiveAgentAddr, svc, nt.Send)
+	nt.Bind(LiveAgentAddr, "live-agent", pa.HandleMessage)
+	return &LiveAgent{nt: nt, pa: pa}, nil
 }
 
 // Addr returns the agent's listening address.
-func (a *LiveAgent) Addr() string { return a.srv.Addr() }
+func (a *LiveAgent) Addr() string { return a.nt.Addr() }
+
+// SetTelemetry attaches transport ("msg.net.*") and agent
+// ("agent.registrations", "agent.failures") counters.
+func (a *LiveAgent) SetTelemetry(reg *telemetry.Registry) {
+	a.nt.SetMetrics(reg)
+	a.nt.Sync(func() { a.pa.SetTelemetry(reg) })
+}
+
+// Stats returns successful registrations and failed (Nacked) lookups.
+func (a *LiveAgent) Stats() (registrations, failures uint64) {
+	a.nt.Sync(func() { registrations, failures = a.pa.Registrations, a.pa.Failures })
+	return
+}
 
 // Close stops the agent.
-func (a *LiveAgent) Close() error { return a.srv.Close() }
+func (a *LiveAgent) Close() error { return a.nt.Close() }
 
-// LiveCollector is a host-manager endpoint for live mode: it receives
-// violation reports over TCP and records them. (Live mode observes real
-// processes; resource adaptation is a simulation-mode concern.)
+// LiveCollector is a minimal violation sink for live overhead
+// experiments that only need to observe reports, not act on them (the
+// full manager is LiveHostManager).
 type LiveCollector struct {
-	srv *msg.Server
+	nt *msg.NetTransport
 
 	violations atomic.Uint64
 	overshoots atomic.Uint64
@@ -67,7 +93,11 @@ type LiveCollector struct {
 // NewLiveCollector starts a violation collector on addr.
 func NewLiveCollector(addr string) (*LiveCollector, error) {
 	lc := &LiveCollector{}
-	srv, err := msg.Serve(addr, func(_ *msg.Conn, m msg.Message) {
+	nt, err := msg.NewNetTransport("live-collector", addr)
+	if err != nil {
+		return nil, err
+	}
+	nt.Bind("/live/Collector", "live-collector", func(m msg.Message) {
 		if v, ok := m.Body.(*msg.Violation); ok {
 			if v.Overshoot {
 				lc.overshoots.Add(1)
@@ -79,15 +109,12 @@ func NewLiveCollector(addr string) (*LiveCollector, error) {
 			lc.mu.Unlock()
 		}
 	})
-	if err != nil {
-		return nil, err
-	}
-	lc.srv = srv
+	lc.nt = nt
 	return lc, nil
 }
 
 // Addr returns the collector's listening address.
-func (c *LiveCollector) Addr() string { return c.srv.Addr() }
+func (c *LiveCollector) Addr() string { return c.nt.Addr() }
 
 // Violations returns the number of genuine violation reports received.
 func (c *LiveCollector) Violations() uint64 { return c.violations.Load() }
@@ -103,35 +130,45 @@ func (c *LiveCollector) Last() msg.Violation {
 }
 
 // Close stops the collector.
-func (c *LiveCollector) Close() error { return c.srv.Close() }
+func (c *LiveCollector) Close() error { return c.nt.Close() }
 
 // LiveCoordinator is an instrument.Coordinator wired to the wall clock
-// and TCP transport. Create it, add sensors, then call Register to fetch
-// and install policies — the instrumented initialisation whose cost the
-// paper reports.
+// and a dial-only NetTransport node. Create it, add sensors, then call
+// Register to fetch and install policies — the instrumented
+// initialisation whose cost the paper reports. Inbound management
+// messages (the policy set, actuate directives from managers) are
+// dispatched on the transport's serial dispatcher; use Sync to drive
+// sensors race-free from application goroutines when managers may be
+// sending directives concurrently.
 type LiveCoordinator struct {
 	*instrument.Coordinator
 
-	start     time.Time
-	agentAddr string
-	mgrAddr   string
+	nt      *msg.NetTransport
+	start   time.Time
+	regDone chan error
 
-	mu    sync.Mutex
-	conns map[string]*msg.Conn
+	mu          sync.Mutex
+	onDirective func(Directive)
 }
 
 // NewLiveCoordinator creates a live coordinator for the identified
-// process. agentAddr and managerAddr are TCP addresses of a LiveAgent
-// and a LiveCollector (or compatible servers).
+// process. agentAddr and managerAddr are addresses of a LiveAgent and a
+// LiveHostManager or LiveCollector — TCP "host:port" strings, or
+// management addresses previously mapped with Route.
 func NewLiveCoordinator(id Identity, agentAddr, managerAddr string) *LiveCoordinator {
+	nt, err := msg.NewNetTransport(id.Host, "")
+	if err != nil {
+		// A dial-only node opens no listener; creation cannot fail.
+		panic("softqos: " + err.Error())
+	}
 	lc := &LiveCoordinator{
-		start:     time.Now(),
-		agentAddr: agentAddr,
-		mgrAddr:   managerAddr,
-		conns:     make(map[string]*msg.Conn),
+		nt:      nt,
+		start:   time.Now(),
+		regDone: make(chan error, 1),
 	}
 	clock := instrument.Clock(func() time.Duration { return time.Since(lc.start) })
-	lc.Coordinator = instrument.NewCoordinator(id, clock, lc.send, agentAddr, managerAddr)
+	lc.Coordinator = instrument.NewCoordinator(id, clock, nt.Send, agentAddr, managerAddr)
+	nt.Bind(lc.Coordinator.Address(), id.Host, lc.handle)
 	return lc
 }
 
@@ -140,52 +177,61 @@ func (lc *LiveCoordinator) WallClock() Clock {
 	return func() time.Duration { return time.Since(lc.start) }
 }
 
-func (lc *LiveCoordinator) conn(addr string) (*msg.Conn, error) {
+// Route maps a management address to the TCP address of the node
+// hosting it, so components can be addressed by name.
+func (lc *LiveCoordinator) Route(mgmtAddr, tcpAddr string) { lc.nt.Route(mgmtAddr, tcpAddr) }
+
+// Sync runs fn serialized with inbound message handling. Applications
+// whose managers push directives concurrently drive their sensors
+// (Tick/Set/Flush) inside Sync so the coordinator stays single-threaded.
+func (lc *LiveCoordinator) Sync(fn func()) { lc.nt.Sync(fn) }
+
+// SetOnDirective installs a hook for directives other than "actuate"
+// (which is handled by the coordinator's actuator registry).
+func (lc *LiveCoordinator) SetOnDirective(fn func(Directive)) {
 	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	if c, ok := lc.conns[addr]; ok {
-		return c, nil
-	}
-	c, err := msg.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	lc.conns[addr] = c
-	return c, nil
+	lc.onDirective = fn
+	lc.mu.Unlock()
 }
 
-func (lc *LiveCoordinator) send(to string, m msg.Message) error {
-	c, err := lc.conn(to)
-	if err != nil {
-		return err
+// handle processes inbound management messages on the dispatcher.
+func (lc *LiveCoordinator) handle(m msg.Message) {
+	switch b := m.Body.(type) {
+	case *msg.PolicySet, *msg.Nack:
+		err := lc.Coordinator.HandleMessage(m)
+		select {
+		case lc.regDone <- err:
+		default:
+		}
+	case *msg.Directive:
+		if b.Action == "actuate" {
+			_ = lc.Coordinator.HandleMessage(m)
+			return
+		}
+		lc.mu.Lock()
+		hook := lc.onDirective
+		lc.mu.Unlock()
+		if hook != nil {
+			hook(*b)
+		}
 	}
-	return c.Send(m)
 }
 
 // Register performs the instrumented process initialisation: it sends
-// the registration to the policy agent, waits for the policy set reply,
-// and installs it. This round trip is the paper's ≈400 µs figure.
+// the registration to the policy agent and waits for the reply — a
+// policy set, which is installed, or an explicit Nack, returned as an
+// error. This round trip is the paper's ≈400 µs figure.
 func (lc *LiveCoordinator) Register() error {
 	if err := lc.Coordinator.Register(); err != nil {
 		return err
 	}
-	c, err := lc.conn(lc.agentAddr)
-	if err != nil {
+	select {
+	case err := <-lc.regDone:
 		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("softqos: timed out waiting for policy reply")
 	}
-	reply, err := c.Recv()
-	if err != nil {
-		return fmt.Errorf("softqos: waiting for policy set: %w", err)
-	}
-	return lc.Coordinator.HandleMessage(reply)
 }
 
-// Close closes the coordinator's management connections.
-func (lc *LiveCoordinator) Close() {
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	for _, c := range lc.conns {
-		_ = c.Close()
-	}
-	lc.conns = make(map[string]*msg.Conn)
-}
+// Close closes the coordinator's transport node.
+func (lc *LiveCoordinator) Close() { _ = lc.nt.Close() }

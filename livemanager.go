@@ -1,164 +1,189 @@
 package softqos
 
 import (
-	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"softqos/internal/manager"
 	"softqos/internal/msg"
-	"softqos/internal/rules"
+	"softqos/internal/runtime"
+	"softqos/internal/telemetry"
 )
 
-// LiveHostManager runs the QoS Host Manager's inference machinery under
-// the wall clock over TCP: it receives violation reports from live
-// coordinators, forward-chains the same rule language the simulated
-// managers use, and emits corrective directives back over the reporting
-// connection. Live mode observes real processes, so the resource-manager
-// actions are surfaced as directives for the embedding program to apply
-// (e.g. via syscall wrappers) rather than applied to a simulated host.
+// LiveHostManager runs the QoS Host Manager — the *same*
+// internal/manager.HostManager the simulator uses, with its inference
+// engine, rule sets, CPU and memory resource managers, escalation and
+// telemetry — over TCP under the wall clock. Processes are tracked as
+// runtime.LiveProc handles, learned automatically from their first
+// violation report; every resource-manager action the rules take is
+// recorded as a runtime.Adjustment and surfaced through SetOnAdjust for
+// the embedding daemon to apply to the real OS process (setpriority,
+// sched_setscheduler, mlock and friends).
 type LiveHostManager struct {
-	srv *msg.Server
+	nt   *msg.NetTransport
+	hm   *manager.HostManager
+	host *runtime.LiveHost
 
-	mu     sync.Mutex
-	engine *rules.Engine
-	conns  map[string]*msg.Conn // coordinator address -> reply connection
+	violations atomic.Uint64
+	overshoots atomic.Uint64
 
-	// Directives records every corrective action the rules produced.
-	Directives []msg.Directive
-	// OnDirective, if non-nil, is invoked for each corrective action (in
-	// addition to sending it back to the coordinator's connection).
-	OnDirective func(d msg.Directive)
-
-	violations uint64
-	overshoots uint64
+	mu          sync.Mutex
+	adjustments []runtime.Adjustment
+	onAdjust    func(runtime.Adjustment)
 }
 
 // NewLiveHostManager starts a live host manager on addr with the given
-// rule source (pass manager-package rule constants or custom text).
-// Callback vocabulary: boost-cpu, reclaim-cpu, grant-rt, adjust-memory,
-// restore-memory and request-adaptation all emit directives; notify-domain
-// is recorded as an "escalate" directive.
+// rule source ("" loads manager.DefaultHostRules; pass manager-package
+// rule constants or custom text). Escalation is disabled; use
+// NewLiveHostManagerDomain to wire a domain manager.
 func NewLiveHostManager(addr, rulesSrc string) (*LiveHostManager, error) {
-	lm := &LiveHostManager{
-		engine: rules.NewEngine(),
-		conns:  make(map[string]*msg.Conn),
-	}
-	if rulesSrc == "" {
-		rulesSrc = manager.DefaultHostRules
-	}
-	lm.registerCallbacks()
-	if err := lm.engine.LoadRules(rulesSrc); err != nil {
-		return nil, err
-	}
-	srv, err := msg.Serve(addr, lm.handle)
+	return NewLiveHostManagerDomain(addr, rulesSrc, "")
+}
+
+// NewLiveHostManagerDomain starts a live host manager whose escalations
+// (the notify-domain rule action) travel to the LiveDomainManager
+// listening on TCP address domainTCP ("" drops escalations, counted).
+func NewLiveHostManagerDomain(addr, rulesSrc, domainTCP string) (*LiveHostManager, error) {
+	nt, err := msg.NewNetTransport("live", addr)
 	if err != nil {
 		return nil, err
 	}
-	lm.srv = srv
+	domainAddr := ""
+	if domainTCP != "" {
+		domainAddr = LiveDomainManagerAddr
+		nt.Route(LiveDomainManagerAddr, domainTCP)
+	}
+	lhost := runtime.NewLiveHost("live")
+	lm := &LiveHostManager{nt: nt, host: lhost}
+	hm := manager.NewHostManager(LiveHostManagerAddr, lhost, nt.Send, domainAddr)
+	if rulesSrc != "" && rulesSrc != manager.DefaultHostRules {
+		if err := hm.LoadRules(rulesSrc); err != nil {
+			_ = nt.Close()
+			return nil, err
+		}
+	}
+	// Live processes announce themselves through their reports rather
+	// than at spawn: track them on first contact.
+	hm.OnUnknownProc = func(id msg.Identity) (runtime.ProcHandle, bool) {
+		return lhost.StartProc(id.PID), true
+	}
+	lhost.SetOnAdjust(func(a runtime.Adjustment) {
+		lm.mu.Lock()
+		lm.adjustments = append(lm.adjustments, a)
+		hook := lm.onAdjust
+		lm.mu.Unlock()
+		if hook != nil {
+			hook(a)
+		}
+	})
+	lm.hm = hm
+	nt.Bind(LiveHostManagerAddr, "live", func(m msg.Message) {
+		if v, ok := m.Body.(*msg.Violation); ok {
+			if v.Overshoot {
+				lm.overshoots.Add(1)
+			} else {
+				lm.violations.Add(1)
+			}
+		}
+		hm.HandleMessage(m)
+	})
 	return lm, nil
 }
 
 // Addr returns the listening address.
-func (lm *LiveHostManager) Addr() string { return lm.srv.Addr() }
+func (lm *LiveHostManager) Addr() string { return lm.nt.Addr() }
 
 // Close stops the manager.
-func (lm *LiveHostManager) Close() error { return lm.srv.Close() }
+func (lm *LiveHostManager) Close() error { return lm.nt.Close() }
 
-// Violations returns the number of genuine violation episodes processed.
-func (lm *LiveHostManager) Violations() uint64 {
+// Host returns the live host whose processes the manager controls; its
+// LiveProc handles are safe to inspect concurrently.
+func (lm *LiveHostManager) Host() *runtime.LiveHost { return lm.host }
+
+// Violations returns the number of genuine violation episodes received.
+func (lm *LiveHostManager) Violations() uint64 { return lm.violations.Load() }
+
+// Overshoots returns the number of overshoot reports received.
+func (lm *LiveHostManager) Overshoots() uint64 { return lm.overshoots.Load() }
+
+// Adjustments returns a copy of every resource-manager action taken so
+// far.
+func (lm *LiveHostManager) Adjustments() []runtime.Adjustment {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	return lm.violations
+	return append([]runtime.Adjustment(nil), lm.adjustments...)
 }
 
-// emit records a directive, invokes the hook and replies to the
-// coordinator that triggered the episode.
-func (lm *LiveHostManager) emit(d msg.Directive) {
-	lm.Directives = append(lm.Directives, d)
-	if lm.OnDirective != nil {
-		lm.OnDirective(d)
-	}
-	if c, ok := lm.conns[d.Target]; ok {
-		_ = c.Send(msg.Message{From: "/live/QoSHostManager", Body: d})
-	}
-}
-
-func (lm *LiveHostManager) registerCallbacks() {
-	mk := func(action string) rules.Callback {
-		return func(args []rules.Value) error {
-			d := msg.Directive{From: "/live/QoSHostManager", Action: action}
-			if len(args) > 0 {
-				d.Target = args[0].Sym
-			}
-			if len(args) > 1 && args[1].Kind == rules.NumberKind {
-				d.Amount = args[1].Num
-			}
-			lm.emit(d)
-			return nil
-		}
-	}
-	lm.engine.RegisterFunc("boost-cpu", mk("boost_cpu"))
-	lm.engine.RegisterFunc("reclaim-cpu", mk("reclaim_cpu"))
-	lm.engine.RegisterFunc("grant-rt", mk("grant_rt"))
-	lm.engine.RegisterFunc("adjust-memory", mk("adjust_memory"))
-	lm.engine.RegisterFunc("restore-memory", mk("restore_memory"))
-	lm.engine.RegisterFunc("notify-domain", mk("escalate"))
-	lm.engine.RegisterFunc("request-adaptation", func(args []rules.Value) error {
-		d := msg.Directive{From: "/live/QoSHostManager", Action: "actuate"}
-		if len(args) > 1 {
-			d.Target = args[1].Sym
-		}
-		if len(args) > 2 && args[2].Kind == rules.NumberKind {
-			d.Amount = args[2].Num
-		}
-		lm.emit(d)
-		return nil
-	})
-	lm.engine.RegisterFunc("cap-boost", func([]rules.Value) error { return nil })
-}
-
-// handle processes one inbound message on a connection.
-func (lm *LiveHostManager) handle(c *msg.Conn, m msg.Message) {
-	var v msg.Violation
-	switch body := m.Body.(type) {
-	case *msg.Violation:
-		v = *body
-	default:
-		return
-	}
+// SetOnAdjust installs the embedding daemon's hook: it receives every
+// resource-manager action (CPU boost, class change, resident-set
+// adjustment) the rules apply, to mirror onto the real OS process.
+func (lm *LiveHostManager) SetOnAdjust(fn func(runtime.Adjustment)) {
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	// The reply path for directives keyed by the violation's target
-	// symbol (the process symbol used by the rules).
-	psym := pidSym(v.ID.PID)
-	lm.conns[psym] = c
-
-	if v.Overshoot {
-		lm.overshoots++
-		lm.engine.AssertF("overshoot", psym, nonEmpty(v.Policy))
-	} else {
-		lm.violations++
-		lm.engine.AssertF("violation", psym, nonEmpty(v.Policy))
-	}
-	for attr, val := range v.Readings {
-		lm.engine.AssertF("reading", psym, attr, val)
-	}
-	lm.engine.AssertF("host-load", 0.0)
-	lm.engine.AssertF("proc-boost", psym, 0.0)
-	_, _ = lm.engine.Run(100)
-	lm.engine.RetractMatching(rules.F("violation", psym, "?")...)
-	lm.engine.RetractMatching(rules.F("overshoot", psym, "?")...)
-	lm.engine.RetractMatching(rules.F("reading", psym, "?", "?")...)
-	lm.engine.RetractMatching(rules.F("host-load", "?")...)
-	lm.engine.RetractMatching(rules.F("proc-boost", psym, "?")...)
+	lm.onAdjust = fn
+	lm.mu.Unlock()
 }
 
-// pidSym mirrors the simulated host manager's process symbols.
-func pidSym(pid int) string { return "p" + strconv.Itoa(pid) }
+// Sync runs fn on the transport dispatcher, serialized with message
+// handling — the way to touch Manager() state safely.
+func (lm *LiveHostManager) Sync(fn func()) { lm.nt.Sync(fn) }
 
-func nonEmpty(s string) string {
-	if s == "" {
-		return "unknown"
+// Manager exposes the underlying host manager. Only touch it inside
+// Sync: it runs single-threaded on the transport dispatcher.
+func (lm *LiveHostManager) Manager() *manager.HostManager { return lm.hm }
+
+// SetTelemetry attaches transport ("msg.net.*") and manager
+// ("manager.live.*") metrics plus an optional violation tracer.
+func (lm *LiveHostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	lm.nt.SetMetrics(reg)
+	lm.nt.Sync(func() { lm.hm.SetTelemetry(reg, tracer) })
+}
+
+// LiveDomainManager runs the QoS Domain Manager — again the exact
+// internal/manager.DomainManager of the simulator — on a TCP node, for
+// cross-host fault localization between live host managers.
+type LiveDomainManager struct {
+	nt *msg.NetTransport
+	dm *manager.DomainManager
+}
+
+// NewLiveDomainManager starts a live domain manager on addr.
+func NewLiveDomainManager(addr string) (*LiveDomainManager, error) {
+	nt, err := msg.NewNetTransport("live-domain", addr)
+	if err != nil {
+		return nil, err
 	}
-	return s
+	dm := manager.NewDomainManager(LiveDomainManagerAddr, nt.Send)
+	nt.Bind(LiveDomainManagerAddr, "live-domain", dm.HandleMessage)
+	return &LiveDomainManager{nt: nt, dm: dm}, nil
+}
+
+// Addr returns the listening address.
+func (ld *LiveDomainManager) Addr() string { return ld.nt.Addr() }
+
+// Close stops the manager.
+func (ld *LiveDomainManager) Close() error { return ld.nt.Close() }
+
+// Route maps a management address (e.g. a server host manager's) to its
+// TCP address so the domain manager can query it.
+func (ld *LiveDomainManager) Route(mgmtAddr, tcpAddr string) { ld.nt.Route(mgmtAddr, tcpAddr) }
+
+// RegisterAppServer declares which host manager serves an application's
+// server process, as the domain manager's fault-localization rules need.
+func (ld *LiveDomainManager) RegisterAppServer(application, hostMgrAddr, executable string) {
+	ld.nt.Sync(func() { ld.dm.RegisterAppServer(application, hostMgrAddr, executable) })
+}
+
+// Sync runs fn on the transport dispatcher, serialized with message
+// handling.
+func (ld *LiveDomainManager) Sync(fn func()) { ld.nt.Sync(fn) }
+
+// Manager exposes the underlying domain manager. Only touch it inside
+// Sync.
+func (ld *LiveDomainManager) Manager() *manager.DomainManager { return ld.dm }
+
+// SetTelemetry attaches transport and domain-manager metrics plus an
+// optional tracer.
+func (ld *LiveDomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	ld.nt.SetMetrics(reg)
+	ld.nt.Sync(func() { ld.dm.SetTelemetry(reg, tracer) })
 }

@@ -8,76 +8,99 @@ import (
 	"softqos/internal/msg"
 )
 
-func TestLiveHostManagerDiagnosesAndDirects(t *testing.T) {
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestLiveHostManagerDiagnosesAndAdjusts(t *testing.T) {
 	lm, err := NewLiveHostManager("127.0.0.1:0", manager.DefaultHostRules)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer lm.Close()
 
-	got := make(chan msg.Directive, 4)
-	lm.OnDirective = func(d msg.Directive) { got <- d }
-
 	c, err := msg.Dial(lm.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	// A local-CPU-starvation episode: long buffer, low frame rate.
-	err = c.Send(msg.Message{From: "/proc", Body: msg.Violation{
-		ID:     Identity{Host: "h", PID: 321, Executable: "mpeg_play"},
-		Policy: "NotifyQoSViolation",
-		Readings: map[string]float64{
-			"frame_rate": 15, "jitter_rate": 0.4, "buffer_size": 12},
-	}})
+	// A local-CPU-starvation episode: long buffer, low frame rate. The
+	// same rule set as the simulator fires boost-cpu with amount
+	// max(2, min(15, 25-fps)) = 10, applied by the CPU resource manager
+	// to the auto-tracked live process handle.
+	err = c.Send(msg.Message{From: "/h/VideoApplication/mpeg_play/321/qosl_coordinator",
+		Body: msg.Violation{
+			ID:     Identity{Host: "h", PID: 321, Executable: "mpeg_play"},
+			Policy: "NotifyQoSViolation",
+			Readings: map[string]float64{
+				"frame_rate": 15, "jitter_rate": 0.4, "buffer_size": 12},
+		}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case d := <-got:
-		if d.Action != "boost_cpu" || d.Target != "p321" || d.Amount != 10 {
-			t.Errorf("directive = %+v", d)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("no directive produced")
+	if !waitFor(t, 5*time.Second, func() bool { return len(lm.Adjustments()) > 0 }) {
+		t.Fatal("no resource adjustment produced")
 	}
-	// The corrective directive also comes back over the wire.
-	reply, err := c.Recv()
-	if err != nil {
-		t.Fatal(err)
+	adj := lm.Adjustments()[0]
+	if adj.PID != 321 || adj.What != "boost" || adj.Value != 10 {
+		t.Errorf("adjustment = %+v, want pid 321 boost 10", adj)
 	}
-	if d, ok := reply.Body.(*msg.Directive); !ok || d.Action != "boost_cpu" {
-		t.Errorf("wire reply = %+v", reply.Body)
+	if p := lm.Host().Proc(321); p == nil || p.Boost() != 10 {
+		t.Errorf("live process handle not boosted: %+v", p)
 	}
 	if lm.Violations() != 1 {
 		t.Errorf("violations = %d", lm.Violations())
 	}
 }
 
-func TestLiveHostManagerEscalatesRemote(t *testing.T) {
-	lm, err := NewLiveHostManager("127.0.0.1:0", "")
+func TestLiveHostManagerEscalatesToDomainManager(t *testing.T) {
+	ld, err := NewLiveDomainManager("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	lm, err := NewLiveHostManagerDomain("127.0.0.1:0", "", ld.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer lm.Close()
-	got := make(chan msg.Directive, 1)
-	lm.OnDirective = func(d msg.Directive) { got <- d }
+	// The domain manager's localization queries the server-side host
+	// manager of the application — here the same (only) host manager.
+	ld.RegisterAppServer("VideoApplication", LiveHostManagerAddr, "mpeg_serve")
+	ld.Route(LiveHostManagerAddr, lm.Addr())
+
 	c, err := msg.Dial(lm.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	_ = c.Send(msg.Message{From: "/proc", Body: msg.Violation{
-		ID: Identity{PID: 7}, Policy: "P",
-		Readings: map[string]float64{"frame_rate": 10, "buffer_size": 0},
-	}})
-	select {
-	case d := <-got:
-		if d.Action != "escalate" {
-			t.Errorf("directive = %+v", d)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("no escalation produced")
+	// A short buffer means frames are not arriving: not a local fault —
+	// the same escalate-remote rule as in simulation raises an Alarm.
+	err = c.Send(msg.Message{From: "/h/VideoApplication/mpeg_play/7/qosl_coordinator",
+		Body: msg.Violation{
+			ID:       Identity{Host: "h", PID: 7, Executable: "mpeg_play", Application: "VideoApplication"},
+			Policy:   "NotifyQoSViolation",
+			Readings: map[string]float64{"frame_rate": 10, "buffer_size": 0},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var escalations, alarms uint64
+	if !waitFor(t, 5*time.Second, func() bool {
+		lm.Sync(func() { escalations = lm.Manager().Escalations })
+		ld.Sync(func() { alarms = ld.Manager().Alarms })
+		return escalations > 0 && alarms > 0
+	}) {
+		t.Fatalf("escalation did not reach the domain manager: escalations=%d alarms=%d", escalations, alarms)
 	}
 }
 
