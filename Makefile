@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench examples live-smoke clean
+.PHONY: all build vet test race check bench examples live-smoke trace-smoke clean
 
 all: check
 
@@ -29,13 +29,20 @@ test: race
 race:
 	$(GO) test -race ./...
 
-check: build vet examples race
+check: build vet examples race trace-smoke
 
 # The live-mode gate: the full control loop (register -> violation ->
 # rule firing -> directive -> recovery) over real TCP, plus the live
 # manager wiring tests, under the race detector with a short timeout.
 live-smoke:
 	$(GO) test -race -timeout 60s -v -run 'TestLiveEndToEndControlLoop|TestLiveHostManager|TestFullLiveStack' .
+
+# The observability gate: a live session with the HTTP export surface
+# attached — drive a violation to recovery over TCP, scrape /metrics
+# (must parse as Prometheus text) and /debug/qos (must export the
+# unified causal tree with rule-firing explanations).
+trace-smoke:
+	$(GO) test -race -timeout 60s -v -run 'TestLiveObservabilityEndpoints' .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

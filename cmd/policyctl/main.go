@@ -98,12 +98,13 @@ func main() {
 	case "rules":
 		admin, _ := openAdmin(*server)
 		requireFlag(*role, "-role")
-		text, err := admin.RulesFor(*role)
+		named, err := admin.NamedRulesFor(*role)
 		must(err)
-		if text == "" {
+		if len(named) == 0 {
 			fmt.Println("no rule sets stored for role", *role)
-		} else {
-			fmt.Println(text)
+		}
+		for _, rs := range named {
+			fmt.Printf("; rule set %s\n%s\n", rs.Name, rs.Text)
 		}
 	case "export":
 		_, store := openAdmin(*server)

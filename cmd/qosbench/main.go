@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"softqos/internal/repository"
 	"softqos/internal/scenario"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 	"softqos/internal/video"
 )
 
@@ -33,6 +35,7 @@ var (
 	warmup     = flag.Duration("warmup", 30*time.Second, "virtual warmup before measurement")
 	measure    = flag.Duration("measure", 3*time.Minute, "virtual measurement window")
 	seed       = flag.Int64("seed", 1, "simulation seed")
+	exportTo   = flag.String("export", "", "trace experiment: dump per-load telemetry (metrics.prom, qos.json, trace.json) under this directory")
 )
 
 func main() {
@@ -388,6 +391,10 @@ func traceExp() {
 	for _, load := range []float64{3, 5, 7, 9} {
 		sys := scenario.Build(scenario.Config{Seed: *seed, ClientLoad: load, Managed: true})
 		sys.Run(*warmup, *measure)
+		if *exportTo != "" {
+			dir := filepath.Join(*exportTo, fmt.Sprintf("load%.0f", load))
+			must(export.DumpFiles(dir, sys.Metrics, sys.Tracer))
+		}
 		ttr := telemetry.NewHistogram(nil, 0)
 		spans, open := 0, 0
 		for _, tr := range sys.Tracer.Traces() {

@@ -36,6 +36,7 @@ import (
 	"softqos/internal/manager"
 	"softqos/internal/runtime"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 )
 
 var (
@@ -44,7 +45,20 @@ var (
 	listen   = flag.String("listen", "127.0.0.1:0", "listen address for the agent and manager roles")
 	agentTCP = flag.String("agent-addr", "", "policy agent TCP address (workload role)")
 	mgrTCP   = flag.String("manager-addr", "", "host manager TCP address (workload role)")
+	httpAddr = flag.String("http", "", "serve /metrics, /debug/qos and /debug/qos/chrome on this address (live mode)")
 )
+
+// serveExport starts the opt-in observability listener for a live role.
+// Returns a closer (no-op when -http is unset).
+func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
+	if *httpAddr == "" {
+		return func() {}
+	}
+	srv, err := export.Serve(*httpAddr, reg, tracer)
+	checkLive(err)
+	fmt.Printf("observability endpoints on http://%s/metrics and /debug/qos\n", srv.Addr())
+	return func() { srv.Close() }
+}
 
 // liveRepository builds the paper's video-application information model
 // with the Example 1 policy — the repository the live agent serves from.
@@ -67,6 +81,10 @@ func runLive() {
 		agent, err := softqos.ServeLiveAgent(*listen, liveRepository())
 		checkLive(err)
 		defer agent.Close()
+		start := time.Now()
+		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
+		agent.SetTelemetry(reg)
+		defer serveExport(reg, nil)()
 		fmt.Printf("policy agent listening on %s\n", agent.Addr())
 		waitForInterrupt()
 		regs, fails := agent.Stats()
@@ -76,6 +94,11 @@ func runLive() {
 		lm, err := softqos.NewLiveHostManager(*listen, manager.OverloadHostRules)
 		checkLive(err)
 		defer lm.Close()
+		start := time.Now()
+		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
+		tracer := telemetry.NewTracer(func() time.Duration { return time.Since(start) })
+		lm.SetTelemetry(reg, tracer)
+		defer serveExport(reg, tracer)()
 		lm.SetOnAdjust(func(a runtime.Adjustment) {
 			fmt.Printf("adjust pid %d: %s -> %d\n", a.PID, a.What, a.Value)
 		})
@@ -125,6 +148,13 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, re
 	defer coord.Close()
 	tracer := telemetry.NewTracer(coord.WallClock())
 	coord.SetTelemetry(reg, tracer)
+	if lm != nil {
+		// Single-process session: the host manager records its diagnosis
+		// spans and rule explanations on the same tracer, so each episode
+		// exports as one causal tree.
+		lm.SetTelemetry(reg, tracer)
+	}
+	defer serveExport(reg, tracer)()
 
 	fps := softqos.NewValueSensor("fps_sensor", "frame_rate", nil)
 	jit := softqos.NewValueSensor("jitter_sensor", "jitter_rate", nil)

@@ -9,6 +9,8 @@
 //
 // -metrics appends the full telemetry snapshot (counters, gauges,
 // histograms) and the per-violation causal trace table to the report.
+// -export DIR dumps the same state machine-readably: Prometheus text,
+// the /debug/qos JSON payload, and Chrome trace-event JSON.
 //
 // qosd -live runs the same manager stack over TCP under the wall clock
 // instead of simulating; see live.go for the roles.
@@ -22,6 +24,7 @@ import (
 
 	"softqos/internal/scenario"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 	"softqos/internal/video"
 )
 
@@ -34,6 +37,7 @@ var (
 	timeline = flag.Bool("timeline", false, "print one sample per second")
 	trace    = flag.Bool("trace", false, "print the host manager's rule firing trace")
 	metrics  = flag.Bool("metrics", false, "print the telemetry snapshot and violation trace table")
+	exportTo = flag.String("export", "", "dump metrics.prom, qos.json and trace.json into this directory")
 )
 
 func main() {
@@ -120,5 +124,12 @@ func run(sys *scenario.System, warmup time.Duration) {
 			fmt.Fprintln(os.Stderr, "qosd:", err)
 			os.Exit(1)
 		}
+	}
+	if *exportTo != "" {
+		if err := export.DumpFiles(*exportTo, sys.Metrics, sys.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "qosd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry exported to %s\n", *exportTo)
 	}
 }

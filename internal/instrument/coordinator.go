@@ -119,6 +119,9 @@ type Coordinator struct {
 	// Telemetry (optional; see SetTelemetry).
 	metrics *coordMetrics
 	tracer  *telemetry.Tracer
+	// noPropagate suppresses trace contexts on outgoing violation
+	// reports (see SetTracePropagation).
+	noPropagate bool
 }
 
 // coordMetrics holds the coordinator's pre-resolved metric handles so hot
@@ -166,6 +169,12 @@ func (c *Coordinator) Address() string { return c.id.Address() + "/qosl_coordina
 
 // SetNotifyInterval adjusts violation-report pacing.
 func (c *Coordinator) SetNotifyInterval(d time.Duration) { c.notifyEvery = d }
+
+// SetTracePropagation controls whether violation reports carry the
+// violation trace's context on the wire so downstream managers extend
+// the same causal tree (the default). Disabling it restores pre-tracing
+// wire frames byte for byte; local span recording is unaffected.
+func (c *Coordinator) SetTracePropagation(on bool) { c.noPropagate = !on }
 
 // SetPredictionHorizon makes every installed policy condition predictive:
 // sensors evaluate values extrapolated d along their trend, so the
@@ -402,7 +411,7 @@ func (c *Coordinator) evaluatePolicy(po *policyObj) {
 		// Open the trace on the first real violation of the episode, even
 		// when the episode began as an overshoot.
 		if !po.traced && c.tracer != nil {
-			c.tracer.Begin(c.id.Address(), po.spec.Name, "policy expression false")
+			c.tracer.Begin(c.id.Address(), po.spec.Name, "coordinator", "policy expression false")
 			po.traced = true
 		}
 	}
@@ -457,11 +466,14 @@ func (c *Coordinator) runActions(po *policyObj, overshoot bool) {
 			if c.metrics != nil {
 				c.metrics.notifies.Inc()
 			}
+			var tc telemetry.TraceContext
 			if !overshoot && c.tracer != nil {
-				c.tracer.Event(c.id.Address(), po.spec.Name,
+				subject := c.id.Address()
+				tc = c.tracer.EventCtx(c.tracer.Context(subject, po.spec.Name),
+					subject, po.spec.Name, "coordinator",
 					telemetry.StageNotify, "report -> "+c.managerAddr)
 			}
-			_ = c.send(c.managerAddr, msg.Message{
+			report := msg.Message{
 				From: c.Address(),
 				Body: msg.Violation{
 					ID:        c.id,
@@ -469,7 +481,11 @@ func (c *Coordinator) runActions(po *policyObj, overshoot bool) {
 					Readings:  out,
 					Overshoot: overshoot,
 				},
-			})
+			}
+			if !c.noPropagate {
+				report.Trace = tc
+			}
+			_ = c.send(c.managerAddr, report)
 		}
 	}
 }

@@ -84,6 +84,12 @@ type serverRef struct {
 type episode struct {
 	alarm  msg.Alarm
 	server serverRef
+	// ctx is the trace context localization spans chain under: initially
+	// the context the alarm carried (the client host manager's escalate
+	// span), advancing as local spans are recorded. alarmCtx keeps the
+	// original inbound context for propagation gating.
+	ctx      telemetry.TraceContext
+	alarmCtx telemetry.TraceContext
 }
 
 // DomainManager locates sources of problems spanning hosts and issues
@@ -113,6 +119,7 @@ type DomainManager struct {
 	// Telemetry (optional; see SetTelemetry).
 	metrics *dmMetrics
 	tracer  *telemetry.Tracer
+	epCur   *episode // episode being diagnosed (explanation attribution)
 }
 
 // dmMetrics holds the domain manager's pre-resolved metric handles.
@@ -139,7 +146,7 @@ func NewDomainManager(addr string, send Send) *DomainManager {
 		episodes: make(map[string]*episode),
 	}
 	dm.registerCallbacks()
-	if err := dm.LoadRules(DefaultDomainRules); err != nil {
+	if err := dm.engine.LoadRulesOrigin("domain-default", DefaultDomainRules); err != nil {
 		panic("manager: default domain rules do not parse: " + err.Error())
 	}
 	return dm
@@ -154,6 +161,11 @@ func (dm *DomainManager) Addr() string { return dm.addr }
 // alarm identity carried by each episode.
 func (dm *DomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	dm.tracer = tracer
+	if tracer != nil {
+		dm.engine.OnFiring = dm.explainFiring
+	} else {
+		dm.engine.OnFiring = nil
+	}
 	if reg == nil {
 		dm.metrics = nil
 		return
@@ -172,11 +184,39 @@ func (dm *DomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry
 }
 
 // traceEvent records a span on the trace of the client violation that
-// opened the episode.
-func (dm *DomainManager) traceEvent(ep *episode, stage, detail string) {
-	if dm.tracer != nil {
-		dm.tracer.Event(ep.alarm.ID.Address(), ep.alarm.Policy, stage, detail)
+// opened the episode, chained under the episode's current context, which
+// advances to the new span (locate then directive nest causally). It
+// returns the span's context for propagation on outgoing directives.
+func (dm *DomainManager) traceEvent(ep *episode, stage, detail string) telemetry.TraceContext {
+	if dm.tracer == nil {
+		return telemetry.TraceContext{}
 	}
+	ctx := dm.tracer.EventCtx(ep.ctx, ep.alarm.ID.Address(), ep.alarm.Policy,
+		"domainmanager", stage, detail)
+	if ctx.Valid() {
+		ep.ctx = ctx
+	}
+	return ctx
+}
+
+// explainFiring attaches each localization rule firing to the client
+// violation's trace as an explanation record.
+func (dm *DomainManager) explainFiring(f rules.Firing) {
+	if dm.tracer == nil || dm.epCur == nil {
+		return
+	}
+	ep := dm.epCur
+	dm.tracer.Explain(ep.ctx, ep.alarm.ID.Address(), ep.alarm.Policy, telemetry.Explanation{
+		Engine:    dm.addr,
+		Rule:      f.Rule,
+		RuleSet:   f.Origin,
+		Salience:  f.Salience,
+		Bindings:  f.Bindings,
+		Matched:   f.Matched,
+		Asserted:  f.Asserted,
+		Retracted: f.Retracted,
+		Called:    f.Called,
+	})
 }
 
 // Engine exposes the inference engine.
@@ -184,6 +224,12 @@ func (dm *DomainManager) Engine() *rules.Engine { return dm.engine }
 
 // LoadRules replaces the rule set at run time.
 func (dm *DomainManager) LoadRules(src string) error { return dm.engine.LoadRules(src) }
+
+// LoadNamedRules replaces the rule set at run time with provenance (see
+// HostManager.LoadNamedRules).
+func (dm *DomainManager) LoadNamedRules(name, src string) error {
+	return dm.engine.LoadRulesOrigin(name, src)
+}
 
 // RegisterAppServer tells the domain manager which host manager and
 // executable serve an application (its configuration knowledge).
@@ -206,10 +252,11 @@ func (dm *DomainManager) registerCallbacks() {
 			dm.metrics.serverFaults.Inc()
 		}
 		dm.traceEvent(ep, telemetry.StageLocate, "server CPU starved")
-		dm.traceEvent(ep, telemetry.StageDirective,
+		ctx := dm.traceEvent(ep, telemetry.StageDirective,
 			fmt.Sprintf("boost_cpu %s %+g -> %s", ep.server.executable, amount, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
-			From: dm.addr,
+			From:  dm.addr,
+			Trace: dm.propagated(ep, ctx),
 			Body: msg.Directive{From: dm.addr, Action: "boost_cpu",
 				Target: ep.server.executable, Amount: amount},
 		})
@@ -228,10 +275,11 @@ func (dm *DomainManager) registerCallbacks() {
 			dm.metrics.memoryFaults.Inc()
 		}
 		dm.traceEvent(ep, telemetry.StageLocate, "server memory pressure")
-		dm.traceEvent(ep, telemetry.StageDirective,
+		ctx := dm.traceEvent(ep, telemetry.StageDirective,
 			fmt.Sprintf("adjust_memory %s %+g pages -> %s", ep.server.executable, pages, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
-			From: dm.addr,
+			From:  dm.addr,
+			Trace: dm.propagated(ep, ctx),
 			Body: msg.Directive{From: dm.addr, Action: "adjust_memory",
 				Target: ep.server.executable, Amount: pages},
 		})
@@ -246,10 +294,11 @@ func (dm *DomainManager) registerCallbacks() {
 			dm.metrics.restarts.Inc()
 		}
 		dm.traceEvent(ep, telemetry.StageLocate, "server process dead")
-		dm.traceEvent(ep, telemetry.StageDirective,
+		ctx := dm.traceEvent(ep, telemetry.StageDirective,
 			fmt.Sprintf("restart_proc %s -> %s", ep.server.executable, ep.server.hostMgrAddr))
 		return dm.send(ep.server.hostMgrAddr, msg.Message{
-			From: dm.addr,
+			From:  dm.addr,
+			Trace: dm.propagated(ep, ctx),
 			Body: msg.Directive{From: dm.addr, Action: "restart_proc",
 				Target: ep.server.executable},
 		})
@@ -272,6 +321,16 @@ func (dm *DomainManager) registerCallbacks() {
 	})
 }
 
+// propagated returns the context to stamp on an outgoing message: ctx
+// when the episode's alarm itself carried one (so propagation stays off
+// end-to-end when the origin disabled it), the zero context otherwise.
+func (dm *DomainManager) propagated(ep *episode, ctx telemetry.TraceContext) telemetry.TraceContext {
+	if ep.alarmCtx.Valid() {
+		return ctx
+	}
+	return telemetry.TraceContext{}
+}
+
 func (dm *DomainManager) episodeArg(args []rules.Value, i int) (*episode, error) {
 	if len(args) <= i || args[i].Kind != rules.SymbolKind {
 		return nil, fmt.Errorf("argument %d: expected episode symbol", i)
@@ -287,9 +346,9 @@ func (dm *DomainManager) episodeArg(args []rules.Value, i int) (*episode, error)
 func (dm *DomainManager) HandleMessage(m msg.Message) {
 	switch body := m.Body.(type) {
 	case *msg.Alarm:
-		dm.handleAlarm(*body)
+		dm.handleAlarm(*body, m.Trace)
 	case msg.Alarm:
-		dm.handleAlarm(body)
+		dm.handleAlarm(body, m.Trace)
 	case *msg.Report:
 		dm.handleReport(*body)
 	case msg.Report:
@@ -303,7 +362,7 @@ func (dm *DomainManager) HandleMessage(m msg.Message) {
 // manager ("Upon receiving an alarm report from the client-side QoS Host
 // Manager, ask the corresponding server-side QoS Host Manager for CPU
 // load and memory usage").
-func (dm *DomainManager) handleAlarm(al msg.Alarm) {
+func (dm *DomainManager) handleAlarm(al msg.Alarm, tc telemetry.TraceContext) {
 	dm.Alarms++
 	if dm.metrics != nil {
 		dm.metrics.alarms.Inc()
@@ -318,9 +377,10 @@ func (dm *DomainManager) handleAlarm(al msg.Alarm) {
 	}
 	dm.nextRef++
 	ref := "e" + strconv.Itoa(dm.nextRef)
-	dm.episodes[ref] = &episode{alarm: al, server: server}
+	dm.episodes[ref] = &episode{alarm: al, server: server, ctx: tc, alarmCtx: tc}
 	_ = dm.send(server.hostMgrAddr, msg.Message{
-		From: dm.addr,
+		From:  dm.addr,
+		Trace: tc,
 		Body: msg.Query{
 			From: dm.addr,
 			Keys: []string{"cpu_load", "run_queue", "mem_usage", "proc_cpu:" + server.executable},
@@ -352,7 +412,9 @@ func (dm *DomainManager) handleReport(r msg.Report) {
 	if dm.metrics != nil && dm.metrics.wall != nil {
 		inferStart = dm.metrics.wall()
 	}
+	dm.epCur = ep
 	fired, err := dm.engine.Run(100)
+	dm.epCur = nil
 	if dm.metrics != nil {
 		if dm.metrics.wall != nil {
 			dm.metrics.inferNS.ObserveDuration(dm.metrics.wall() - inferStart)

@@ -255,6 +255,7 @@ type HostManager struct {
 	// and policy of the report being diagnosed attribute their actions.
 	epSubject string
 	epPolicy  string
+	epCtx     telemetry.TraceContext
 }
 
 // hmMetrics holds the host manager's pre-resolved metric handles.
@@ -286,8 +287,10 @@ func NewHostManager(addr string, host runtime.HostControl, send Send, domainAddr
 		procsByPID: make(map[int]*managedProc),
 		procsByExe: make(map[string]*managedProc),
 	}
+	hm.cpu.SetSpanFunc(func(stage, detail string) { hm.traceEvent("cpu-manager", stage, detail) })
+	hm.mem.SetSpanFunc(func(stage, detail string) { hm.traceEvent("memory-manager", stage, detail) })
 	hm.registerCallbacks()
-	if err := hm.LoadRules(DefaultHostRules); err != nil {
+	if err := hm.engine.LoadRulesOrigin("host-default", DefaultHostRules); err != nil {
 		panic("manager: default host rules do not parse: " + err.Error())
 	}
 	return hm
@@ -302,6 +305,11 @@ func (hm *HostManager) Addr() string { return hm.addr }
 // when the registry has a wall clock.
 func (hm *HostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	hm.tracer = tracer
+	if tracer != nil {
+		hm.engine.OnFiring = hm.explainFiring
+	} else {
+		hm.engine.OnFiring = nil
+	}
 	if reg == nil {
 		hm.metrics = nil
 		return
@@ -321,12 +329,36 @@ func (hm *HostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 	}
 }
 
-// traceEvent records a span on the trace of the violation currently being
-// diagnosed; a no-op outside an episode or without a tracer.
-func (hm *HostManager) traceEvent(stage, detail string) {
+// traceEvent records a span emitted by src on the trace of the violation
+// currently being diagnosed, parented under the episode's diagnosis span;
+// a no-op outside an episode or without a tracer. It returns the span's
+// context for propagation on outgoing messages.
+func (hm *HostManager) traceEvent(src, stage, detail string) telemetry.TraceContext {
 	if hm.tracer != nil && hm.epSubject != "" {
-		hm.tracer.Event(hm.epSubject, hm.epPolicy, stage, detail)
+		return hm.tracer.EventCtx(hm.epCtx, hm.epSubject, hm.epPolicy, src, stage, detail)
 	}
+	return telemetry.TraceContext{}
+}
+
+// explainFiring is the inference engine's OnFiring hook: each rule
+// activation executed during a diagnosis episode becomes an explanation
+// record on the violation's trace — which facts matched which rule and
+// what was asserted, retracted and called as a result.
+func (hm *HostManager) explainFiring(f rules.Firing) {
+	if hm.tracer == nil || hm.epSubject == "" {
+		return
+	}
+	hm.tracer.Explain(hm.epCtx, hm.epSubject, hm.epPolicy, telemetry.Explanation{
+		Engine:    hm.addr,
+		Rule:      f.Rule,
+		RuleSet:   f.Origin,
+		Salience:  f.Salience,
+		Bindings:  f.Bindings,
+		Matched:   f.Matched,
+		Asserted:  f.Asserted,
+		Retracted: f.Retracted,
+		Called:    f.Called,
+	})
 }
 
 // countAdaptation bumps the adaptation counter (resource-manager actions
@@ -345,6 +377,13 @@ func (hm *HostManager) Memory() *MemoryManager { return hm.mem }
 
 // Engine exposes the inference engine (tests and rule administration).
 func (hm *HostManager) Engine() *rules.Engine { return hm.engine }
+
+// LoadNamedRules replaces the rule set at run time, tagging every rule
+// with the originating rule-set name so trace explanations report which
+// distributed set produced each decision.
+func (hm *HostManager) LoadNamedRules(name, src string) error {
+	return hm.engine.LoadRulesOrigin(name, src)
+}
 
 // LoadRules replaces the rule set at run time (dynamic rule
 // distribution).
@@ -382,7 +421,7 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.cpu.Boost(mp.proc, int(args[1].Num))
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("boost-cpu %+d -> boost %d", int(args[1].Num), mp.proc.Boost()))
+		hm.cpu.Emit(telemetry.StageAdapt, fmt.Sprintf("boost-cpu %+d -> boost %d", int(args[1].Num), mp.proc.Boost()))
 		return nil
 	})
 	hm.engine.RegisterFunc("reclaim-cpu", func(args []rules.Value) error {
@@ -395,7 +434,7 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.cpu.Boost(mp.proc, -int(args[1].Num))
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("reclaim-cpu %d", int(args[1].Num)))
+		hm.cpu.Emit(telemetry.StageAdapt, fmt.Sprintf("reclaim-cpu %d", int(args[1].Num)))
 		return nil
 	})
 	hm.engine.RegisterFunc("grant-rt", func(args []rules.Value) error {
@@ -409,7 +448,7 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.cpu.GrantRealtime(mp.proc, prio)
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("grant-rt prio %d", prio))
+		hm.cpu.Emit(telemetry.StageAdapt, fmt.Sprintf("grant-rt prio %d", prio))
 		return nil
 	})
 	hm.engine.RegisterFunc("adjust-memory", func(args []rules.Value) error {
@@ -422,7 +461,7 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.mem.Adjust(mp.proc, int(args[1].Num))
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("adjust-memory %+d pages", int(args[1].Num)))
+		hm.mem.Emit(telemetry.StageAdapt, fmt.Sprintf("adjust-memory %+d pages", int(args[1].Num)))
 		return nil
 	})
 	hm.engine.RegisterFunc("cap-boost", func(args []rules.Value) error {
@@ -436,7 +475,7 @@ func (hm *HostManager) registerCallbacks() {
 		if cap := int(args[1].Num); mp.proc.Boost() > cap {
 			hm.cpu.Boost(mp.proc, cap-mp.proc.Boost())
 			hm.countAdaptation()
-			hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("cap-boost at %d", cap))
+			hm.cpu.Emit(telemetry.StageAdapt, fmt.Sprintf("cap-boost at %d", cap))
 		}
 		return nil
 	})
@@ -447,7 +486,7 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.mem.Ensure(mp.proc, mp.proc.WorkingSet())
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("restore-memory to %d pages", mp.proc.WorkingSet()))
+		hm.mem.Emit(telemetry.StageAdapt, fmt.Sprintf("restore-memory to %d pages", mp.proc.WorkingSet()))
 		return nil
 	})
 	hm.engine.RegisterFunc("request-adaptation", func(args []rules.Value) error {
@@ -460,12 +499,16 @@ func (hm *HostManager) registerCallbacks() {
 		}
 		hm.Adaptations++
 		hm.countAdaptation()
-		hm.traceEvent(telemetry.StageAdapt, fmt.Sprintf("request-adaptation %s %g", args[1].Sym, args[2].Num))
-		return hm.send(mp.id.Address()+"/qosl_coordinator", msg.Message{
+		ctx := hm.traceEvent("hostmanager", telemetry.StageAdapt, fmt.Sprintf("request-adaptation %s %g", args[1].Sym, args[2].Num))
+		dm := msg.Message{
 			From: hm.addr,
 			Body: msg.Directive{From: hm.addr, Action: "actuate",
 				Target: args[1].Sym, Amount: args[2].Num},
-		})
+		}
+		if hm.epCtx.Valid() {
+			dm.Trace = ctx
+		}
+		return hm.send(mp.id.Address()+"/qosl_coordinator", dm)
 	})
 	hm.engine.RegisterFunc("notify-domain", func(args []rules.Value) error {
 		mp, err := hm.procArg(args, 0)
@@ -481,15 +524,19 @@ func (hm *HostManager) registerCallbacks() {
 			hm.metrics.escalations.Inc()
 		}
 		if hm.domainAddr == "" {
-			hm.traceEvent(telemetry.StageEscalate, "dropped (no domain manager)")
+			hm.traceEvent("hostmanager", telemetry.StageEscalate, "dropped (no domain manager)")
 			return nil
 		}
-		hm.traceEvent(telemetry.StageEscalate, "alarm -> "+hm.domainAddr)
+		ctx := hm.traceEvent("hostmanager", telemetry.StageEscalate, "alarm -> "+hm.domainAddr)
 		readings := hm.currentReadings(pidSym(mp.id.PID))
-		return hm.send(hm.domainAddr, msg.Message{
+		am := msg.Message{
 			From: hm.addr,
 			Body: msg.Alarm{ID: mp.id, Policy: policy, Readings: readings, Suspect: "remote"},
-		})
+		}
+		if hm.epCtx.Valid() {
+			am.Trace = ctx
+		}
+		return hm.send(hm.domainAddr, am)
 	})
 }
 
@@ -524,13 +571,13 @@ func (hm *HostManager) currentReadings(psym string) map[string]float64 {
 func (hm *HostManager) HandleMessage(m msg.Message) {
 	switch body := m.Body.(type) {
 	case *msg.Violation:
-		hm.handleViolation(*body)
+		hm.handleViolation(*body, m.Trace)
 	case msg.Violation:
-		hm.handleViolation(body)
+		hm.handleViolation(body, m.Trace)
 	case *msg.Query:
-		hm.handleQuery(m.From, *body)
+		hm.handleQuery(m.From, *body, m.Trace)
 	case msg.Query:
-		hm.handleQuery(m.From, body)
+		hm.handleQuery(m.From, body, m.Trace)
 	case *msg.Directive:
 		hm.handleDirective(m.From, *body)
 	case msg.Directive:
@@ -540,7 +587,7 @@ func (hm *HostManager) HandleMessage(m msg.Message) {
 
 // handleViolation is one diagnosis episode: assert the report as facts,
 // forward-chain, then retract the episode facts.
-func (hm *HostManager) handleViolation(v msg.Violation) {
+func (hm *HostManager) handleViolation(v msg.Violation, tc telemetry.TraceContext) {
 	psym := pidSym(v.ID.PID)
 	if _, known := hm.procsByPID[v.ID.PID]; !known {
 		if hm.OnUnknownProc != nil {
@@ -570,9 +617,15 @@ func (hm *HostManager) handleViolation(v msg.Violation) {
 		}
 		hm.engine.AssertF("violation", psym, orUnknown(v.Policy))
 		// Episode context: rule callbacks fired by Run attribute their
-		// adaptations and escalations to this violation's trace.
+		// adaptations and escalations to this violation's trace, parented
+		// under the diagnosis span (itself a child of the notify span the
+		// report carried in its trace context).
 		hm.epSubject, hm.epPolicy = v.ID.Address(), v.Policy
-		hm.traceEvent(telemetry.StageDiagnose, "inference episode on "+hm.addr)
+		hm.epCtx = tc
+		if hm.tracer != nil {
+			hm.epCtx = hm.tracer.EventCtx(tc, hm.epSubject, hm.epPolicy,
+				"hostmanager", telemetry.StageDiagnose, "inference episode on "+hm.addr)
+		}
 	}
 	for attr, val := range v.Readings {
 		hm.engine.AssertF("reading", psym, attr, val)
@@ -596,7 +649,7 @@ func (hm *HostManager) handleViolation(v msg.Violation) {
 			hm.metrics.ruleErrors.Inc()
 		}
 	}
-	hm.epSubject, hm.epPolicy = "", ""
+	hm.epSubject, hm.epPolicy, hm.epCtx = "", "", telemetry.TraceContext{}
 	// Clear the episode; persistent facts (deffacts thresholds) remain.
 	hm.engine.RetractMatching(rules.F("violation", psym, "?")...)
 	hm.engine.RetractMatching(rules.F("overshoot", psym, "?")...)
@@ -614,7 +667,7 @@ func orUnknown(s string) string {
 }
 
 // handleQuery answers statistic queries from the domain manager.
-func (hm *HostManager) handleQuery(replyTo string, q msg.Query) {
+func (hm *HostManager) handleQuery(replyTo string, q msg.Query, tc telemetry.TraceContext) {
 	values := make(map[string]float64, len(q.Keys))
 	for _, k := range q.Keys {
 		switch {
@@ -642,8 +695,9 @@ func (hm *HostManager) handleQuery(replyTo string, q msg.Query) {
 		}
 	}
 	_ = hm.send(replyTo, msg.Message{
-		From: hm.addr,
-		Body: msg.Report{Host: hm.host.Name(), Values: values, Ref: q.Ref},
+		From:  hm.addr,
+		Trace: tc,
+		Body:  msg.Report{Host: hm.host.Name(), Values: values, Ref: q.Ref},
 	})
 }
 

@@ -103,6 +103,14 @@ func (a *Admin) RulesFor(managerRole string) (string, error) {
 	return strings.Join(texts, "\n"), nil
 }
 
+// NamedRulesFor returns the stored rule sets for a manager role with
+// their names, for loaders that keep provenance (e.g.
+// HostManager.LoadNamedRules, so trace explanations report which stored
+// set produced each firing).
+func (a *Admin) NamedRulesFor(managerRole string) ([]repository.NamedRuleSet, error) {
+	return a.svc.NamedRuleSetsFor(managerRole)
+}
+
 // ImportLDIF uploads raw LDIF into a directory (bulk administration
 // path). It is a convenience over repository.LoadLDIF for callers holding
 // only an Admin.

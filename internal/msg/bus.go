@@ -29,20 +29,35 @@ type Bus struct {
 	localDelay  time.Duration
 	remoteDelay time.Duration
 
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64 // destination not bound at delivery time
+	Sent           uint64
+	Delivered      uint64
+	Dropped        uint64 // destination not bound at delivery time
+	DroppedInvalid uint64 // decoded but failed Validate
 
 	metrics *busMetrics
 }
 
-// busMetrics holds the bus transport's pre-resolved metric handles.
+// busMetrics holds the bus transport's pre-resolved metric handles. The
+// invalid-drop counter is resolved lazily on the first drop so the
+// registered metric name set (and therefore deterministic snapshots) is
+// unchanged for runs where no malformed message ever flows.
 type busMetrics struct {
+	reg       *telemetry.Registry
 	sent      *telemetry.Counter
 	delivered *telemetry.Counter
 	dropped   *telemetry.Counter
 	bytes     *telemetry.Counter
 	byType    map[string]*telemetry.Counter
+	invalid   *telemetry.Counter // lazy; see droppedInvalid
+}
+
+// droppedInvalid counts one validation drop (the Bus is driven by the
+// single-threaded simulator loop, so lazy resolution needs no lock).
+func (m *busMetrics) droppedInvalid() {
+	if m.invalid == nil {
+		m.invalid = m.reg.Counter("msg.bus.dropped_invalid")
+	}
+	m.invalid.Inc()
 }
 
 // NewBus creates a bus with the given IPC latencies: localDelay applies
@@ -66,6 +81,7 @@ func (b *Bus) SetMetrics(reg *telemetry.Registry) {
 		return
 	}
 	m := &busMetrics{
+		reg:       reg,
 		sent:      reg.Counter("msg.bus.sent"),
 		delivered: reg.Counter("msg.bus.delivered"),
 		dropped:   reg.Counter("msg.bus.dropped"),
@@ -103,6 +119,13 @@ func (b *Bus) Send(addr string, m Message) error {
 	if _, ok := b.handlers[addr]; !ok {
 		return fmt.Errorf("msg: no handler bound at %q", addr)
 	}
+	if err := Validate(m); err != nil {
+		b.DroppedInvalid++
+		if b.metrics != nil {
+			b.metrics.droppedInvalid()
+		}
+		return err
+	}
 	b.Sent++
 	if b.metrics != nil {
 		b.metrics.sent.Inc()
@@ -111,7 +134,12 @@ func (b *Bus) Send(addr string, m Message) error {
 				c.Inc()
 			}
 		}
-		if data, err := Marshal(m); err == nil {
+		// Byte accounting marshals without the trace context: tracing is
+		// out-of-band metadata and must not perturb the deterministic
+		// msg.bus.bytes counter pinned by the goldens.
+		untraced := m
+		untraced.Trace = telemetry.TraceContext{}
+		if data, err := Marshal(untraced); err == nil {
 			b.metrics.bytes.Add(uint64(len(data)))
 		}
 	}

@@ -1,6 +1,7 @@
 package msg
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -153,6 +154,90 @@ func TestTransportConformance(t *testing.T) {
 				}
 				if err := tr.Send("/conf/nobody", Message{Body: Ack{}}); err == nil {
 					t.Error("send after Unbind did not error")
+				}
+			})
+
+			t.Run("invalid", func(t *testing.T) {
+				tr, setMetrics, pump := tc.open(t)
+				reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+				setMetrics(reg)
+				delivered := 0
+				tr.Bind("/conf/sink", "conf", func(Message) { delivered++ })
+				bad := []Message{
+					{From: "/h/src", Body: Violation{Policy: "P"}},          // PID 0
+					{From: "/h/src", Body: Violation{ID: Identity{PID: 4}}}, // no policy
+					{From: "/h/src", Body: Alarm{ID: Identity{PID: 4}}},     // no policy
+					{From: "/h/src", Body: Query{From: "/h/src", Ref: "q"}}, // no keys
+					{From: "/h/src", Body: Directive{Target: "frame_skip"}}, // no action
+				}
+				for i, m := range bad {
+					if err := tr.Send("/conf/sink", m); err == nil {
+						t.Errorf("message %d (%T): invalid send did not error", i, m.Body)
+					}
+				}
+				pump()
+				if delivered != 0 {
+					t.Errorf("handler received %d invalid messages", delivered)
+				}
+				if n := reg.Counter(tc.prefix + ".dropped_invalid").Value(); n != uint64(len(bad)) {
+					t.Errorf("%s.dropped_invalid = %d, want %d", tc.prefix, n, len(bad))
+				}
+				// A valid message still goes through afterwards.
+				if err := tr.Send("/conf/sink", Message{From: "/h/src", Body: Ack{}}); err != nil {
+					t.Errorf("valid send after drops: %v", err)
+				}
+				pump()
+				if delivered != 1 {
+					t.Errorf("valid message not delivered after drops (delivered=%d)", delivered)
+				}
+			})
+
+			t.Run("trace-context", func(t *testing.T) {
+				tr, _, pump := tc.open(t)
+				ctx := telemetry.TraceContext{TraceID: "/h/app/x/1#42", Span: 3}
+				var got []Message
+				tr.Bind("/conf/sink", "conf", func(m Message) { got = append(got, m) })
+				withCtx := Message{From: "/h/src", Trace: ctx,
+					Body: Violation{ID: Identity{Host: "h", PID: 1, Executable: "x"}, Policy: "P"}}
+				without := Message{From: "/h/src", Body: Ack{Ref: "r"}}
+				if err := tr.Send("/conf/sink", withCtx); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Send("/conf/sink", without); err != nil {
+					t.Fatal(err)
+				}
+				pump()
+				if len(got) != 2 {
+					t.Fatalf("delivered %d of 2", len(got))
+				}
+				if got[0].Trace != ctx {
+					t.Errorf("context not carried: got %+v, sent %+v", got[0].Trace, ctx)
+				}
+				if got[1].Trace.Valid() {
+					t.Errorf("context invented on context-free message: %+v", got[1].Trace)
+				}
+				// The wire encoding itself must be transport-independent:
+				// both transports move the same marshaled frame, so a
+				// message with a context marshals byte-identically
+				// everywhere, and one without a context marshals exactly
+				// as it did before contexts existed.
+				b1, err := marshalRouted("/conf/sink", withCtx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				to, rt, err := unmarshalRouted(b1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if to != "/conf/sink" || rt.Trace != ctx {
+					t.Errorf("round-trip: to=%q trace=%+v", to, rt.Trace)
+				}
+				b2, err := marshalRouted("/conf/sink", without)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Contains(b2, []byte("trace")) {
+					t.Errorf("context-free frame mentions trace: %s", b2)
 				}
 			})
 

@@ -9,6 +9,8 @@ package msg
 import (
 	"encoding/json"
 	"fmt"
+
+	"softqos/internal/telemetry"
 )
 
 // Identity names a managed process the way the paper's policy agent keys
@@ -125,21 +127,27 @@ type Nack struct {
 	Reason string   `json:"reason"` // human-readable cause
 }
 
-// Message is the envelope union: exactly one well-known body type.
+// Message is the envelope union: exactly one well-known body type. Trace
+// is out-of-band observability metadata — the violation-trace context the
+// message extends, propagated identically by both transports and absent
+// from the wire when zero (so tracing never changes message framing for
+// untraced traffic).
 type Message struct {
-	From string `json:"from"`
-	Body any    `json:"-"`
+	From  string                 `json:"from"`
+	Trace telemetry.TraceContext `json:"-"`
+	Body  any                    `json:"-"`
 }
 
 // envelope is the JSON wire form with an explicit type tag. To carries
 // the destination management address when the frame travels over a
 // routed transport (NetTransport); point-to-point connections leave it
-// empty.
+// empty. Trace is carried only when the message has one.
 type envelope struct {
-	From string          `json:"from"`
-	To   string          `json:"to,omitempty"`
-	Type string          `json:"type"`
-	Body json.RawMessage `json:"body"`
+	From  string                  `json:"from"`
+	To    string                  `json:"to,omitempty"`
+	Type  string                  `json:"type"`
+	Trace *telemetry.TraceContext `json:"trace,omitempty"`
+	Body  json.RawMessage         `json:"body"`
 }
 
 func typeTag(body any) (string, error) {
@@ -183,7 +191,12 @@ func marshalRouted(to string, m Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(envelope{From: m.From, To: to, Type: tag, Body: raw})
+	env := envelope{From: m.From, To: to, Type: tag, Body: raw}
+	if m.Trace.Valid() {
+		tc := m.Trace
+		env.Trace = &tc
+	}
+	return json.Marshal(env)
 }
 
 // Unmarshal decodes one JSON line into a Message whose Body has the
@@ -226,7 +239,11 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 	if err := json.Unmarshal(env.Body, body); err != nil {
 		return "", Message{}, fmt.Errorf("msg: bad %s body: %w", env.Type, err)
 	}
-	return env.To, Message{From: env.From, Body: body}, nil
+	m := Message{From: env.From, Body: body}
+	if env.Trace != nil {
+		m.Trace = *env.Trace
+	}
+	return env.To, m, nil
 }
 
 // SendFunc transmits a management message to a management address. The

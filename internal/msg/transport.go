@@ -2,6 +2,7 @@ package msg
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"strings"
 	"sync"
@@ -32,16 +33,29 @@ var (
 // only ever flows live (the sim's pre-registered "msg.bus.*" name set is
 // unchanged, keeping determinism goldens stable).
 type netMetrics struct {
+	reg       *telemetry.Registry
 	sent      *telemetry.Counter
 	delivered *telemetry.Counter
 	dropped   *telemetry.Counter
 	bytes     *telemetry.Counter
 	byType    map[string]*telemetry.Counter
+
+	invalidOnce sync.Once
+	invalid     *telemetry.Counter // lazy: registered on the first invalid drop
+}
+
+// droppedInvalid counts one validation drop, resolving the counter on
+// first use so the metric only appears in registries that actually saw a
+// malformed message.
+func (m *netMetrics) droppedInvalid() {
+	m.invalidOnce.Do(func() { m.invalid = m.reg.Counter("msg.net.dropped_invalid") })
+	m.invalid.Inc()
 }
 
 func newNetMetrics(reg *telemetry.Registry) *netMetrics {
 	tags := append(append([]string(nil), typeTags...), "nack")
 	m := &netMetrics{
+		reg:       reg,
 		sent:      reg.Counter("msg.net.sent"),
 		delivered: reg.Counter("msg.net.delivered"),
 		dropped:   reg.Counter("msg.net.dropped"),
@@ -94,10 +108,12 @@ type NetTransport struct {
 	ddone bool
 	dexit chan struct{}
 
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	sent           atomic.Uint64
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	droppedInvalid atomic.Uint64
 
+	logfFn  atomic.Pointer[func(string, ...any)]
 	metrics atomic.Pointer[netMetrics]
 }
 
@@ -151,6 +167,33 @@ func (t *NetTransport) SetMetrics(reg *telemetry.Registry) {
 // Stats returns messages sent, delivered to local handlers, and dropped.
 func (t *NetTransport) Stats() (sent, delivered, dropped uint64) {
 	return t.sent.Load(), t.delivered.Load(), t.dropped.Load()
+}
+
+// DroppedInvalid returns how many decoded messages failed Validate and
+// were logged and dropped instead of dispatched.
+func (t *NetTransport) DroppedInvalid() uint64 { return t.droppedInvalid.Load() }
+
+// SetLogf routes the transport's diagnostics (invalid-message drops) to
+// fn instead of the standard logger.
+func (t *NetTransport) SetLogf(fn func(format string, args ...any)) {
+	t.logfFn.Store(&fn)
+}
+
+func (t *NetTransport) logf(format string, args ...any) {
+	if p := t.logfFn.Load(); p != nil {
+		(*p)(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// dropInvalid logs and counts a message that decoded but failed Validate.
+func (t *NetTransport) dropInvalid(err error) {
+	t.droppedInvalid.Add(1)
+	if nm := t.metrics.Load(); nm != nil {
+		nm.droppedInvalid()
+	}
+	t.logf("msg: %s: dropping invalid message: %v", t.host, err)
 }
 
 // Bind attaches a handler to a local management address. The host label
@@ -208,6 +251,10 @@ func (t *NetTransport) Sync(fn func()) {
 // order). It returns an error when no local handler, learned reply
 // route, static route or dialable address resolves the destination.
 func (t *NetTransport) Send(to string, m Message) error {
+	if err := Validate(m); err != nil {
+		t.dropInvalid(err)
+		return err
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -342,6 +389,14 @@ func (t *NetTransport) readLoop(c *Conn) {
 			if nm := t.metrics.Load(); nm != nil {
 				nm.dropped.Inc()
 			}
+			continue
+		}
+		// The frame parsed but may still be semantically malformed (a
+		// violation without a pid, a directive without an action): log
+		// and drop it with a counter rather than silently skipping or
+		// handing a handler a message it would misbehave on.
+		if err := Validate(m); err != nil {
+			t.dropInvalid(err)
 			continue
 		}
 		t.mu.Lock()

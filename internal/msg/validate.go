@@ -1,0 +1,69 @@
+package msg
+
+import "fmt"
+
+// Validate checks the semantic invariants a decoded management message
+// must satisfy before a handler may see it: a known body type and the
+// per-type fields the managers dereference unconditionally. Transports
+// call it after decoding (and on local fast paths) so a malformed-but-
+// well-formed-JSON frame is logged and dropped with a counter instead of
+// reaching a handler that would misbehave on it.
+func Validate(m Message) error {
+	switch b := m.Body.(type) {
+	case Register, *Register, PolicySet, *PolicySet, Report, *Report,
+		Ack, *Ack, Nack, *Nack:
+		return nil
+	case Violation:
+		return validateViolation(b)
+	case *Violation:
+		return validateViolation(*b)
+	case Alarm:
+		return validateAlarm(b)
+	case *Alarm:
+		return validateAlarm(*b)
+	case Query:
+		return validateQuery(b)
+	case *Query:
+		return validateQuery(*b)
+	case Directive:
+		return validateDirective(b)
+	case *Directive:
+		return validateDirective(*b)
+	default:
+		return fmt.Errorf("msg: unknown body type %T", m.Body)
+	}
+}
+
+func validateViolation(v Violation) error {
+	if v.Policy == "" {
+		return fmt.Errorf("msg: violation without a policy name")
+	}
+	if v.ID.PID <= 0 {
+		return fmt.Errorf("msg: violation with non-positive pid %d", v.ID.PID)
+	}
+	return nil
+}
+
+func validateAlarm(a Alarm) error {
+	if a.Policy == "" {
+		return fmt.Errorf("msg: alarm without a policy name")
+	}
+	if a.ID.PID <= 0 {
+		return fmt.Errorf("msg: alarm with non-positive pid %d", a.ID.PID)
+	}
+	return nil
+}
+
+func validateQuery(q Query) error {
+	if len(q.Keys) == 0 {
+		return fmt.Errorf("msg: query without keys")
+	}
+	return nil
+}
+
+func validateDirective(d Directive) error {
+	if d.Action == "" {
+		return fmt.Errorf("msg: directive without an action")
+	}
+	return nil
+}

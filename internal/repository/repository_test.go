@@ -469,6 +469,21 @@ func TestServiceRuleSets(t *testing.T) {
 	if len(none) != 0 {
 		t.Errorf("unexpected domain rule sets: %v", none)
 	}
+
+	// Named access keeps provenance and sorts by name.
+	if err := svc.StoreRuleSet("aaa-extra", "host-manager", "(defrule c (x) => (assert (w)))"); err != nil {
+		t.Fatal(err)
+	}
+	named, err := svc.NamedRuleSetsFor("host-manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) != 2 || named[0].Name != "aaa-extra" || named[1].Name != "base" {
+		t.Fatalf("named rule sets = %+v", named)
+	}
+	if !strings.Contains(named[1].Text, "defrule b") {
+		t.Errorf("named text lost: %+v", named[1])
+	}
 }
 
 func TestServiceOverTCP(t *testing.T) {

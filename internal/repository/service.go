@@ -2,6 +2,7 @@ package repository
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -379,17 +380,40 @@ func (s *Service) StoreRuleSet(name, managerRole, ruleText string) error {
 	return nil
 }
 
-// RuleSetsFor returns the rule texts bound to a manager role
-// ("host-manager", "domain-manager"), sorted by name.
-func (s *Service) RuleSetsFor(managerRole string) ([]string, error) {
+// NamedRuleSet is one stored rule set with its provenance: the name it
+// was stored under, which managers tag onto rule firings so trace
+// explanations can report which distributed set produced a decision.
+type NamedRuleSet struct {
+	Name string
+	Text string
+}
+
+// NamedRuleSetsFor returns the rule sets bound to a manager role
+// ("host-manager", "domain-manager") with their names, sorted by name.
+func (s *Service) NamedRuleSetsFor(managerRole string) ([]NamedRuleSet, error) {
 	entries, err := s.store.Search(dnRuleSets(), ScopeOne,
 		All(Eq("objectClass", "qosRuleSet"), Eq("qosManagerRole", managerRole)))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, 0, len(entries))
+	out := make([]NamedRuleSet, 0, len(entries))
 	for _, e := range entries {
-		out = append(out, e.Get("qosRuleText"))
+		out = append(out, NamedRuleSet{Name: e.Get("cn"), Text: e.Get("qosRuleText")})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// RuleSetsFor returns the rule texts bound to a manager role, sorted by
+// name (the nameless form of NamedRuleSetsFor).
+func (s *Service) RuleSetsFor(managerRole string) ([]string, error) {
+	named, err := s.NamedRuleSetsFor(managerRole)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(named))
+	for _, rs := range named {
+		out = append(out, rs.Text)
 	}
 	return out, nil
 }

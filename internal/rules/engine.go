@@ -30,9 +30,20 @@ type Engine struct {
 	// Logf, if non-nil, receives (log ...) output and trace messages.
 	Logf func(format string, args ...any)
 
+	// OnFiring, if non-nil, receives every executed activation as a
+	// Firing record including its effects (facts asserted/retracted,
+	// callbacks invoked). Managers use it to attach rule-firing
+	// explanations to the violation trace being diagnosed. It is invoked
+	// after the activation's RHS ran, independent of SetTracing.
+	OnFiring func(Firing)
+
 	// Firing trace (see trace.go).
 	tracing bool
 	trace   []Firing
+	capture *Firing // effect-capture target while an activation executes
+
+	// origins maps rule name -> rule-set provenance (see LoadRulesOrigin).
+	origins map[string]string
 
 	// Firings counts rule activations executed over the engine's life.
 	Firings uint64
@@ -53,7 +64,14 @@ func NewEngine() *Engine {
 // LoadRules parses src and replaces the engine's rule set (the paper's
 // dynamic rule distribution: rule sets change at run time without
 // recompilation). Initial facts from deffacts forms are asserted.
-func (e *Engine) LoadRules(src string) error {
+func (e *Engine) LoadRules(src string) error { return e.LoadRulesOrigin("", src) }
+
+// LoadRulesOrigin is LoadRules with provenance: every rule parsed from
+// src is tagged as coming from origin (a repository rule-set name or a
+// built-in set's identifier), which firing records and trace
+// explanations report so operators can tell which distributed rule set
+// produced a decision.
+func (e *Engine) LoadRulesOrigin(origin, src string) error {
 	rs, facts, templates, err := parseAll(src)
 	if err != nil {
 		return err
@@ -61,11 +79,21 @@ func (e *Engine) LoadRules(src string) error {
 	e.rs = rs
 	e.templates = templates
 	e.fired = make(map[string]bool)
+	e.origins = make(map[string]string)
+	if origin != "" {
+		for _, r := range rs {
+			e.origins[r.Name] = origin
+		}
+	}
 	for _, f := range facts {
 		e.Assert(f...)
 	}
 	return nil
 }
+
+// Origin returns the provenance tag of a loaded rule ("" when the rule
+// was loaded without one).
+func (e *Engine) Origin(rule string) string { return e.origins[rule] }
 
 // AddRule appends a single parsed rule (used by tests and composition).
 func (e *Engine) AddRule(r *Rule) {
@@ -321,8 +349,23 @@ func (e *Engine) Run(limit int) (int, error) {
 		e.fired[a.key()] = true
 		e.Firings++
 		fired++
-		e.recordFiring(a)
-		if err := e.execute(a); err != nil {
+		var rec *Firing
+		if e.tracing || e.OnFiring != nil {
+			f := e.newFiring(a)
+			rec = &f
+			e.capture = rec
+		}
+		err := e.execute(a)
+		if rec != nil {
+			e.capture = nil
+			if e.tracing {
+				e.trace = append(e.trace, *rec)
+			}
+			if e.OnFiring != nil {
+				e.OnFiring(*rec)
+			}
+		}
+		if err != nil {
 			return fired, fmt.Errorf("rules: rule %s: %w", a.rule.Name, err)
 		}
 	}
@@ -344,6 +387,7 @@ func (e *Engine) execute(a *activation) error {
 					return err
 				}
 				e.Assert(tuple...)
+				e.noteAssert(tuple)
 				break
 			}
 			tuple := make([]Value, 0, len(form.list))
@@ -355,6 +399,7 @@ func (e *Engine) execute(a *activation) error {
 				tuple = append(tuple, v)
 			}
 			e.Assert(tuple...)
+			e.noteAssert(tuple)
 		case "retract":
 			for _, item := range act.list[1:] {
 				if item.atom == nil || !item.atom.IsVariable() {
@@ -363,6 +408,9 @@ func (e *Engine) execute(a *activation) error {
 				f, ok := a.binds.facts[item.atom.Sym]
 				if !ok {
 					return fmt.Errorf("retract: %s is not a fact address", item.atom.Sym)
+				}
+				if e.capture != nil {
+					e.capture.Retracted = append(e.capture.Retracted, f.String())
 				}
 				e.Retract(f.ID())
 			}
@@ -382,6 +430,14 @@ func (e *Engine) execute(a *activation) error {
 					return err
 				}
 				args = append(args, v)
+			}
+			if e.capture != nil {
+				rendered := make([]string, 0, len(args)+1)
+				rendered = append(rendered, name)
+				for _, v := range args {
+					rendered = append(rendered, v.String())
+				}
+				e.capture.Called = append(e.capture.Called, strings.Join(rendered, " "))
 			}
 			if err := fn(args); err != nil {
 				return fmt.Errorf("call %s: %w", name, err)
@@ -433,6 +489,15 @@ func (e *Engine) assertTemplatedForm(t *template, form sexpr, b *bindings) ([]Va
 		}
 	}
 	return tuple, nil
+}
+
+// noteAssert records an asserted tuple on the capture target.
+func (e *Engine) noteAssert(tuple []Value) {
+	if e.capture == nil {
+		return
+	}
+	f := &Fact{items: tuple}
+	e.capture.Asserted = append(e.capture.Asserted, f.String())
 }
 
 func (e *Engine) logf(format string, args ...any) {

@@ -12,13 +12,21 @@ import (
 // every firing with its bindings and matched facts, and can explain why a
 // rule did or did not activate against the current working memory.
 
-// Firing is one recorded rule activation.
+// Firing is one recorded rule activation: the match that activated it
+// and — captured while its RHS executed — its effects on working memory
+// and the outside world.
 type Firing struct {
 	Seq      int
 	Rule     string
+	Origin   string // rule-set provenance (see Engine.LoadRulesOrigin)
 	Salience int
 	Bindings map[string]string // variable -> value (rendered)
 	Matched  []string          // matched facts (rendered)
+
+	// Effects of the RHS, in execution order.
+	Asserted  []string // facts asserted (rendered)
+	Retracted []string // facts retracted (rendered)
+	Called    []string // Go callbacks invoked, "name arg ..." (rendered)
 }
 
 func (f Firing) String() string {
@@ -50,13 +58,13 @@ func (e *Engine) Trace() []Firing { return append([]Firing(nil), e.trace...) }
 // ClearTrace drops recorded firings while keeping tracing enabled.
 func (e *Engine) ClearTrace() { e.trace = nil }
 
-func (e *Engine) recordFiring(a *activation) {
-	if !e.tracing {
-		return
-	}
+// newFiring renders an activation into a Firing record (effects are
+// filled in by execute through the engine's capture target).
+func (e *Engine) newFiring(a *activation) Firing {
 	f := Firing{
 		Seq:      len(e.trace) + 1,
 		Rule:     a.rule.Name,
+		Origin:   e.origins[a.rule.Name],
 		Salience: a.rule.Salience,
 		Bindings: make(map[string]string, len(a.binds.vars)),
 	}
@@ -68,7 +76,7 @@ func (e *Engine) recordFiring(a *activation) {
 			f.Matched = append(f.Matched, fact.String())
 		}
 	}
-	e.trace = append(e.trace, f)
+	return f
 }
 
 // Explain reports, for the named rule, how far matching gets against the

@@ -84,6 +84,11 @@ type Config struct {
 	// BackupRoute adds a second network path and arms the domain
 	// manager's network-fault hook to reroute onto it.
 	BackupRoute bool
+	// NoTracePropagation keeps trace contexts off the wire: messages
+	// carry no trace envelope field and downstream spans lose their
+	// causal parents, exactly as before cross-process tracing existed.
+	// Local span recording is unaffected.
+	NoTracePropagation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -270,6 +275,9 @@ func Build(cfg Config) *System {
 
 	sys.Coord = instrument.NewCoordinator(clientID, clock, send, AgentAddr, ClientHMAddr)
 	sys.Coord.SetTelemetry(sys.Metrics, sys.Tracer)
+	if cfg.NoTracePropagation {
+		sys.Coord.SetTracePropagation(false)
+	}
 	sys.Coord.SetNotifyInterval(cfg.NotifyInterval)
 	if cfg.PredictionHorizon > 0 {
 		sys.Coord.SetPredictionHorizon(cfg.PredictionHorizon)

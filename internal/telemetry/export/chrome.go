@@ -1,0 +1,99 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+
+	"softqos/internal/telemetry"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// consumed by chrome://tracing and Perfetto). We emit complete ("X")
+// events: each span lasts until the next span of its trace, so the
+// violation lifecycle reads as a cascade of nested slices.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace renders violation traces as Chrome trace-event JSON.
+// Each trace becomes one thread (tid = trace index + 1) whose slices are
+// the trace's spans; explanations attach to the diagnosis span's args.
+func WriteChromeTrace(w io.Writer, traces []*telemetry.Trace) error {
+	f := chromeFile{
+		TraceEvents: []chromeEvent{},
+		Metadata:    map[string]any{"source": "softqos", "traces": len(traces)},
+	}
+	for ti, t := range traces {
+		end := t.End
+		if !t.Recovered {
+			// Open trace: extend to its last span so slices stay visible.
+			for _, sp := range t.Spans {
+				if sp.At > end {
+					end = sp.At
+				}
+			}
+		}
+		explains := make(map[int][]telemetry.Explanation)
+		for _, e := range t.Explanations {
+			explains[e.Span] = append(explains[e.Span], e)
+		}
+		for si, sp := range t.Spans {
+			until := end
+			if si+1 < len(t.Spans) {
+				until = t.Spans[si+1].At
+			}
+			name := sp.Stage
+			if sp.Detail != "" {
+				name += ": " + sp.Detail
+			}
+			args := map[string]any{
+				"trace":   t.ID,
+				"subject": t.Subject,
+				"policy":  t.Policy,
+				"span":    sp.ID,
+				"parent":  sp.Parent,
+			}
+			if sp.Src != "" {
+				args["src"] = sp.Src
+			}
+			if ex := explains[sp.ID]; len(ex) > 0 {
+				rules := make([]string, len(ex))
+				for i, e := range ex {
+					rules[i] = e.Engine + ": " + e.Rule
+				}
+				args["rules_fired"] = rules
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: name,
+				Cat:  sp.Stage,
+				Ph:   "X",
+				Ts:   sp.At.Microseconds(),
+				Dur:  maxInt64((until - sp.At).Microseconds(), 1),
+				Pid:  1,
+				Tid:  ti + 1,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package export
+
+import (
+	"os"
+	"path/filepath"
+
+	"softqos/internal/telemetry"
+)
+
+// DumpFiles writes the full observability surface of a finished run into
+// dir (created if missing):
+//
+//	metrics.prom  Prometheus text exposition
+//	qos.json      the /debug/qos JSON payload (metrics + traces)
+//	trace.json    Chrome trace-event JSON (load in chrome://tracing)
+//
+// This is the simulation-mode counterpart of the HTTP endpoints: a
+// deterministic run dumps identical files for identical seeds (modulo
+// wall-clock-free content, which all three formats are).
+func DumpFiles(dir string, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var snap telemetry.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	var traces []*telemetry.Trace
+	if tracer != nil {
+		traces = tracer.Traces()
+	}
+
+	if err := writeFile(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
+		return WritePrometheus(f, snap)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "qos.json"), func(f *os.File) error {
+		return WriteJSON(f, BuildPayload(reg, tracer))
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "trace.json"), func(f *os.File) error {
+		return WriteChromeTrace(f, traces)
+	})
+}
+
+func writeFile(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

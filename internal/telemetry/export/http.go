@@ -1,0 +1,66 @@
+package export
+
+import (
+	"net"
+	"net/http"
+
+	"softqos/internal/telemetry"
+)
+
+// Handler serves the observability surface for one management process:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/debug/qos        JSON snapshot: metrics + traces + explanations
+//	/debug/qos/chrome Chrome trace-event JSON of the violation traces
+//
+// Either reg or tracer may be nil; the corresponding sections export
+// empty. The handler reads live state on every request.
+func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var s telemetry.Snapshot
+		if reg != nil {
+			s = reg.Snapshot()
+		}
+		_ = WritePrometheus(w, s)
+	})
+	mux.HandleFunc("/debug/qos", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, BuildPayload(reg, tracer))
+	})
+	mux.HandleFunc("/debug/qos/chrome", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var traces []*telemetry.Trace
+		if tracer != nil {
+			traces = tracer.Traces()
+		}
+		_ = WriteChromeTrace(w, traces)
+	})
+	return mux
+}
+
+// Server is a running observability HTTP listener.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the observability endpoints on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound. Requests are
+// served on a background goroutine until Close.
+func Serve(addr string, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: Handler(reg, tracer)}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

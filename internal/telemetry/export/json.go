@@ -1,0 +1,52 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+
+	"softqos/internal/telemetry"
+)
+
+// Payload is the JSON document served at /debug/qos: the full
+// observability state of one management process — metric registry
+// snapshot plus every retained violation trace with its spans and
+// inference explanations.
+type Payload struct {
+	// Metrics is the registry snapshot; null when the process exports no
+	// registry.
+	Metrics *telemetry.Snapshot `json:"metrics"`
+	// Traces holds completed traces in completion order, then open ones.
+	Traces []*telemetry.Trace `json:"traces"`
+	// Completed, Open and Dropped summarize the tracer's retention state.
+	Completed int    `json:"completed"`
+	Open      int    `json:"open"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// BuildPayload assembles the debug payload from a registry and tracer,
+// either of which may be nil.
+func BuildPayload(reg *telemetry.Registry, tracer *telemetry.Tracer) Payload {
+	var p Payload
+	if reg != nil {
+		s := reg.Snapshot()
+		p.Metrics = &s
+	}
+	if tracer != nil {
+		p.Traces = tracer.Traces()
+		p.Completed = tracer.Completed()
+		p.Open = tracer.Open()
+		p.Dropped = tracer.Dropped()
+	}
+	if p.Traces == nil {
+		p.Traces = []*telemetry.Trace{}
+	}
+	return p
+}
+
+// WriteJSON renders the payload with stable indentation (diff-friendly
+// for file dumps, readable from curl).
+func WriteJSON(w io.Writer, p Payload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,86 @@
+// Package export renders the framework's telemetry — metric registry,
+// violation traces and inference explanations — in interchange formats:
+// Prometheus text exposition, a JSON debug snapshot, and Chrome
+// trace-event JSON. It serves them over HTTP for live deployments and
+// dumps them to files for simulation runs, so the same observability
+// surface backs both modes.
+package export
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"softqos/internal/telemetry"
+)
+
+// namespace prefixes every exported Prometheus metric name.
+const namespace = "softqos_"
+
+// promName converts a registry metric name ("msg.bus.dropped_invalid")
+// into a valid Prometheus metric name (namespace + underscores).
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(namespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters export as counters, gauges
+// as gauges, histograms as summaries (quantile series plus _sum and
+// _count) with windowed min/mean/max as companion gauges.
+func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", n, q.label, promFloat(q.v)); err != nil {
+				return err
+			}
+		}
+		// The registry tracks mean rather than sum; reconstruct sum so the
+		// summary obeys the convention rate(sum)/rate(count) == mean.
+		sum := h.Mean * float64(h.Count)
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(sum), n, h.Count); err != nil {
+			return err
+		}
+		for _, g := range []struct {
+			suffix string
+			v      float64
+		}{{"_min", h.Min}, {"_max", h.Max}} {
+			if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %s\n",
+				n, g.suffix, n, g.suffix, promFloat(g.v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

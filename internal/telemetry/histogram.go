@@ -34,6 +34,7 @@ type Histogram struct {
 	sum   float64
 	min   float64
 	max   float64
+	last  float64
 }
 
 // NewHistogram creates a histogram on the given clock. A positive window
@@ -59,6 +60,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.last = v
 	if h.skip > 0 {
 		h.skip--
 		return
@@ -149,14 +151,20 @@ func (h *Histogram) Max() float64 {
 // Quantile returns the q-quantile (0 < q <= 1) of the windowed sample
 // set using the nearest-rank method on the sorted samples: the value at
 // index ceil(q*n)-1. It reports false when the window holds no samples
-// (nothing observed yet, or the window went idle).
+// (nothing observed yet, or the window went idle); in that case the
+// value returned is the last observation ever made (zero if there has
+// never been one), so an idle window reads as a stale-but-plausible
+// measurement rather than collapsing to zero on dashboards.
 func (h *Histogram) Quantile(q float64) (float64, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if q <= 0 || q > 1 {
+		return 0, false
+	}
 	h.rollover(h.clock())
 	n := len(h.prev) + len(h.cur)
-	if n == 0 || q <= 0 || q > 1 {
-		return 0, false
+	if n == 0 {
+		return h.last, false
 	}
 	samples := make([]float64, 0, n)
 	samples = append(samples, h.prev...)
@@ -172,8 +180,8 @@ func (h *Histogram) Quantile(q float64) (float64, bool) {
 	return samples[idx], true
 }
 
-// Quantiles returns p50, p95 and p99 in one pass (all zero when the
-// window is empty).
+// Quantiles returns p50, p95 and p99 in one pass (the last observed
+// value — zero if none — when the window is empty).
 func (h *Histogram) Quantiles() (p50, p95, p99 float64) {
 	p50, _ = h.Quantile(0.50)
 	p95, _ = h.Quantile(0.95)

@@ -108,6 +108,42 @@ func TestHistogramWindowRollover(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyWindowReturnsLastObservation(t *testing.T) {
+	clk := &fakeClock{}
+	h := NewHistogram(clk.fn(), time.Second)
+
+	// Never observed: quantile is (0, false) and must not panic.
+	if got, ok := h.Quantile(0.5); ok || got != 0 {
+		t.Errorf("never-observed Quantile = (%v, %v), want (0, false)", got, ok)
+	}
+
+	h.Observe(7)
+	h.Observe(42)
+	// Idle for longer than a full window: the sample set ages out, but
+	// the reading degrades to the last observation instead of zero.
+	clk.now = 10 * time.Second
+	if got, ok := h.Quantile(0.5); ok || got != 42 {
+		t.Errorf("idle-window Quantile = (%v, %v), want (42, false)", got, ok)
+	}
+	p50, p95, p99 := h.Quantiles()
+	if p50 != 42 || p95 != 42 || p99 != 42 {
+		t.Errorf("idle-window Quantiles = %v,%v,%v, want 42,42,42", p50, p95, p99)
+	}
+	// Invalid q never reports the stale value.
+	if got, ok := h.Quantile(1.5); ok || got != 0 {
+		t.Errorf("invalid-q Quantile = (%v, %v), want (0, false)", got, ok)
+	}
+
+	// A fresh observation repopulates the window: single-sample window
+	// answers every quantile with that sample.
+	h.Observe(9)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got, ok := h.Quantile(q); !ok || got != 9 {
+			t.Errorf("single-sample Quantile(%v) = (%v, %v), want (9, true)", q, got, ok)
+		}
+	}
+}
+
 func TestHistogramDecimationStaysDeterministic(t *testing.T) {
 	a := NewHistogram(nil, 0)
 	b := NewHistogram(nil, 0)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -28,25 +29,72 @@ const (
 	StageRecovered = "recovered"
 )
 
-// Span is one step of a violation's lifecycle.
+// TraceContext identifies a position in a violation trace: the trace and
+// the span that caused whatever carries the context. It rides on
+// msg.Message envelopes so management components in other processes can
+// attach their spans to the originating violation's causal tree. The
+// zero value is "no context" (Valid reports false) and marshals to
+// nothing on the wire.
+type TraceContext struct {
+	TraceID string `json:"trace_id"`
+	Span    int    `json:"span"` // parent span ID within the trace
+}
+
+// Valid reports whether the context references a trace.
+func (c TraceContext) Valid() bool { return c.TraceID != "" }
+
+// Span is one step of a violation's lifecycle. ID is the span's number
+// within its trace (1 is the opening violation span); Parent is the ID
+// of the causing span (0 when unknown — e.g. events recorded through the
+// context-free Event API). Src names the emitting component
+// ("coordinator", "hostmanager", "cpu-manager", ...).
 type Span struct {
-	At     time.Duration // clock time the step happened
-	Stage  string
-	Detail string
+	ID     int           `json:"id"`
+	Parent int           `json:"parent"`
+	Src    string        `json:"src,omitempty"`
+	At     time.Duration `json:"at_ns"` // clock time the step happened
+	Stage  string        `json:"stage"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Explanation records why one inference-engine rule fired during a
+// violation episode: which facts matched, what the engine asserted,
+// retracted and called as a result. It is the trace-attached form of a
+// rules.Firing — the answer to the paper's local-vs-remote diagnosis
+// question, kept with the violation it explains.
+type Explanation struct {
+	At        time.Duration     `json:"at_ns"`
+	Span      int               `json:"span"` // diagnosis span the firing belongs to
+	Engine    string            `json:"engine"`
+	Rule      string            `json:"rule"`
+	RuleSet   string            `json:"rule_set,omitempty"` // provenance: which stored rule set defined the rule
+
+	Salience  int               `json:"salience,omitempty"`
+	Bindings  map[string]string `json:"bindings,omitempty"`
+	Matched   []string          `json:"matched,omitempty"`
+	Asserted  []string          `json:"asserted,omitempty"`
+	Retracted []string          `json:"retracted,omitempty"`
+	Called    []string          `json:"called,omitempty"`
 }
 
 // Trace is the causal record of one violation episode: from the instant
 // a policy's expression went false to the instant it evaluated true
 // again, with every management step between.
 type Trace struct {
-	Subject string // the managed process (Identity.Address())
-	Policy  string
-	Start   time.Duration
-	Spans   []Span
+	ID      string        `json:"id"` // globally unique: subject "#" sequence
+	Subject string        `json:"subject"`
+	Policy  string        `json:"policy"`
+	Start   time.Duration `json:"start_ns"`
+	Spans   []Span        `json:"spans"`
+	// Explanations are rule-firing records attached by inference engines
+	// that diagnosed this episode.
+	Explanations []Explanation `json:"explanations,omitempty"`
 	// End and Recovered are set when the policy evaluated true again. A
 	// trace that never recovers exports with Recovered false.
-	End       time.Duration
-	Recovered bool
+	End       time.Duration `json:"end_ns"`
+	Recovered bool          `json:"recovered"`
+
+	nextSpan int // last span ID handed out
 }
 
 // TimeToRecovery returns how long the violation lasted; ok is false for
@@ -70,7 +118,9 @@ type Tracer struct {
 	clock Clock
 
 	mu      sync.Mutex
-	active  map[string]*Trace
+	seq     uint64
+	active  map[string]*Trace // traceKey(subject, policy) -> open trace
+	byID    map[string]*Trace // trace ID -> open trace (same values)
 	done    []*Trace
 	dropped uint64
 }
@@ -80,41 +130,130 @@ func NewTracer(clock Clock) *Tracer {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	return &Tracer{clock: clock, active: make(map[string]*Trace)}
+	return &Tracer{clock: clock,
+		active: make(map[string]*Trace), byID: make(map[string]*Trace)}
 }
 
 func traceKey(subject, policy string) string { return subject + "|" + policy }
 
+// addSpan appends a span to t and returns its context. Caller holds mu.
+func (tr *Tracer) addSpan(t *Trace, parent int, src, stage, detail string, at time.Duration) TraceContext {
+	t.nextSpan++
+	t.Spans = append(t.Spans, Span{
+		ID: t.nextSpan, Parent: parent, Src: src,
+		At: at, Stage: stage, Detail: detail,
+	})
+	return TraceContext{TraceID: t.ID, Span: t.nextSpan}
+}
+
 // Begin opens a trace for the (subject, policy) violation, recording the
-// initial violation span. If a trace is already open for the pair the
-// call records a re-violation span on it instead.
-func (tr *Tracer) Begin(subject, policy, detail string) {
+// initial violation span emitted by src. If a trace is already open for
+// the pair the call records a re-violation span on it instead. The
+// returned context identifies the recorded span; pass it on outgoing
+// messages so downstream managers extend the same causal tree.
+func (tr *Tracer) Begin(subject, policy, src, detail string) TraceContext {
 	now := tr.clock()
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	key := traceKey(subject, policy)
 	if t, open := tr.active[key]; open {
-		t.Spans = append(t.Spans, Span{At: now, Stage: StageViolation, Detail: detail})
-		return
+		// Re-violation while the episode is open: a child of the opening
+		// violation span, not a new trace.
+		return tr.addSpan(t, 1, src, StageViolation, detail, now)
 	}
-	tr.active[key] = &Trace{
+	tr.seq++
+	t := &Trace{
+		ID:      subject + "#" + strconv.FormatUint(tr.seq, 10),
 		Subject: subject,
 		Policy:  policy,
 		Start:   now,
-		Spans:   []Span{{At: now, Stage: StageViolation, Detail: detail}},
 	}
+	tr.active[key] = t
+	tr.byID[t.ID] = t
+	return tr.addSpan(t, 0, src, StageViolation, detail, now)
 }
 
-// Event appends a span to the open trace for (subject, policy); it is a
-// no-op when no trace is open (e.g. management actions for overshoot
+// lookup finds the open trace a context or (subject, policy) pair refers
+// to. When ctx names a trace this tracer has never seen — a violation
+// that originated in another process — a shell trace is opened so the
+// local spans still attach to the right trace ID. Caller holds mu.
+func (tr *Tracer) lookup(ctx TraceContext, subject, policy string, at time.Duration) *Trace {
+	if ctx.Valid() {
+		if t, ok := tr.byID[ctx.TraceID]; ok {
+			return t
+		}
+	}
+	if t, ok := tr.active[traceKey(subject, policy)]; ok {
+		return t
+	}
+	if !ctx.Valid() {
+		return nil
+	}
+	t := &Trace{ID: ctx.TraceID, Subject: subject, Policy: policy, Start: at}
+	tr.active[traceKey(subject, policy)] = t
+	tr.byID[t.ID] = t
+	return t
+}
+
+// EventCtx appends a span caused by ctx (as carried on the triggering
+// message) to the violation trace it references, falling back to the
+// open (subject, policy) trace when the message carried no context. It
+// returns the new span's context for further propagation; the zero
+// context when no trace is open (e.g. management actions for overshoot
 // episodes, which are not violations).
-func (tr *Tracer) Event(subject, policy, stage, detail string) {
+func (tr *Tracer) EventCtx(ctx TraceContext, subject, policy, src, stage, detail string) TraceContext {
 	now := tr.clock()
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	if t, open := tr.active[traceKey(subject, policy)]; open {
-		t.Spans = append(t.Spans, Span{At: now, Stage: stage, Detail: detail})
+	t := tr.lookup(ctx, subject, policy, now)
+	if t == nil {
+		return TraceContext{}
 	}
+	parent := 0
+	if ctx.Valid() && ctx.TraceID == t.ID {
+		parent = ctx.Span
+	}
+	return tr.addSpan(t, parent, src, stage, detail, now)
+}
+
+// Event appends a span to the open trace for (subject, policy); it is a
+// no-op when no trace is open. It is EventCtx without causal context:
+// the span records Parent 0.
+func (tr *Tracer) Event(subject, policy, stage, detail string) {
+	tr.EventCtx(TraceContext{}, subject, policy, "", stage, detail)
+}
+
+// Context returns a context referencing the most recent span of the open
+// (subject, policy) trace, or the zero context when none is open.
+func (tr *Tracer) Context(subject, policy string) TraceContext {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, open := tr.active[traceKey(subject, policy)]
+	if !open {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: t.ID, Span: t.nextSpan}
+}
+
+// Explain attaches a rule-firing explanation to the trace ctx references
+// (with the usual fallback to the open (subject, policy) trace). The
+// explanation's Span is set from ctx so viewers can hang it under the
+// diagnosis span that ran the engine. Dropped when no trace is open.
+func (tr *Tracer) Explain(ctx TraceContext, subject, policy string, e Explanation) {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t := tr.lookup(ctx, subject, policy, now)
+	if t == nil {
+		return
+	}
+	if e.At == 0 {
+		e.At = now
+	}
+	if ctx.Valid() && ctx.TraceID == t.ID {
+		e.Span = ctx.Span
+	}
+	t.Explanations = append(t.Explanations, e)
 }
 
 // Resolve closes the open trace for (subject, policy): the policy's
@@ -129,7 +268,8 @@ func (tr *Tracer) Resolve(subject, policy string) {
 		return
 	}
 	delete(tr.active, key)
-	t.Spans = append(t.Spans, Span{At: now, Stage: StageRecovered})
+	delete(tr.byID, t.ID)
+	tr.addSpan(t, 1, "", StageRecovered, "", now)
 	t.End = now
 	t.Recovered = true
 	if len(tr.done) >= maxTraces {

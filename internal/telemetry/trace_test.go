@@ -11,7 +11,7 @@ func TestTraceLifecycle(t *testing.T) {
 	clk := &fakeClock{now: 10 * time.Second}
 	tr := NewTracer(clk.fn())
 
-	tr.Begin("/h/app/exe/101", "P", "frame_rate=14")
+	tr.Begin("/h/app/exe/101", "P", "coordinator", "frame_rate=14")
 	clk.now = 11 * time.Second
 	tr.Event("/h/app/exe/101", "P", StageNotify, "")
 	tr.Event("/h/app/exe/101", "P", StageAdapt, "boost-cpu +10")
@@ -38,8 +38,8 @@ func TestTraceLifecycle(t *testing.T) {
 
 func TestTraceReviolationJoinsOpenTrace(t *testing.T) {
 	tr := NewTracer(nil)
-	tr.Begin("s", "P", "first")
-	tr.Begin("s", "P", "second") // paced re-report, same episode
+	tr.Begin("s", "P", "coordinator", "first")
+	tr.Begin("s", "P", "coordinator", "second") // paced re-report, same episode
 	if tr.Open() != 1 {
 		t.Fatalf("open = %d, want 1", tr.Open())
 	}
@@ -53,7 +53,7 @@ func TestTraceReviolationJoinsOpenTrace(t *testing.T) {
 func TestTraceNeverRecoversStillExports(t *testing.T) {
 	clk := &fakeClock{now: 5 * time.Second}
 	tr := NewTracer(clk.fn())
-	tr.Begin("/h/app/exe/200", "Q", "stuck")
+	tr.Begin("/h/app/exe/200", "Q", "coordinator", "stuck")
 	clk.now = 6 * time.Second
 	tr.Event("/h/app/exe/200", "Q", StageEscalate, "")
 
@@ -89,9 +89,9 @@ func TestTraceEventWithoutOpenTraceIsNoop(t *testing.T) {
 
 func TestTracerOpenOrderDeterministic(t *testing.T) {
 	tr := NewTracer(nil)
-	tr.Begin("b", "P", "")
-	tr.Begin("a", "Z", "")
-	tr.Begin("a", "A", "")
+	tr.Begin("b", "P", "", "")
+	tr.Begin("a", "Z", "", "")
+	tr.Begin("a", "A", "", "")
 	got := tr.Traces()
 	if len(got) != 3 || got[0].Subject != "a" || got[0].Policy != "A" ||
 		got[1].Policy != "Z" || got[2].Subject != "b" {
@@ -136,5 +136,111 @@ func TestRegistrySnapshotSortedAndDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(csv.String(), "counter,a.count,value,1") {
 		t.Errorf("csv missing counter row:\n%s", csv.String())
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := tr.Begin("s", "P", "coordinator", "v<10")
+	if !ctx.Valid() || ctx.Span != 1 {
+		t.Fatalf("Begin context = %+v, want valid span 1", ctx)
+	}
+	notify := tr.EventCtx(ctx, "s", "P", "coordinator", StageNotify, "report")
+	diag := tr.EventCtx(notify, "s", "P", "hostmanager", StageDiagnose, "episode")
+	adapt := tr.EventCtx(diag, "s", "P", "cpu-manager", StageAdapt, "boost +10")
+	tr.Resolve("s", "P")
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.ID != "s#1" {
+		t.Errorf("trace ID = %q, want s#1", got.ID)
+	}
+	type link struct {
+		id, parent int
+		src        string
+	}
+	want := []link{
+		{1, 0, "coordinator"},
+		{2, 1, "coordinator"},
+		{3, 2, "hostmanager"},
+		{4, 3, "cpu-manager"},
+		{5, 1, ""}, // recovered closes under the opening violation
+	}
+	if len(got.Spans) != len(want) {
+		t.Fatalf("spans = %d, want %d", len(got.Spans), len(want))
+	}
+	for i, w := range want {
+		sp := got.Spans[i]
+		if sp.ID != w.id || sp.Parent != w.parent || sp.Src != w.src {
+			t.Errorf("span %d = {ID:%d Parent:%d Src:%q}, want %+v", i, sp.ID, sp.Parent, sp.Src, w)
+		}
+	}
+	if adapt.TraceID != got.ID || adapt.Span != 4 {
+		t.Errorf("adapt context = %+v", adapt)
+	}
+}
+
+func TestTraceEventCtxRemoteShellTrace(t *testing.T) {
+	// A context minted by another process's tracer: spans must land on a
+	// shell trace under the propagated ID, not a freshly numbered one.
+	tr := NewTracer(nil)
+	remote := TraceContext{TraceID: "client#7", Span: 3}
+	ctx := tr.EventCtx(remote, "client", "P", "domainmanager", StageLocate, "server fault")
+	if ctx.TraceID != "client#7" || ctx.Span != 1 {
+		t.Fatalf("shell context = %+v, want client#7 span 1", ctx)
+	}
+	traces := tr.Traces()
+	if len(traces) != 1 || traces[0].ID != "client#7" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	// Parent refers to a span of the remote process; kept as-is? No — the
+	// local shell never saw span 3, so the link is cross-process: Parent
+	// carries the propagated span ID.
+	if sp := traces[0].Spans[0]; sp.Parent != 3 || sp.Src != "domainmanager" {
+		t.Errorf("shell span = %+v", sp)
+	}
+}
+
+func TestTraceContextLatestSpan(t *testing.T) {
+	tr := NewTracer(nil)
+	if ctx := tr.Context("s", "P"); ctx.Valid() {
+		t.Fatalf("context for closed trace = %+v", ctx)
+	}
+	tr.Begin("s", "P", "coordinator", "")
+	tr.Event("s", "P", StageNotify, "")
+	ctx := tr.Context("s", "P")
+	if ctx.TraceID != "s#1" || ctx.Span != 2 {
+		t.Errorf("context = %+v, want s#1 span 2", ctx)
+	}
+}
+
+func TestTraceExplainAttachesToTrace(t *testing.T) {
+	clk := &fakeClock{now: 3 * time.Second}
+	tr := NewTracer(clk.fn())
+	ctx := tr.Begin("s", "P", "coordinator", "")
+	diag := tr.EventCtx(ctx, "s", "P", "hostmanager", StageDiagnose, "")
+	tr.Explain(diag, "s", "P", Explanation{
+		Engine:   "/h/QoSManager",
+		Rule:     "frame-rate-low",
+		Matched:  []string{"(violation p1)"},
+		Asserted: []string{"(action boost)"},
+	})
+	// Explanations without a usable context are dropped, not misfiled.
+	tr.Explain(TraceContext{}, "other", "Q", Explanation{Rule: "stray"})
+	tr.Resolve("s", "P")
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	ex := traces[0].Explanations
+	if len(ex) != 1 {
+		t.Fatalf("explanations = %d, want 1", len(ex))
+	}
+	if ex[0].Rule != "frame-rate-low" || ex[0].Span != diag.Span || ex[0].At != 3*time.Second {
+		t.Errorf("explanation = %+v", ex[0])
 	}
 }
