@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench examples live-smoke trace-smoke clean
+.PHONY: all build vet test race check bench examples live-smoke trace-smoke soak clean
 
 all: check
 
@@ -29,7 +29,15 @@ test: race
 race:
 	$(GO) test -race ./...
 
-check: build vet examples race trace-smoke
+check: build vet examples race trace-smoke soak
+
+# The resilience gate: seeded chaos soaks — hundreds of violation
+# episodes under a randomized fault schedule on the sim Bus, plus the
+# live-TCP soak with a mid-run manager restart — under the race
+# detector. Every episode must recover or be abandoned with a traced
+# reason; a silently stalled episode fails the gate.
+soak:
+	$(GO) test -race -timeout 120s -v -run 'TestSoakSim|TestSoakReproducible|TestLiveSoak' ./internal/scenario .
 
 # The live-mode gate: the full control loop (register -> violation ->
 # rule firing -> directive -> recovery) over real TCP, plus the live

@@ -141,10 +141,15 @@ func runLive() {
 // frame_skip adaptation directive its actuator applies. lm and reg are
 // non-nil only in the single-process session.
 func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, reg *telemetry.Registry) {
-	coord := softqos.NewLiveCoordinator(softqos.Identity{
+	// With -faults, the workload's outbound management traffic crosses
+	// a fault-injection transport: the same plan format as sim mode,
+	// applied to real TCP (severs cut live connections, crash windows
+	// exercise the retry/reconnect path).
+	plan := loadFaults()
+	coord := softqos.NewLiveCoordinatorFaults(softqos.Identity{
 		Host: "live-host", PID: os.Getpid(), Executable: "mpeg_play",
 		Application: "VideoApplication", UserRole: "viewer",
-	}, agentAddr, managerAddr)
+	}, agentAddr, managerAddr, plan)
 	defer coord.Close()
 	tracer := telemetry.NewTracer(coord.WallClock())
 	coord.SetTelemetry(reg, tracer)
@@ -205,6 +210,12 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, re
 	}
 	if !recovered {
 		fmt.Println("no recovery within the deadline")
+	}
+	if plan != nil {
+		counts := coord.FaultCounts()
+		retries, reconnects, sendFailed := coord.Resilience()
+		fmt.Printf("faults injected: %v; transport retries %d, reconnects %d, failed sends %d\n",
+			counts, retries, reconnects, sendFailed)
 	}
 	if lm != nil {
 		fmt.Printf("manager: %d violations handled, %d resource adjustments\n",

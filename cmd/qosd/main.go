@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"softqos/internal/faults"
 	"softqos/internal/scenario"
 	"softqos/internal/telemetry"
 	"softqos/internal/telemetry/export"
@@ -38,7 +39,22 @@ var (
 	trace    = flag.Bool("trace", false, "print the host manager's rule firing trace")
 	metrics  = flag.Bool("metrics", false, "print the telemetry snapshot and violation trace table")
 	exportTo = flag.String("export", "", "dump metrics.prom, qos.json and trace.json into this directory")
+	faultsIn = flag.String("faults", "", "JSON fault plan to inject into the management plane (see docs/FAULTS.md)")
 )
+
+// loadFaults reads the -faults plan, or returns nil when none was
+// given. The same plan drives the sim Bus and the live TCP transport.
+func loadFaults() *faults.Plan {
+	if *faultsIn == "" {
+		return nil
+	}
+	plan, err := faults.Load(*faultsIn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosd:", err)
+		os.Exit(2)
+	}
+	return plan
+}
 
 func main() {
 	flag.Parse()
@@ -49,15 +65,16 @@ func main() {
 	switch *scen {
 	case "videostream", "single":
 		run(scenario.Build(scenario.Config{
-			Seed: *seed, ClientLoad: *load, Managed: *managed}), 30*time.Second)
+			Seed: *seed, ClientLoad: *load, Managed: *managed,
+			Faults: loadFaults()}), 30*time.Second)
 	case "server-fault":
 		run(scenario.Build(scenario.Config{
-			Seed: *seed, Managed: *managed, ServerLoad: 4,
+			Seed: *seed, Managed: *managed, ServerLoad: 4, Faults: loadFaults(),
 			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
 				DecodeCost: 10 * time.Millisecond}}), 30*time.Second)
 	case "network-fault":
 		sys := scenario.Build(scenario.Config{
-			Seed: *seed, Managed: *managed, BackupRoute: true,
+			Seed: *seed, Managed: *managed, BackupRoute: true, Faults: loadFaults(),
 			Stream: video.StreamConfig{DecodeCost: 10 * time.Millisecond}})
 		sys.Sim.RunFor(30 * time.Second)
 		sys.CongestNetwork(6.0)
@@ -101,6 +118,11 @@ func run(sys *scenario.System, warmup time.Duration) {
 	fmt.Printf("frames displayed/dropped: %d / %d\n", res.Displayed, res.Dropped)
 	if sys.Rerouted > 0 {
 		fmt.Printf("network reroutes:         %d\n", sys.Rerouted)
+	}
+	if sys.Faults != nil {
+		fmt.Printf("faults injected:          %s\n", sys.Faults)
+		fmt.Printf("agents evicted:           %d (heartbeats %d, episode timeouts %d)\n",
+			sys.ClientHM.AgentsEvicted, sys.ClientHM.HeartbeatsSeen, sys.DM.EpisodeTimeouts)
 	}
 	if *trace {
 		firings := sys.ClientHM.Engine().Trace()

@@ -122,6 +122,11 @@ type Coordinator struct {
 	// noPropagate suppresses trace contexts on outgoing violation
 	// reports (see SetTracePropagation).
 	noPropagate bool
+
+	// registered flips when a PolicySet lands; a re-registration loop
+	// polls it to survive agent restarts. hbSeq numbers heartbeats.
+	registered bool
+	hbSeq      uint64
 }
 
 // coordMetrics holds the coordinator's pre-resolved metric handles so hot
@@ -257,6 +262,23 @@ func (c *Coordinator) Register() error {
 	})
 }
 
+// Registered reports whether a PolicySet has arrived since the last
+// Register. Resilience loops re-Register while it is false: the
+// original registration (or its reply) may have been lost in flight.
+func (c *Coordinator) Registered() bool { return c.registered }
+
+// Heartbeat sends a liveness beacon to the host manager so its failure
+// detector keeps this process alive between violation reports — and so
+// a restarted manager that lost its tracking tables re-adopts the
+// process.
+func (c *Coordinator) Heartbeat() error {
+	c.hbSeq++
+	return c.send(c.managerAddr, msg.Message{
+		From: c.Address(),
+		Body: msg.Heartbeat{ID: c.id, Seq: c.hbSeq},
+	})
+}
+
 // HandleMessage processes an inbound management message (the PolicySet
 // reply from the agent).
 func (c *Coordinator) HandleMessage(m msg.Message) error {
@@ -344,6 +366,7 @@ func (c *Coordinator) InstallPolicies(specs []msg.PolicySpec) error {
 		}
 		c.policies = append(c.policies, po)
 	}
+	c.registered = true
 	return nil
 }
 

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -90,6 +91,10 @@ type episode struct {
 	// original inbound context for propagation gating.
 	ctx      telemetry.TraceContext
 	alarmCtx telemetry.TraceContext
+	// Liveness bookkeeping (EnableLiveness): when the episode was opened
+	// or last retried, and whether its query has been retried already.
+	at      time.Duration
+	retried bool
 }
 
 // DomainManager locates sources of problems spanning hosts and issues
@@ -109,12 +114,20 @@ type DomainManager struct {
 	OnNetworkFault func(al msg.Alarm)
 
 	// Statistics.
-	Alarms        uint64
-	ServerFaults  uint64
-	MemoryFaults  uint64
-	NetworkFaults uint64
-	Restarts      uint64
-	RuleErrors    uint64
+	Alarms          uint64
+	ServerFaults    uint64
+	MemoryFaults    uint64
+	NetworkFaults   uint64
+	Restarts        uint64
+	RuleErrors      uint64
+	QueryRetries    uint64
+	EpisodeTimeouts uint64
+
+	// Liveness tracking (EnableLiveness): episodes whose server report
+	// never arrives are retried once, then abandoned with a traced
+	// reason instead of pending forever.
+	livenessClock   telemetry.Clock
+	livenessTimeout time.Duration
 
 	// Telemetry (optional; see SetTelemetry).
 	metrics *dmMetrics
@@ -133,6 +146,25 @@ type dmMetrics struct {
 	firings       *telemetry.Histogram
 	inferNS       *telemetry.Histogram
 	wall          telemetry.Clock
+
+	// Lazy counters (fault-injection runs only; see hmMetrics).
+	reg          *telemetry.Registry
+	queryRetries *telemetry.Counter
+	timeouts     *telemetry.Counter
+}
+
+func (m *dmMetrics) countQueryRetry() {
+	if m.queryRetries == nil {
+		m.queryRetries = m.reg.Counter("domain.query_retries")
+	}
+	m.queryRetries.Inc()
+}
+
+func (m *dmMetrics) countTimeout() {
+	if m.timeouts == nil {
+		m.timeouts = m.reg.Counter("domain.episode_timeouts")
+	}
+	m.timeouts.Inc()
 }
 
 // NewDomainManager creates a domain manager bound to addr, loading the
@@ -171,6 +203,7 @@ func (dm *DomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry
 		return
 	}
 	dm.metrics = &dmMetrics{
+		reg:           reg,
 		alarms:        reg.Counter("domain.alarms"),
 		serverFaults:  reg.Counter("domain.server_faults"),
 		memoryFaults:  reg.Counter("domain.memory_faults"),
@@ -377,17 +410,89 @@ func (dm *DomainManager) handleAlarm(al msg.Alarm, tc telemetry.TraceContext) {
 	}
 	dm.nextRef++
 	ref := "e" + strconv.Itoa(dm.nextRef)
-	dm.episodes[ref] = &episode{alarm: al, server: server, ctx: tc, alarmCtx: tc}
+	ep := &episode{alarm: al, server: server, ctx: tc, alarmCtx: tc}
+	if dm.livenessClock != nil {
+		ep.at = dm.livenessClock()
+	}
+	dm.episodes[ref] = ep
 	_ = dm.send(server.hostMgrAddr, msg.Message{
 		From:  dm.addr,
 		Trace: tc,
-		Body: msg.Query{
-			From: dm.addr,
-			Keys: []string{"cpu_load", "run_queue", "mem_usage", "proc_cpu:" + server.executable},
-			Ref:  ref,
-		},
+		Body:  dm.episodeQuery(ep, ref),
 	})
 }
+
+// episodeQuery builds the server-side statistics query for an episode.
+func (dm *DomainManager) episodeQuery(ep *episode, ref string) msg.Query {
+	return msg.Query{
+		From: dm.addr,
+		Keys: []string{"cpu_load", "run_queue", "mem_usage", "proc_cpu:" + ep.server.executable},
+		Ref:  ref,
+	}
+}
+
+// EnableLiveness arms episode timeouts: a localization whose server
+// report does not arrive within timeout re-sends its query once, and is
+// abandoned (with the reason traced) if the retry also times out.
+// Disabled by default so fault-free simulations are unchanged.
+func (dm *DomainManager) EnableLiveness(clock telemetry.Clock, timeout time.Duration) {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	dm.livenessClock = clock
+	dm.livenessTimeout = timeout
+}
+
+// CheckLiveness sweeps pending episodes: expired ones are retried once
+// (the query may have been lost in flight), twice-expired ones are
+// closed with an "abandoned" span on the client violation's trace so no
+// episode pends forever on a dead host manager. Episode refs are swept
+// in sorted order for deterministic simulated runs.
+func (dm *DomainManager) CheckLiveness() (retried, abandoned int) {
+	if dm.livenessClock == nil || dm.livenessTimeout <= 0 {
+		return 0, 0
+	}
+	now := dm.livenessClock()
+	refs := make([]string, 0, len(dm.episodes))
+	for ref, ep := range dm.episodes {
+		if now-ep.at > dm.livenessTimeout {
+			refs = append(refs, ref)
+		}
+	}
+	sort.Strings(refs)
+	for _, ref := range refs {
+		ep := dm.episodes[ref]
+		if !ep.retried {
+			ep.retried = true
+			ep.at = now
+			dm.QueryRetries++
+			if dm.metrics != nil {
+				dm.metrics.countQueryRetry()
+			}
+			dm.traceEvent(ep, telemetry.StageEscalate,
+				"re-query "+ep.server.hostMgrAddr+" (report timed out)")
+			_ = dm.send(ep.server.hostMgrAddr, msg.Message{
+				From:  dm.addr,
+				Trace: dm.propagated(ep, ep.ctx),
+				Body:  dm.episodeQuery(ep, ref),
+			})
+			retried++
+			continue
+		}
+		dm.EpisodeTimeouts++
+		if dm.metrics != nil {
+			dm.metrics.countTimeout()
+		}
+		dm.traceEvent(ep, telemetry.StageAbandoned,
+			"localization abandoned: no report from "+ep.server.hostMgrAddr+" after retry")
+		delete(dm.episodes, ref)
+		abandoned++
+	}
+	return retried, abandoned
+}
+
+// PendingEpisodes returns how many localizations await a server report.
+func (dm *DomainManager) PendingEpisodes() int { return len(dm.episodes) }
 
 // handleReport closes the episode: asserts the server statistics as
 // facts, forward-chains the diagnosis, and cleans up.

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -246,6 +247,15 @@ type HostManager struct {
 	Escalations    uint64
 	Adaptations    uint64
 	RuleErrors     uint64
+	HeartbeatsSeen uint64
+	AgentsEvicted  uint64
+
+	// Liveness tracking (EnableLiveness): any message from a managed
+	// process counts as contact; CheckLiveness evicts processes silent
+	// for longer than the timeout.
+	livenessClock   telemetry.Clock
+	livenessTimeout time.Duration
+	lastSeen        map[int]time.Duration
 
 	// Telemetry (optional; see SetTelemetry).
 	metrics *hmMetrics
@@ -270,6 +280,21 @@ type hmMetrics struct {
 	firings     *telemetry.Histogram // rule firings per diagnosis episode
 	inferNS     *telemetry.Histogram // wall-clock inference cost (profiling only)
 	wall        telemetry.Clock
+
+	// Lazy counters: registered on first use so fault-free registries
+	// (and their determinism goldens) never see the names.
+	reg     *telemetry.Registry
+	prefix  string
+	evicted *telemetry.Counter
+}
+
+// countEvicted bumps "manager.<host>.agents_evicted", resolving the
+// counter on first eviction.
+func (m *hmMetrics) countEvicted() {
+	if m.evicted == nil {
+		m.evicted = m.reg.Counter(m.prefix + "agents_evicted")
+	}
+	m.evicted.Inc()
 }
 
 // NewHostManager creates a host manager bound to addr on host, loading
@@ -316,6 +341,8 @@ func (hm *HostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 	}
 	prefix := "manager." + hm.host.Name() + "."
 	hm.metrics = &hmMetrics{
+		reg:         reg,
+		prefix:      prefix,
 		violations:  reg.Counter(prefix + "violations"),
 		overshoots:  reg.Counter(prefix + "overshoots"),
 		escalations: reg.Counter(prefix + "escalations"),
@@ -400,6 +427,92 @@ func (hm *HostManager) Track(p runtime.ProcHandle, id msg.Identity) {
 	if id.UserRole != "" {
 		hm.engine.AssertF("proc-role", pidSym(id.PID), id.UserRole)
 	}
+	// A (re)tracked process is alive again: clear any down marker a
+	// previous eviction asserted and start its liveness clock fresh.
+	hm.engine.RetractMatching(rules.F("component-down", pidSym(id.PID), "?")...)
+	hm.noteContact(id.PID)
+}
+
+// EnableLiveness arms heartbeat-based failure detection: every message
+// from a managed process refreshes its last-contact time, and
+// CheckLiveness evicts processes silent for longer than timeout.
+// Disabled by default so fault-free simulations are unchanged.
+func (hm *HostManager) EnableLiveness(clock telemetry.Clock, timeout time.Duration) {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	hm.livenessClock = clock
+	hm.livenessTimeout = timeout
+	hm.lastSeen = make(map[int]time.Duration, len(hm.procsByPID))
+	for pid := range hm.procsByPID {
+		hm.lastSeen[pid] = clock()
+	}
+}
+
+// noteContact refreshes a process's liveness deadline; a no-op when
+// liveness tracking is off.
+func (hm *HostManager) noteContact(pid int) {
+	if hm.lastSeen != nil {
+		hm.lastSeen[pid] = hm.livenessClock()
+	}
+}
+
+// handleHeartbeat processes a coordinator's liveness beacon. A beacon
+// from a process the manager does not know — this manager restarted and
+// lost its tracking tables — re-adopts it through OnUnknownProc, the
+// self-healing half of the heartbeat protocol.
+func (hm *HostManager) handleHeartbeat(hb msg.Heartbeat) {
+	hm.HeartbeatsSeen++
+	if _, known := hm.procsByPID[hb.ID.PID]; !known && hm.OnUnknownProc != nil {
+		if p, ok := hm.OnUnknownProc(hb.ID); ok {
+			hm.Track(p, hb.ID)
+		}
+	}
+	hm.noteContact(hb.ID.PID)
+}
+
+// CheckLiveness evicts every managed process whose last contact is
+// older than the liveness timeout: its tracking entries are dropped,
+// its persistent facts retracted, a component-down fact is asserted so
+// the rule base can reason about the dead component, and all of its
+// open violation episodes are abandoned with the reason traced. It
+// returns how many processes were evicted. PIDs are scanned in sorted
+// order so simulated runs stay deterministic.
+func (hm *HostManager) CheckLiveness() int {
+	if hm.lastSeen == nil || hm.livenessTimeout <= 0 {
+		return 0
+	}
+	now := hm.livenessClock()
+	stale := make([]int, 0)
+	for pid, seen := range hm.lastSeen {
+		if now-seen > hm.livenessTimeout {
+			stale = append(stale, pid)
+		}
+	}
+	sort.Ints(stale)
+	for _, pid := range stale {
+		mp := hm.procsByPID[pid]
+		psym := pidSym(pid)
+		delete(hm.lastSeen, pid)
+		if mp == nil {
+			continue
+		}
+		delete(hm.procsByPID, pid)
+		if hm.procsByExe[mp.id.Executable] == mp {
+			delete(hm.procsByExe, mp.id.Executable)
+		}
+		hm.engine.RetractMatching(rules.F("proc-role", psym, "?")...)
+		hm.engine.AssertF("component-down", psym, mp.id.Executable)
+		hm.AgentsEvicted++
+		if hm.metrics != nil {
+			hm.metrics.countEvicted()
+		}
+		if hm.tracer != nil {
+			hm.tracer.AbandonSubject(mp.id.Address(), "hostmanager",
+				"component_down: no contact from "+mp.id.Executable+" within liveness timeout")
+		}
+	}
+	return len(stale)
 }
 
 // Tracked returns the process registered for a PID, or nil.
@@ -582,6 +695,10 @@ func (hm *HostManager) HandleMessage(m msg.Message) {
 		hm.handleDirective(m.From, *body)
 	case msg.Directive:
 		hm.handleDirective(m.From, body)
+	case *msg.Heartbeat:
+		hm.handleHeartbeat(*body)
+	case msg.Heartbeat:
+		hm.handleHeartbeat(body)
 	}
 }
 
@@ -589,6 +706,7 @@ func (hm *HostManager) HandleMessage(m msg.Message) {
 // forward-chain, then retract the episode facts.
 func (hm *HostManager) handleViolation(v msg.Violation, tc telemetry.TraceContext) {
 	psym := pidSym(v.ID.PID)
+	hm.noteContact(v.ID.PID)
 	if _, known := hm.procsByPID[v.ID.PID]; !known {
 		if hm.OnUnknownProc != nil {
 			if p, ok := hm.OnUnknownProc(v.ID); ok {

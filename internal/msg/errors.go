@@ -1,0 +1,51 @@
+package msg
+
+import "fmt"
+
+// SendErrorKind classifies why a transport send failed, so callers can
+// decide whether retrying could help. Routing failures (no handler, no
+// route) are permanent until topology changes; connection failures are
+// transient — the peer may be restarting.
+type SendErrorKind string
+
+const (
+	// ErrNoRoute: the destination resolves to no local handler, learned
+	// reply route, static route, or dialable address.
+	ErrNoRoute SendErrorKind = "no_route"
+	// ErrClosed: this transport has been closed.
+	ErrClosed SendErrorKind = "closed"
+	// ErrConnLost: an established connection failed mid-send (peer went
+	// away, broken pipe). The connection has been forgotten; a retry
+	// will redial.
+	ErrConnLost SendErrorKind = "conn_lost"
+	// ErrDialFailed: dialing the destination's TCP address failed
+	// (connection refused while the peer restarts, ...).
+	ErrDialFailed SendErrorKind = "dial_failed"
+	// ErrInvalid: the message failed Validate; retrying is pointless.
+	ErrInvalid SendErrorKind = "invalid"
+)
+
+// SendError is the typed failure returned by NetTransport.Send (and by
+// FaultTransport when simulating a crashed peer). Kind tells callers
+// whether a retry is worthwhile; Err is the underlying cause.
+type SendError struct {
+	To   string
+	Kind SendErrorKind
+	Err  error
+}
+
+func (e *SendError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("msg: send to %q: %s", e.To, e.Kind)
+	}
+	return fmt.Sprintf("msg: send to %q: %s: %v", e.To, e.Kind, e.Err)
+}
+
+func (e *SendError) Unwrap() error { return e.Err }
+
+// Retryable reports whether a later retry could plausibly succeed: the
+// failure was a transient connection problem rather than a routing or
+// validation error.
+func (e *SendError) Retryable() bool {
+	return e.Kind == ErrConnLost || e.Kind == ErrDialFailed
+}

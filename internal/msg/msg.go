@@ -127,6 +127,16 @@ type Nack struct {
 	Reason string   `json:"reason"` // human-readable cause
 }
 
+// Heartbeat is a coordinator's periodic liveness beacon to its host
+// manager. Seq increments per beacon so a manager can notice gaps; a
+// manager that has never seen the sender treats the beacon as a prompt
+// to re-adopt the process (the self-healing path after a manager
+// restart).
+type Heartbeat struct {
+	ID  Identity `json:"id"`
+	Seq uint64   `json:"seq"`
+}
+
 // Message is the envelope union: exactly one well-known body type. Trace
 // is out-of-band observability metadata — the violation-trace context the
 // message extends, propagated identically by both transports and absent
@@ -150,6 +160,11 @@ type envelope struct {
 	Body  json.RawMessage         `json:"body"`
 }
 
+// TypeTag returns the wire type tag for a message body ("violation",
+// "heartbeat", ...), or an error for an unknown body type. Fault
+// injection and other transport middleware select messages by it.
+func TypeTag(body any) (string, error) { return typeTag(body) }
+
 func typeTag(body any) (string, error) {
 	switch body.(type) {
 	case Register, *Register:
@@ -170,6 +185,8 @@ func typeTag(body any) (string, error) {
 		return "ack", nil
 	case Nack, *Nack:
 		return "nack", nil
+	case Heartbeat, *Heartbeat:
+		return "heartbeat", nil
 	default:
 		return "", fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -233,6 +250,8 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 		body = &Ack{}
 	case "nack":
 		body = &Nack{}
+	case "heartbeat":
+		body = &Heartbeat{}
 	default:
 		return "", Message{}, fmt.Errorf("msg: unknown message type %q", env.Type)
 	}

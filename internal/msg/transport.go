@@ -1,12 +1,15 @@
 package msg
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"softqos/internal/telemetry"
 )
@@ -33,12 +36,15 @@ var (
 // only ever flows live (the sim's pre-registered "msg.bus.*" name set is
 // unchanged, keeping determinism goldens stable).
 type netMetrics struct {
-	reg       *telemetry.Registry
-	sent      *telemetry.Counter
-	delivered *telemetry.Counter
-	dropped   *telemetry.Counter
-	bytes     *telemetry.Counter
-	byType    map[string]*telemetry.Counter
+	reg        *telemetry.Registry
+	sent       *telemetry.Counter
+	delivered  *telemetry.Counter
+	dropped    *telemetry.Counter
+	bytes      *telemetry.Counter
+	retries    *telemetry.Counter
+	reconnects *telemetry.Counter
+	sendFailed *telemetry.Counter
+	byType     map[string]*telemetry.Counter
 
 	invalidOnce sync.Once
 	invalid     *telemetry.Counter // lazy: registered on the first invalid drop
@@ -53,14 +59,17 @@ func (m *netMetrics) droppedInvalid() {
 }
 
 func newNetMetrics(reg *telemetry.Registry) *netMetrics {
-	tags := append(append([]string(nil), typeTags...), "nack")
+	tags := append(append([]string(nil), typeTags...), "nack", "heartbeat")
 	m := &netMetrics{
-		reg:       reg,
-		sent:      reg.Counter("msg.net.sent"),
-		delivered: reg.Counter("msg.net.delivered"),
-		dropped:   reg.Counter("msg.net.dropped"),
-		bytes:     reg.Counter("msg.net.bytes"),
-		byType:    make(map[string]*telemetry.Counter, len(tags)),
+		reg:        reg,
+		sent:       reg.Counter("msg.net.sent"),
+		delivered:  reg.Counter("msg.net.delivered"),
+		dropped:    reg.Counter("msg.net.dropped"),
+		bytes:      reg.Counter("msg.net.bytes"),
+		retries:    reg.Counter("msg.net.retries"),
+		reconnects: reg.Counter("msg.net.reconnects"),
+		sendFailed: reg.Counter("msg.net.send_failed"),
+		byType:     make(map[string]*telemetry.Counter, len(tags)),
 	}
 	for _, tag := range tags {
 		m.byType[tag] = reg.Counter("msg.net.sent." + tag)
@@ -108,13 +117,19 @@ type NetTransport struct {
 	ddone bool
 	dexit chan struct{}
 
+	everDialed map[string]struct{} // addrs connected at least once (for reconnect counting)
+
 	sent           atomic.Uint64
 	delivered      atomic.Uint64
 	dropped        atomic.Uint64
 	droppedInvalid atomic.Uint64
+	retries        atomic.Uint64
+	reconnects     atomic.Uint64
+	sendFailed     atomic.Uint64
 
 	logfFn  atomic.Pointer[func(string, ...any)]
 	metrics atomic.Pointer[netMetrics]
+	retryP  atomic.Pointer[Backoff]
 }
 
 // NewNetTransport creates a live transport node named host. listen is
@@ -123,13 +138,14 @@ type NetTransport struct {
 // only talks to its agent and host manager).
 func NewNetTransport(host, listen string) (*NetTransport, error) {
 	t := &NetTransport{
-		host:     host,
-		handlers: make(map[string]func(Message)),
-		routes:   make(map[string]string),
-		learned:  make(map[string]*Conn),
-		dialed:   make(map[string]*Conn),
-		conns:    make(map[*Conn]struct{}),
-		dexit:    make(chan struct{}),
+		host:       host,
+		handlers:   make(map[string]func(Message)),
+		routes:     make(map[string]string),
+		learned:    make(map[string]*Conn),
+		dialed:     make(map[string]*Conn),
+		conns:      make(map[*Conn]struct{}),
+		everDialed: make(map[string]struct{}),
+		dexit:      make(chan struct{}),
 	}
 	t.dcond = sync.NewCond(&t.dmu)
 	if listen != "" {
@@ -246,19 +262,70 @@ func (t *NetTransport) Sync(fn func()) {
 	<-done
 }
 
+// SetRetryPolicy overrides the transport's send retry schedule (the
+// default is DefaultBackoff). A Backoff with Attempts 1 disables
+// retries entirely.
+func (t *NetTransport) SetRetryPolicy(b Backoff) {
+	t.retryP.Store(&b)
+}
+
+func (t *NetTransport) retryPolicy() Backoff {
+	if p := t.retryP.Load(); p != nil {
+		return *p
+	}
+	return DefaultBackoff
+}
+
+// Resilience returns how many sends were retried, how many redials of a
+// previously connected peer succeeded, and how many sends failed after
+// the retry schedule was exhausted.
+func (t *NetTransport) Resilience() (retries, reconnects, sendFailed uint64) {
+	return t.retries.Load(), t.reconnects.Load(), t.sendFailed.Load()
+}
+
 // Send delivers m to a management address: in-process when the address
 // is bound locally, over TCP otherwise (see NetTransport's routing
-// order). It returns an error when no local handler, learned reply
-// route, static route or dialable address resolves the destination.
+// order). Transient connection failures — the peer restarting, a conn
+// dropped mid-send — are retried with jittered exponential backoff
+// (SetRetryPolicy); the peer is redialed between tries. The returned
+// error is a *SendError classifying the final failure: routing and
+// validation errors return immediately without retrying.
 func (t *NetTransport) Send(to string, m Message) error {
 	if err := Validate(m); err != nil {
 		t.dropInvalid(err)
-		return err
+		return &SendError{To: to, Kind: ErrInvalid, Err: err}
 	}
+	policy := t.retryPolicy()
+	for try := 0; ; try++ {
+		if try > 0 {
+			t.retries.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.retries.Inc()
+			}
+			time.Sleep(policy.Delay(try, rand.Float64()))
+		}
+		err := t.trySend(to, m)
+		if err == nil {
+			return nil
+		}
+		var se *SendError
+		if !errors.As(err, &se) || !se.Retryable() || policy.Exhausted(try+1) {
+			t.sendFailed.Add(1)
+			if nm := t.metrics.Load(); nm != nil {
+				nm.sendFailed.Inc()
+			}
+			return err
+		}
+	}
+}
+
+// trySend makes one delivery attempt. Connection failures forget the
+// conn (so a retry redials) and come back as retryable *SendError.
+func (t *NetTransport) trySend(to string, m Message) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return fmt.Errorf("msg: transport closed")
+		return &SendError{To: to, Kind: ErrClosed}
 	}
 	if h, ok := t.handlers[to]; ok {
 		t.mu.Unlock()
@@ -281,7 +348,8 @@ func (t *NetTransport) Send(to string, m Message) error {
 		}
 		if !ok {
 			t.mu.Unlock()
-			return fmt.Errorf("msg: no handler or route for %q", to)
+			return &SendError{To: to, Kind: ErrNoRoute,
+				Err: fmt.Errorf("no handler or route for %q", to)}
 		}
 		if c = t.dialed[tcpAddr]; c == nil {
 			dialAddr = tcpAddr
@@ -292,14 +360,14 @@ func (t *NetTransport) Send(to string, m Message) error {
 	if c == nil {
 		nc, err := net.Dial("tcp", dialAddr)
 		if err != nil {
-			return fmt.Errorf("msg: dial %s: %w", dialAddr, err)
+			return &SendError{To: to, Kind: ErrDialFailed, Err: err}
 		}
 		c = NewConn(nc)
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
 			_ = c.Close()
-			return fmt.Errorf("msg: transport closed")
+			return &SendError{To: to, Kind: ErrClosed}
 		}
 		if prev, ok := t.dialed[dialAddr]; ok {
 			// lost a dial race; use the established conn
@@ -307,6 +375,13 @@ func (t *NetTransport) Send(to string, m Message) error {
 			_ = c.Close()
 			c = prev
 		} else {
+			if _, again := t.everDialed[dialAddr]; again {
+				t.reconnects.Add(1)
+				if nm := t.metrics.Load(); nm != nil {
+					nm.reconnects.Inc()
+				}
+			}
+			t.everDialed[dialAddr] = struct{}{}
 			t.dialed[dialAddr] = c
 			t.conns[c] = struct{}{}
 			t.wg.Add(1)
@@ -321,13 +396,30 @@ func (t *NetTransport) Send(to string, m Message) error {
 	}
 	if err := c.sendLine(data); err != nil {
 		t.forgetConn(c)
-		return fmt.Errorf("msg: send to %q: %w", to, err)
+		return &SendError{To: to, Kind: ErrConnLost, Err: err}
 	}
 	t.countSent(m, false)
 	if nm := t.metrics.Load(); nm != nil {
 		nm.bytes.Add(uint64(len(data) + 1))
 	}
 	return nil
+}
+
+// SeverConns abruptly closes every established connection (both dialed
+// and accepted) without shutting the transport down, returning how many
+// it closed. Fault injection uses it to simulate a network break; the
+// next Send redials.
+func (t *NetTransport) SeverConns() int {
+	t.mu.Lock()
+	conns := make([]*Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		t.forgetConn(c)
+	}
+	return len(conns)
 }
 
 func (t *NetTransport) countSent(m Message, local bool) {

@@ -29,6 +29,10 @@ func Validate(m Message) error {
 		return validateDirective(b)
 	case *Directive:
 		return validateDirective(*b)
+	case Heartbeat:
+		return validateHeartbeat(b)
+	case *Heartbeat:
+		return validateHeartbeat(*b)
 	default:
 		return fmt.Errorf("msg: unknown body type %T", m.Body)
 	}
@@ -64,6 +68,13 @@ func validateQuery(q Query) error {
 func validateDirective(d Directive) error {
 	if d.Action == "" {
 		return fmt.Errorf("msg: directive without an action")
+	}
+	return nil
+}
+
+func validateHeartbeat(h Heartbeat) error {
+	if h.ID.PID <= 0 {
+		return fmt.Errorf("msg: heartbeat with non-positive pid %d", h.ID.PID)
 	}
 	return nil
 }

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"softqos/internal/faults"
+)
+
+// faultsGoldenPlan is the fixed fault schedule pinned by the
+// determinism_faults golden: probabilistic message chaos throughout,
+// plus a client host manager crash window long enough to trip liveness
+// eviction and, once it lifts, heartbeat re-adoption.
+func faultsGoldenPlan() *faults.Plan {
+	return &faults.Plan{Seed: 99, Rules: []faults.Rule{
+		{Name: "chaos-drop", Kind: faults.KindDrop, Prob: 0.08},
+		{Name: "chaos-delay", Kind: faults.KindDelay, Prob: 0.08,
+			Delay: faults.Duration(10 * time.Millisecond), Jitter: faults.Duration(20 * time.Millisecond)},
+		{Name: "chaos-dup", Kind: faults.KindDuplicate, Prob: 0.04},
+		{Name: "chaos-reorder", Kind: faults.KindReorder, Prob: 0.04},
+		{Name: "hm-crash", Kind: faults.KindCrash, Target: "/client-host/QoSHostManager",
+			After: faults.Duration(60 * time.Second), Until: faults.Duration(75 * time.Second)},
+	}}
+}
+
+// TestDeterminismSeededFaultsGolden extends the determinism guarantee
+// to chaos: a fault schedule is part of the seed, so a faulty run —
+// injected drops, delays, crash-window evictions, re-adoptions and all
+// — renders byte-identical telemetry every time, and is pinned by its
+// own golden. Regenerate with GEN_GOLDEN=1 after an intentional
+// behavior change.
+func TestDeterminismSeededFaultsGolden(t *testing.T) {
+	cfg := Config{Seed: 7, ClientLoad: 5, Managed: true, Faults: faultsGoldenPlan()}
+	a, traces := snapshotRun(t, cfg, 30*time.Second, 2*time.Minute)
+	b, _ := snapshotRun(t, cfg, 30*time.Second, 2*time.Minute)
+	if a != b {
+		t.Fatalf("same fault seed produced different telemetry:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	golden := "testdata/determinism_faults.golden"
+	if os.Getenv("GEN_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != string(want) {
+		t.Errorf("faulty-run telemetry differs from %s (same seed, code change altered simulated behavior); rerun with GEN_GOLDEN=1 if intended", golden)
+	}
+	// The schedule actually bit: injections registered and at least one
+	// episode still recovered through the chaos.
+	if !strings.Contains(a, "faults.injected.") {
+		t.Error("no fault-injection counters in the snapshot")
+	}
+	recovered := 0
+	for _, tr := range traces {
+		if _, ok := tr.TimeToRecovery(); ok {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Errorf("no recovered violation trace among %d under faults", len(traces))
+	}
+}
+
+// TestCoordinatorReRegistersAfterCrashWindow: registration attempted
+// while the management host is down fails; the coordinator's
+// re-registration loop retries until the window lifts and ends up with
+// its policies installed — the agent self-heals without operator help.
+func TestCoordinatorReRegistersAfterCrashWindow(t *testing.T) {
+	plan := &faults.Plan{Seed: 5, Rules: []faults.Rule{
+		{Name: "mgmt-down", Kind: faults.KindCrash, Target: "/mgmt/",
+			Until: faults.Duration(3 * time.Second)},
+	}}
+	sys := Build(Config{Seed: 1, Managed: true, Faults: plan})
+
+	sys.Sim.RunFor(1500 * time.Millisecond)
+	if sys.Coord.Registered() {
+		t.Fatal("coordinator registered while the management host was down")
+	}
+	if sys.Faults.Counts()[faults.KindCrash] == 0 {
+		t.Fatal("crash window injected nothing")
+	}
+
+	sys.Sim.RunFor(5 * time.Second)
+	if !sys.Coord.Registered() {
+		t.Fatal("coordinator never re-registered after the crash window lifted")
+	}
+	if got := sys.Coord.Policies(); len(got) == 0 {
+		t.Fatal("re-registration installed no policies")
+	}
+}
+
+// TestNoFaultsMeansNoFaultMachinery: without a fault plan the scenario
+// wires none of the resilience loops — the sim stays exactly the
+// pre-chaos system, which is what keeps the original goldens valid.
+func TestNoFaultsMeansNoFaultMachinery(t *testing.T) {
+	sys := Build(Config{Seed: 1, Managed: true})
+	if sys.Faults != nil {
+		t.Error("fault transport built without a plan")
+	}
+	sys.Sim.RunFor(30 * time.Second)
+	if sys.ClientHM.HeartbeatsSeen != 0 {
+		t.Error("heartbeats flowing in a fault-free run")
+	}
+	if strings.Contains(snapshotText(t, sys), "faults.injected") {
+		t.Error("fault counters registered in a fault-free run")
+	}
+}
+
+func snapshotText(t *testing.T, sys *System) string {
+	t.Helper()
+	var b strings.Builder
+	if err := sys.Metrics.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

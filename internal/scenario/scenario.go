@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"softqos/internal/agent"
+	"softqos/internal/faults"
 	"softqos/internal/instrument"
 	"softqos/internal/loadgen"
 	"softqos/internal/manager"
@@ -89,6 +90,19 @@ type Config struct {
 	// causal parents, exactly as before cross-process tracing existed.
 	// Local span recording is unaffected.
 	NoTracePropagation bool
+	// Faults, when non-nil, wraps the management bus in a fault-
+	// injecting transport driven by this plan, and arms the resilience
+	// machinery the faults exercise: manager liveness tracking with
+	// eviction, coordinator heartbeats and re-registration. Fault
+	// injection and all of its wiring are fully absent when nil, so
+	// fault-free runs (and their determinism goldens) are unchanged.
+	Faults *faults.Plan
+	// HeartbeatInterval paces coordinator heartbeats in fault mode
+	// (default 1s).
+	HeartbeatInterval time.Duration
+	// LivenessTimeout is how long a manager tolerates silence from a
+	// managed process or a queried peer in fault mode (default 3.5s).
+	LivenessTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +155,9 @@ type System struct {
 	// clock; snapshots are byte-identical across same-seed runs.
 	Metrics *telemetry.Registry
 	Tracer  *telemetry.Tracer
+
+	// Faults is the fault-injecting transport when Cfg.Faults is set.
+	Faults *faults.Transport
 
 	// Rerouted counts network-fault reroutes performed.
 	Rerouted int
@@ -204,7 +221,14 @@ func Build(cfg Config) *System {
 	mustNil(sys.Admin.AddPolicy(cfg.PolicySrc, repository.PolicyMeta{
 		Application: "VideoApplication", Executable: "mpeg_play"}))
 
-	send := sys.Bus.Send
+	send := msg.SendFunc(sys.Bus.Send)
+	if cfg.Faults != nil {
+		sys.Faults = faults.New(sys.Bus, cfg.Faults, sys.Metrics.Clock(),
+			func(d time.Duration, fn func()) { s.After(d, fn) })
+		sys.Faults.SetMetrics(sys.Metrics)
+		sys.Faults.SetTracer(sys.Tracer)
+		send = sys.Faults.Send
+	}
 	sys.Agent = agent.New(AgentAddr, sys.Svc, send)
 	sys.Bus.Bind(AgentAddr, "mgmt", func(m msg.Message) { sys.Agent.HandleMessage(m) })
 
@@ -327,8 +351,63 @@ func Build(cfg Config) *System {
 	})
 	if cfg.Managed {
 		// Registration happens shortly after process start, as in the
-		// prototype's instrumented initialisation.
-		s.After(time.Millisecond, func() { mustNil(sys.Coord.Register()) })
+		// prototype's instrumented initialisation. Under fault injection
+		// the send may fail or be dropped — the re-registration loop
+		// below recovers it, so the error is tolerated rather than fatal.
+		if cfg.Faults != nil {
+			s.After(time.Millisecond, func() { _ = sys.Coord.Register() })
+		} else {
+			s.After(time.Millisecond, func() { mustNil(sys.Coord.Register()) })
+		}
+	}
+
+	// Resilience wiring, armed only under fault injection so fault-free
+	// simulations schedule exactly the same events as before.
+	if cfg.Faults != nil {
+		hbEvery := cfg.HeartbeatInterval
+		if hbEvery <= 0 {
+			hbEvery = time.Second
+		}
+		lto := cfg.LivenessTimeout
+		if lto <= 0 {
+			lto = 3500 * time.Millisecond
+		}
+		clk := sys.Metrics.Clock()
+		// Liveness tracking runs where agents actually heartbeat: the
+		// client host manager (fed by the client coordinator) and the
+		// domain manager's episode timeouts. The server host manager has
+		// no heartbeating agent in this scenario, so its tracking would
+		// only produce false evictions.
+		sys.ClientHM.EnableLiveness(clk, lto)
+		sys.DM.EnableLiveness(clk, lto)
+		// Self-healing re-adoption: a manager that evicted (or lost) a
+		// process re-tracks it from the next heartbeat or violation.
+		sys.ClientHM.OnUnknownProc = func(id msg.Identity) (runtime.ProcHandle, bool) {
+			if id.PID == sys.Client.Proc.PID() {
+				return sys.Client.Proc, true
+			}
+			return nil, false
+		}
+		sys.ServerHM.OnUnknownProc = func(id msg.Identity) (runtime.ProcHandle, bool) {
+			if id.PID == sys.Server.Proc.PID() {
+				return sys.Server.Proc, true
+			}
+			return nil, false
+		}
+		s.Every(lto/2, func() {
+			sys.ClientHM.CheckLiveness()
+			sys.DM.CheckLiveness()
+		})
+		if cfg.Managed {
+			s.Every(hbEvery, func() { _ = sys.Coord.Heartbeat() })
+			// Re-register until a PolicySet lands (registration or its
+			// reply may have been lost to a fault).
+			s.Every(2*hbEvery, func() {
+				if !sys.Coord.Registered() {
+					_ = sys.Coord.Register()
+				}
+			})
+		}
 	}
 
 	// Background load.

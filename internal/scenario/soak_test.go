@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakSim drives >=200 violation episodes through a randomized,
+// seeded fault schedule on the sim Bus and asserts the resilience
+// invariant: after the drain, zero episodes are silently stalled —
+// every one either recovered or was abandoned with a traced reason.
+func TestSoakSim(t *testing.T) {
+	res := Soak(SoakConfig{Seed: 7})
+
+	t.Logf("episodes=%d recovered=%d abandoned=%d open=%d evicted=%d heartbeats=%d timeouts=%d injected=%v ttr(p50=%v p95=%v max=%v) virtual=%v",
+		res.Episodes, res.Recovered, res.Abandoned, res.Open,
+		res.Evicted, res.Heartbeats, res.Timeouts, res.Injected,
+		res.TTRp50, res.TTRp95, res.TTRMax, res.VirtualTime)
+
+	if res.Episodes < 200 {
+		t.Fatalf("soak completed only %d episodes, want >= 200 (virtual time %v)", res.Episodes, res.VirtualTime)
+	}
+	if res.Open != 0 {
+		t.Fatalf("%d episodes still open after drain — silent stall", res.Open)
+	}
+	if res.Recovered == 0 {
+		t.Fatalf("no episode recovered — control loop never closed under faults")
+	}
+	if len(res.Injected) == 0 {
+		t.Fatalf("fault plan injected nothing — soak did not exercise resilience")
+	}
+	if res.Heartbeats == 0 {
+		t.Fatalf("host manager saw no heartbeats — liveness tracking not wired")
+	}
+	if res.TTRMax <= 0 || res.TTRp50 > res.TTRp95 || res.TTRp95 > res.TTRMax {
+		t.Fatalf("TTR quantiles inconsistent: p50=%v p95=%v max=%v", res.TTRp50, res.TTRp95, res.TTRMax)
+	}
+}
+
+// TestSoakTracedAbandonment checks that every non-recovered episode in
+// a soak carries an explicit abandonment span: nothing closes without a
+// reason on the record.
+func TestSoakTracedAbandonment(t *testing.T) {
+	res := Soak(SoakConfig{Seed: 11, Episodes: 120, FaultRate: 0.3, MaxVirtual: 30 * time.Minute})
+	if res.Open != 0 {
+		t.Fatalf("%d open episodes after drain", res.Open)
+	}
+	// Abandonment is schedule-dependent; when it happens the harness
+	// counts it, and Episodes must tally exactly.
+	if res.Recovered+res.Abandoned != res.Episodes {
+		t.Fatalf("episode accounting broken: %d recovered + %d abandoned != %d episodes",
+			res.Recovered, res.Abandoned, res.Episodes)
+	}
+}
+
+// TestSoakReproducible: the soak is seeded end-to-end — same seed must
+// yield identical episode counts, fault injections, and TTR quantiles.
+func TestSoakReproducible(t *testing.T) {
+	cfg := SoakConfig{Seed: 3, Episodes: 60, MaxVirtual: 20 * time.Minute}
+	a := Soak(cfg)
+	b := Soak(cfg)
+
+	if a.Episodes != b.Episodes || a.Recovered != b.Recovered || a.Abandoned != b.Abandoned {
+		t.Fatalf("episode counts diverged across same-seed runs: %+v vs %+v", a, b)
+	}
+	if a.TTRp50 != b.TTRp50 || a.TTRp95 != b.TTRp95 || a.TTRMax != b.TTRMax {
+		t.Fatalf("TTR quantiles diverged: %v/%v/%v vs %v/%v/%v",
+			a.TTRp50, a.TTRp95, a.TTRMax, b.TTRp50, b.TTRp95, b.TTRMax)
+	}
+	if len(a.Injected) != len(b.Injected) {
+		t.Fatalf("injection kinds diverged: %v vs %v", a.Injected, b.Injected)
+	}
+	for k, v := range a.Injected {
+		if b.Injected[k] != v {
+			t.Fatalf("injected[%s] diverged: %d vs %d", k, v, b.Injected[k])
+		}
+	}
+	if a.Evicted != b.Evicted || a.Timeouts != b.Timeouts {
+		t.Fatalf("resilience counters diverged: evicted %d/%d timeouts %d/%d",
+			a.Evicted, b.Evicted, a.Timeouts, b.Timeouts)
+	}
+}

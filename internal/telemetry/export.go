@@ -164,19 +164,33 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 // one header row per trace (start, time-to-recovery or "open", span
 // count) followed by the indented span list.
 func WriteTraceTable(w io.Writer, traces []*Trace) error {
-	recovered, open := 0, 0
+	recovered, abandoned, open := 0, 0, 0
 	for _, t := range traces {
-		if t.Recovered {
+		switch {
+		case t.Recovered:
 			recovered++
-		} else {
+		case t.Abandoned:
+			abandoned++
+		default:
 			open++
 		}
 	}
-	if _, err := fmt.Fprintf(w, "violation traces: %d recovered, %d open\n", recovered, open); err != nil {
+	// The abandoned column only appears when episodes were abandoned —
+	// fault-injection runs — so fault-free output (and its goldens) is
+	// unchanged.
+	header := fmt.Sprintf("violation traces: %d recovered, %d open", recovered, open)
+	if abandoned > 0 {
+		header = fmt.Sprintf("violation traces: %d recovered, %d abandoned, %d open",
+			recovered, abandoned, open)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for i, t := range traces {
 		ttr := "open"
+		if t.Abandoned {
+			ttr = "abandoned"
+		}
 		if d, ok := t.TimeToRecovery(); ok {
 			ttr = d.String()
 		}

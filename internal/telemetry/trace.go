@@ -27,6 +27,14 @@ const (
 	StageLocate    = "locate"
 	StageDirective = "directive"
 	StageRecovered = "recovered"
+	// StageFault marks an injected fault hitting a message of this
+	// episode (fault-injection runs only).
+	StageFault = "fault"
+	// StageAbandoned closes an episode that cannot recover — its
+	// process was evicted as dead, or the diagnosing manager gave up —
+	// with the reason in the span detail. Abandonment is the explicit
+	// alternative to a silent stall.
+	StageAbandoned = "abandoned"
 )
 
 // TraceContext identifies a position in a violation trace: the trace and
@@ -93,6 +101,10 @@ type Trace struct {
 	// trace that never recovers exports with Recovered false.
 	End       time.Duration `json:"end_ns"`
 	Recovered bool          `json:"recovered"`
+	// Abandoned is set when the episode was closed without recovering:
+	// the subject died or management explicitly gave up. The closing
+	// "abandoned" span's detail records why.
+	Abandoned bool `json:"abandoned,omitempty"`
 
 	nextSpan int // last span ID handed out
 }
@@ -277,6 +289,73 @@ func (tr *Tracer) Resolve(subject, policy string) {
 		return
 	}
 	tr.done = append(tr.done, t)
+}
+
+// closeLocked moves an open trace to done with a terminal span. Caller
+// holds mu.
+func (tr *Tracer) closeLocked(key string, t *Trace, stage, src, detail string, at time.Duration) {
+	delete(tr.active, key)
+	delete(tr.byID, t.ID)
+	tr.addSpan(t, 1, src, stage, detail, at)
+	t.End = at
+	if len(tr.done) >= maxTraces {
+		tr.dropped++
+		return
+	}
+	tr.done = append(tr.done, t)
+}
+
+// Abandon closes the open trace for (subject, policy) without recovery:
+// the episode ends with an "abandoned" span whose detail is the reason.
+// Reported false when no trace is open for the pair.
+func (tr *Tracer) Abandon(subject, policy, src, reason string) bool {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	key := traceKey(subject, policy)
+	t, open := tr.active[key]
+	if !open {
+		return false
+	}
+	t.Abandoned = true
+	tr.closeLocked(key, t, StageAbandoned, src, reason, now)
+	return true
+}
+
+// AbandonSubject abandons every open trace whose subject matches,
+// returning how many it closed. A host manager evicting a dead process
+// uses it to close all of the process's episodes in one call; traces
+// are visited in sorted key order so the outcome is deterministic.
+func (tr *Tracer) AbandonSubject(subject, src, reason string) int {
+	now := tr.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	keys := make([]string, 0, len(tr.active))
+	for k, t := range tr.active {
+		if t.Subject == subject {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := tr.active[k]
+		t.Abandoned = true
+		tr.closeLocked(k, t, StageAbandoned, src, reason, now)
+	}
+	return len(keys)
+}
+
+// Abandoned returns how many completed traces ended abandoned.
+func (tr *Tracer) Abandoned() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, t := range tr.done {
+		if t.Abandoned {
+			n++
+		}
+	}
+	return n
 }
 
 // Traces returns completed traces in completion order followed by

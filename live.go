@@ -7,11 +7,28 @@ import (
 	"time"
 
 	"softqos/internal/agent"
+	"softqos/internal/faults"
 	"softqos/internal/instrument"
 	"softqos/internal/msg"
 	"softqos/internal/repository"
 	"softqos/internal/telemetry"
 )
+
+// FaultPlan is a fault-injection schedule for chaos-testing a live
+// deployment (see docs/FAULTS.md for the JSON format). Apply one with
+// NewLiveCoordinatorFaults or qosd's -faults flag.
+type FaultPlan = faults.Plan
+
+// LoadFaultPlan reads a JSON fault plan from a file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faults.Load(path) }
+
+// RandomFaultPlan builds a seeded randomized chaos schedule: message
+// drops, delays, duplicates and reorders at the given rate, plus a
+// sever window, a manager crash window, and a partition window spread
+// over the horizon.
+func RandomFaultPlan(seed int64, rate float64, horizon time.Duration) *FaultPlan {
+	return faults.RandomPlan(seed, rate, horizon)
+}
 
 // Live mode runs the same management stack as the simulator — the
 // coordinator, policy agent, host and domain managers of internal/* —
@@ -144,6 +161,7 @@ type LiveCoordinator struct {
 	*instrument.Coordinator
 
 	nt      *msg.NetTransport
+	faults  *faults.Transport // nil unless built with a fault plan
 	start   time.Time
 	regDone chan error
 
@@ -156,6 +174,20 @@ type LiveCoordinator struct {
 // LiveHostManager or LiveCollector — TCP "host:port" strings, or
 // management addresses previously mapped with Route.
 func NewLiveCoordinator(id Identity, agentAddr, managerAddr string) *LiveCoordinator {
+	return newLiveCoordinator(id, agentAddr, managerAddr, nil)
+}
+
+// NewLiveCoordinatorFaults is NewLiveCoordinator with the coordinator's
+// outbound management traffic routed through a fault-injection
+// transport driven by plan. Sever rules cut the node's live TCP
+// connections (exercising reconnect), crash windows surface as typed
+// dial failures (exercising retry), and drop/delay/duplicate/reorder
+// rules perturb the message stream. A nil plan injects nothing.
+func NewLiveCoordinatorFaults(id Identity, agentAddr, managerAddr string, plan *FaultPlan) *LiveCoordinator {
+	return newLiveCoordinator(id, agentAddr, managerAddr, plan)
+}
+
+func newLiveCoordinator(id Identity, agentAddr, managerAddr string, plan *FaultPlan) *LiveCoordinator {
 	nt, err := msg.NewNetTransport(id.Host, "")
 	if err != nil {
 		// A dial-only node opens no listener; creation cannot fail.
@@ -167,9 +199,56 @@ func NewLiveCoordinator(id Identity, agentAddr, managerAddr string) *LiveCoordin
 		regDone: make(chan error, 1),
 	}
 	clock := instrument.Clock(func() time.Duration { return time.Since(lc.start) })
-	lc.Coordinator = instrument.NewCoordinator(id, clock, nt.Send, agentAddr, managerAddr)
+	send := msg.SendFunc(nt.Send)
+	if plan != nil {
+		ft := faults.New(nt, plan, telemetry.Clock(clock), nil)
+		ft.OnSever = nt.SeverConns
+		lc.faults = ft
+		send = ft.Send
+	}
+	lc.Coordinator = instrument.NewCoordinator(id, clock, send, agentAddr, managerAddr)
 	nt.Bind(lc.Coordinator.Address(), id.Host, lc.handle)
 	return lc
+}
+
+// SetTelemetry attaches metrics and tracing to the coordinator, its
+// transport node ("msg.net.*" counters) and, when fault injection is
+// enabled, the fault transport — injected faults then register
+// "faults.injected.*" counters and annotate open violation traces.
+func (lc *LiveCoordinator) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	lc.Coordinator.SetTelemetry(reg, tracer)
+	lc.nt.SetMetrics(reg)
+	if lc.faults != nil {
+		lc.faults.SetMetrics(reg)
+		lc.faults.SetTracer(tracer)
+	}
+}
+
+// FaultCounts returns per-kind injected fault counts; nil when the
+// coordinator was built without a fault plan.
+func (lc *LiveCoordinator) FaultCounts() map[string]uint64 {
+	if lc.faults == nil {
+		return nil
+	}
+	return lc.faults.Counts()
+}
+
+// ClearFaults disables fault injection for the rest of the process's
+// lifetime and flushes any held (reordered) message.
+func (lc *LiveCoordinator) ClearFaults() {
+	if lc.faults != nil {
+		lc.faults.Clear()
+	}
+}
+
+// SetRetryPolicy overrides the transport's send retry/backoff schedule.
+func (lc *LiveCoordinator) SetRetryPolicy(b msg.Backoff) { lc.nt.SetRetryPolicy(b) }
+
+// Resilience reports the transport's self-healing counters: retried
+// sends, re-established connections, and sends that failed after
+// exhausting retries.
+func (lc *LiveCoordinator) Resilience() (retries, reconnects, sendFailed uint64) {
+	return lc.nt.Resilience()
 }
 
 // WallClock returns the coordinator's clock (for building sensors).
