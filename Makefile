@@ -48,9 +48,11 @@ live-smoke:
 # The observability gate: a live session with the HTTP export surface
 # attached — drive a violation to recovery over TCP, scrape /metrics
 # (must parse as Prometheus text) and /debug/qos (must export the
-# unified causal tree with rule-firing explanations).
+# unified causal tree with rule-firing explanations), then the SLO
+# surface: /debug/qos/slo must show compliance dipping below 1.0 while
+# the induced violation is open and climbing back after recovery.
 trace-smoke:
-	$(GO) test -race -timeout 60s -v -run 'TestLiveObservabilityEndpoints' .
+	$(GO) test -race -timeout 120s -v -run 'TestLiveObservabilityEndpoints|TestLiveSLOCompliance' .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -32,7 +32,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "fig3|overhead|locate|admin|settle|dynamic|overload|proactive|scale|webapp|trace|faults|all")
+	experiment = flag.String("experiment", "all", "fig3|overhead|locate|admin|settle|dynamic|overload|proactive|scale|webapp|trace|faults|slo|all")
 	warmup     = flag.Duration("warmup", 30*time.Second, "virtual warmup before measurement")
 	measure    = flag.Duration("measure", 3*time.Minute, "virtual measurement window")
 	seed       = flag.Int64("seed", 1, "simulation seed")
@@ -54,9 +54,10 @@ func main() {
 		"webapp":    webappExp,
 		"trace":     traceExp,
 		"faults":    faultsExp,
+		"slo":       sloExp,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig3", "overhead", "locate", "admin", "settle", "dynamic", "overload", "proactive", "scale", "webapp", "trace", "faults"} {
+		for _, name := range []string{"fig3", "overhead", "locate", "admin", "settle", "dynamic", "overload", "proactive", "scale", "webapp", "trace", "faults", "slo"} {
 			run[name]()
 			fmt.Println()
 		}
@@ -448,6 +449,41 @@ func faultsExp() {
 	}
 	fmt.Println("(abandoned = episodes closed with a traced reason — agent eviction or")
 	fmt.Println(" localization timeout; open > 0 would mean a silently stalled episode)")
+}
+
+// sloExp sweeps client load and reports the compliance curve: what
+// fraction of the run the policy actually held, how much error budget
+// the violations burned, and how fast the control loop's stages turned.
+func sloExp() {
+	fmt.Println("=== SLO compliance vs client CPU load (target 95% of time in policy) ===")
+	fmt.Printf("%-8s %-12s %-12s %-10s %-10s %-10s %-12s %-12s %-12s\n",
+		"load", "compliance", "viol-min", "episodes", "fast-burn", "slow-burn", "detect p95", "locate p95", "adapt p95")
+	for _, load := range []float64{3, 5, 7, 9} {
+		sys := scenario.Build(scenario.Config{
+			Seed: *seed, ClientLoad: load, Managed: true, Observe: true})
+		sys.Run(*warmup, *measure)
+		rep := sys.Report(fmt.Sprintf("load %.0f", load))
+		if *exportTo != "" {
+			dir := filepath.Join(*exportTo, fmt.Sprintf("slo-load%.0f", load))
+			must(export.DumpReport(dir, rep))
+		}
+		for _, s := range rep.SLOs {
+			fmt.Printf("%-8.0f %-12s %-12.3f %-10d %-10.2f %-10.2f %-12s %-12s %-12s\n",
+				load, fmt.Sprintf("%.3f%%", 100*s.Compliance), s.ViolationMinutes,
+				s.Episodes, s.FastBurn, s.SlowBurn,
+				stageP95(rep.Loop.Detect), stageP95(rep.Loop.Locate), stageP95(rep.Loop.Adapt))
+		}
+	}
+	fmt.Println("(compliance = fraction of the run with no open violation episode;")
+	fmt.Println(" burn > 1 means the error budget drains faster than the 95% target allows)")
+}
+
+// stageP95 renders a stage's p95 latency, dash when never observed.
+func stageP95(s telemetry.StageStats) string {
+	if s.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fms", s.P95)
 }
 
 // durMS renders a histogram value that holds nanoseconds as a duration.

@@ -49,15 +49,40 @@ var (
 )
 
 // serveExport starts the opt-in observability listener for a live role.
-// Returns a closer (no-op when -http is unset).
+// Returns a closer (no-op when -http is unset). Live mode gets the full
+// kit — Go runtime gauges, pprof, a wall-clock flight recorder and the
+// SLO endpoints; sim mode never reaches this path, so deterministic
+// snapshots see none of these metric names.
 func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
 	if *httpAddr == "" {
 		return func() {}
 	}
-	srv, err := export.Serve(*httpAddr, reg, tracer)
+	var opts []export.Option
+	stopSampler := func() {}
+	if reg != nil {
+		export.RegisterRuntimeGauges(reg)
+		tl := telemetry.NewTimeline(reg, 0)
+		var miner *telemetry.LoopMiner
+		if tracer != nil {
+			miner = telemetry.NewLoopMiner(reg)
+		}
+		stopSampler = export.StartSampler(time.Second, tl, miner, tracer)
+		opts = append(opts, export.WithTimeline(tl))
+	}
+	opts = append(opts,
+		export.WithPprof(),
+		export.WithSLOTargets([]telemetry.SLOTarget{{
+			Policy:    "NotifyQoSViolation",
+			Objective: "frame_rate = 25(+2)(-2) and jitter_rate < 1.25",
+		}}),
+	)
+	srv, err := export.Serve(*httpAddr, reg, tracer, opts...)
 	checkLive(err)
-	fmt.Printf("observability endpoints on http://%s/metrics and /debug/qos\n", srv.Addr())
-	return func() { srv.Close() }
+	fmt.Printf("observability endpoints on http://%s/metrics, /debug/qos[/slo|/timeline|/dashboard] and /debug/pprof/\n", srv.Addr())
+	return func() {
+		stopSampler()
+		srv.Close()
+	}
 }
 
 // liveRepository builds the paper's video-application information model
@@ -194,14 +219,14 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, re
 			fps.Set(rate)
 		})
 		time.Sleep(20 * time.Millisecond)
-		for _, tr := range tracer.Traces() {
+		for _, tr := range tracer.TracesSnapshot() {
 			if _, ok := tr.TimeToRecovery(); ok {
 				recovered = true
 			}
 		}
 	}
 
-	traces := tracer.Traces()
+	traces := tracer.TracesSnapshot()
 	fmt.Printf("violation episodes: %d\n", len(traces))
 	for _, tr := range traces {
 		if ttr, ok := tr.TimeToRecovery(); ok {

@@ -11,6 +11,9 @@
 // histograms) and the per-violation causal trace table to the report.
 // -export DIR dumps the same state machine-readably: Prometheus text,
 // the /debug/qos JSON payload, and Chrome trace-event JSON.
+// -report DIR arms the compliance subsystem (flight recorder + SLO
+// tracker) and writes an end-of-run compliance report: compliance.md,
+// compliance.json and timeline.json.
 //
 // qosd -live runs the same manager stack over TCP under the wall clock
 // instead of simulating; see live.go for the roles.
@@ -39,6 +42,7 @@ var (
 	trace    = flag.Bool("trace", false, "print the host manager's rule firing trace")
 	metrics  = flag.Bool("metrics", false, "print the telemetry snapshot and violation trace table")
 	exportTo = flag.String("export", "", "dump metrics.prom, qos.json and trace.json into this directory")
+	reportTo = flag.String("report", "", "write the end-of-run compliance report (compliance.md/.json, timeline.json) into this directory")
 	faultsIn = flag.String("faults", "", "JSON fault plan to inject into the management plane (see docs/FAULTS.md)")
 )
 
@@ -66,16 +70,18 @@ func main() {
 	case "videostream", "single":
 		run(scenario.Build(scenario.Config{
 			Seed: *seed, ClientLoad: *load, Managed: *managed,
-			Faults: loadFaults()}), 30*time.Second)
+			Observe: *reportTo != "", Faults: loadFaults()}), 30*time.Second)
 	case "server-fault":
 		run(scenario.Build(scenario.Config{
 			Seed: *seed, Managed: *managed, ServerLoad: 4, Faults: loadFaults(),
+			Observe: *reportTo != "",
 			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
 				DecodeCost: 10 * time.Millisecond}}), 30*time.Second)
 	case "network-fault":
 		sys := scenario.Build(scenario.Config{
 			Seed: *seed, Managed: *managed, BackupRoute: true, Faults: loadFaults(),
-			Stream: video.StreamConfig{DecodeCost: 10 * time.Millisecond}})
+			Observe: *reportTo != "",
+			Stream:  video.StreamConfig{DecodeCost: 10 * time.Millisecond}})
 		sys.Sim.RunFor(30 * time.Second)
 		sys.CongestNetwork(6.0)
 		run(sys, 0)
@@ -153,5 +159,13 @@ func run(sys *scenario.System, warmup time.Duration) {
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry exported to %s\n", *exportTo)
+	}
+	if *reportTo != "" {
+		title := fmt.Sprintf("%s seed %d", *scen, *seed)
+		if err := export.DumpReport(*reportTo, sys.Report(title)); err != nil {
+			fmt.Fprintln(os.Stderr, "qosd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compliance report written to %s\n", *reportTo)
 	}
 }

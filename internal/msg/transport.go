@@ -128,6 +128,7 @@ type NetTransport struct {
 	sendFailed     atomic.Uint64
 
 	logfFn  atomic.Pointer[func(string, ...any)]
+	dropFn  atomic.Pointer[DropLogger]
 	metrics atomic.Pointer[netMetrics]
 	retryP  atomic.Pointer[Backoff]
 }
@@ -203,13 +204,48 @@ func (t *NetTransport) logf(format string, args ...any) {
 	log.Printf(format, args...)
 }
 
+// DropInfo describes one message the transport refused to dispatch: who
+// was talking to whom, what kind of message it was, and why validation
+// rejected it.
+type DropInfo struct {
+	Node string // transport host observing the drop
+	From string // sender management address (may be empty on outbound)
+	To   string // destination management address
+	Kind string // envelope type tag, "?" when the body type is unknown
+	Err  error  // the Validate error
+}
+
+// DropLogger receives every invalid-envelope drop. It runs on the
+// transport's send or read path, so it must be cheap and must not call
+// back into the transport.
+type DropLogger func(DropInfo)
+
+// SetDropLogger routes structured drop reports to fn. When set it
+// replaces the textual log line (counters still increment); pass nil to
+// restore the default logging.
+func (t *NetTransport) SetDropLogger(fn DropLogger) {
+	if fn == nil {
+		t.dropFn.Store(nil)
+		return
+	}
+	t.dropFn.Store(&fn)
+}
+
 // dropInvalid logs and counts a message that decoded but failed Validate.
-func (t *NetTransport) dropInvalid(err error) {
+func (t *NetTransport) dropInvalid(to string, m Message, err error) {
 	t.droppedInvalid.Add(1)
 	if nm := t.metrics.Load(); nm != nil {
 		nm.droppedInvalid()
 	}
-	t.logf("msg: %s: dropping invalid message: %v", t.host, err)
+	kind := "?"
+	if tag, tagErr := typeTag(m.Body); tagErr == nil {
+		kind = tag
+	}
+	if p := t.dropFn.Load(); p != nil {
+		(*p)(DropInfo{Node: t.host, From: m.From, To: to, Kind: kind, Err: err})
+		return
+	}
+	t.logf("msg: %s: dropping invalid %s message %s -> %s: %v", t.host, kind, m.From, to, err)
 }
 
 // Bind attaches a handler to a local management address. The host label
@@ -292,7 +328,7 @@ func (t *NetTransport) Resilience() (retries, reconnects, sendFailed uint64) {
 // validation errors return immediately without retrying.
 func (t *NetTransport) Send(to string, m Message) error {
 	if err := Validate(m); err != nil {
-		t.dropInvalid(err)
+		t.dropInvalid(to, m, err)
 		return &SendError{To: to, Kind: ErrInvalid, Err: err}
 	}
 	policy := t.retryPolicy()
@@ -488,7 +524,7 @@ func (t *NetTransport) readLoop(c *Conn) {
 		// and drop it with a counter rather than silently skipping or
 		// handing a handler a message it would misbehave on.
 		if err := Validate(m); err != nil {
-			t.dropInvalid(err)
+			t.dropInvalid(to, m, err)
 			continue
 		}
 		t.mu.Lock()

@@ -1,0 +1,68 @@
+package msg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDropLoggerStructuredReport verifies the invalid-envelope drop path
+// reports src/dest/kind through the pluggable hook instead of (not in
+// addition to) the textual log line.
+func TestDropLoggerStructuredReport(t *testing.T) {
+	nt, err := NewNetTransport("h1", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	var lines []string
+	nt.SetLogf(func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	var drops []DropInfo
+	nt.SetDropLogger(func(d DropInfo) { drops = append(drops, d) })
+
+	// A directive without an action decodes fine but fails Validate.
+	bad := Message{From: "/h1/coord", Body: Directive{Target: "frame_skip"}}
+	err = nt.Send("/h1/agent", bad)
+	var se *SendError
+	if !errors.As(err, &se) || se.Kind != ErrInvalid {
+		t.Fatalf("send error = %v, want ErrInvalid SendError", err)
+	}
+
+	if len(drops) != 1 {
+		t.Fatalf("drop reports = %d, want 1", len(drops))
+	}
+	d := drops[0]
+	if d.Node != "h1" || d.From != "/h1/coord" || d.To != "/h1/agent" || d.Kind != "directive" {
+		t.Errorf("DropInfo = %+v, want node h1, /h1/coord -> /h1/agent, kind directive", d)
+	}
+	if d.Err == nil {
+		t.Error("DropInfo.Err is nil")
+	}
+	if nt.DroppedInvalid() != 1 {
+		t.Errorf("DroppedInvalid = %d, want 1", nt.DroppedInvalid())
+	}
+	if len(lines) != 0 {
+		t.Errorf("structured hook set, but textual log fired: %q", lines)
+	}
+
+	// Clearing the hook restores the textual line, which names the
+	// endpoints and kind.
+	nt.SetDropLogger(nil)
+	_ = nt.Send("/h1/agent", bad)
+	if len(drops) != 1 {
+		t.Fatalf("cleared hook still fired: %d reports", len(drops))
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "%s -> %s") {
+		t.Errorf("fallback log line = %q, want src -> dest format", lines)
+	}
+
+	// A body type the envelope codec does not know reports kind "?".
+	nt.SetDropLogger(func(d DropInfo) { drops = append(drops, d) })
+	_ = nt.Send("/h1/agent", Message{From: "/h1/coord", Body: struct{ X int }{1}})
+	if len(drops) != 2 || drops[1].Kind != "?" {
+		t.Fatalf("unknown body kind = %+v, want ?", drops)
+	}
+}

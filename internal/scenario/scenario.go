@@ -8,6 +8,7 @@ package scenario
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"softqos/internal/agent"
@@ -23,6 +24,7 @@ import (
 	"softqos/internal/sched"
 	"softqos/internal/sim"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 	"softqos/internal/video"
 )
 
@@ -103,6 +105,18 @@ type Config struct {
 	// LivenessTimeout is how long a manager tolerates silence from a
 	// managed process or a queried peer in fault mode (default 3.5s).
 	LivenessTimeout time.Duration
+	// Observe arms the compliance subsystem: a flight recorder samples
+	// the registry on the virtual clock and a loop miner feeds the
+	// loop.* stage histograms. Off by default — the miner registers new
+	// metric names and sampling schedules extra events, either of which
+	// would perturb the pre-existing determinism goldens.
+	Observe bool
+	// SampleEvery paces flight-recorder sampling under Observe
+	// (default 1s).
+	SampleEvery time.Duration
+	// FlightCapacity bounds retained samples per series under Observe
+	// (default telemetry.DefaultTimelineCapacity).
+	FlightCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UserRole == "" {
 		c.UserRole = "viewer"
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = time.Second
 	}
 	return c
 }
@@ -155,6 +172,11 @@ type System struct {
 	// clock; snapshots are byte-identical across same-seed runs.
 	Metrics *telemetry.Registry
 	Tracer  *telemetry.Tracer
+
+	// Flight and Miner exist only under Cfg.Observe: the flight
+	// recorder's retained history and the loop-stage miner.
+	Flight *telemetry.Timeline
+	Miner  *telemetry.LoopMiner
 
 	// Faults is the fault-injecting transport when Cfg.Faults is set.
 	Faults *faults.Transport
@@ -430,7 +452,51 @@ func Build(cfg Config) *System {
 	if cfg.ServerLoad > 0 {
 		loadgen.Offered(sys.ServerHost, cfg.ServerLoad)
 	}
+
+	// Compliance observability, fully absent unless requested so that
+	// fault-free goldens see the same metric names and event schedule.
+	if cfg.Observe {
+		sys.Flight = telemetry.NewTimeline(sys.Metrics, cfg.FlightCapacity)
+		sys.Miner = telemetry.NewLoopMiner(sys.Metrics)
+		s.Every(cfg.SampleEvery, func() {
+			sys.Miner.Mine(sys.Tracer.Traces())
+			sys.Flight.Sample()
+		})
+	}
 	return sys
+}
+
+// SLOTargets derives one SLO declaration per installed policy, with the
+// policy's condition expression rendered as the objective string. Empty
+// until the coordinator has registered and received its policies.
+func (sys *System) SLOTargets() []telemetry.SLOTarget {
+	specs := sys.Coord.InstalledSpecs()
+	targets := make([]telemetry.SLOTarget, 0, len(specs))
+	for _, sp := range specs {
+		targets = append(targets, telemetry.SLOTarget{
+			Policy: sp.Name, Objective: policyObjective(sp),
+		})
+	}
+	return targets
+}
+
+func policyObjective(sp msg.PolicySpec) string {
+	conn := sp.Connective
+	if conn == "" {
+		conn = "and"
+	}
+	parts := make([]string, 0, len(sp.Conditions))
+	for _, c := range sp.Conditions {
+		parts = append(parts, fmt.Sprintf("%s %s %g", c.Attribute, c.Op, c.Value))
+	}
+	return strings.Join(parts, " "+conn+" ")
+}
+
+// Report assembles the end-of-run compliance report for this system.
+// Call it after Run; on a deterministic simulation the rendered report
+// is byte-identical across same-seed runs.
+func (sys *System) Report(title string) export.ComplianceReport {
+	return export.BuildComplianceReport(title, sys.Metrics, sys.Tracer, sys.Flight, sys.SLOTargets())
 }
 
 func mustNil(err error) {

@@ -1,0 +1,153 @@
+package export
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+
+	"softqos/internal/telemetry"
+)
+
+// maxDashboardSeries caps how many sparklines the dashboard renders so
+// a large registry cannot produce a multi-megabyte page.
+const maxDashboardSeries = 60
+
+const dashboardCSS = `body{font-family:ui-monospace,Menlo,Consolas,monospace;background:#101418;color:#d8dee4;margin:0;padding:1.5rem}
+h1{font-size:1.1rem;margin:0 0 .25rem}h2{font-size:.95rem;margin:1.5rem 0 .5rem;color:#9fb2c4}
+.sub{color:#7a8a99;font-size:.8rem;margin-bottom:1rem}
+table{border-collapse:collapse;font-size:.8rem}
+th,td{padding:.25rem .6rem;border-bottom:1px solid #232b33;text-align:left}
+th{color:#7a8a99;font-weight:normal}
+.ok{color:#7ac27a}.warn{color:#e0b14c}.crit{color:#e06c5c;font-weight:bold}
+.spark{display:inline-block;vertical-align:middle;margin:2px 8px 2px 0}
+.cell{display:inline-block;width:260px;margin:0 8px 10px 0;padding:6px 8px;background:#161c22;border:1px solid #232b33;border-radius:4px}
+.cell .nm{font-size:.7rem;color:#9fb2c4;overflow:hidden;text-overflow:ellipsis;white-space:nowrap}
+.cell .lv{font-size:.85rem;color:#d8dee4}
+ul{font-size:.8rem;padding-left:1.2rem}`
+
+// sparkline renders points as an inline SVG polyline, ~240x40, scaled to
+// the series' own min/max (flat series draw a midline).
+func sparkline(pts []telemetry.Point) string {
+	const w, h = 240, 36
+	if len(pts) == 0 {
+		return fmt.Sprintf(`<svg class="spark" width="%d" height="%d"></svg>`, w, h)
+	}
+	lo, hi := pts[0].V, pts[0].V
+	t0, t1 := pts[0].At, pts[len(pts)-1].At
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	span := hi - lo
+	dt := t1 - t0
+	var b strings.Builder
+	for i, p := range pts {
+		x := 0.0
+		if dt > 0 {
+			x = float64(p.At-t0) / float64(dt) * (w - 2)
+		} else if len(pts) > 1 {
+			x = float64(i) / float64(len(pts)-1) * (w - 2)
+		}
+		y := h / 2.0
+		if span > 0 {
+			y = (h - 4) * (1 - (p.V-lo)/span)
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", 1+x, 2+y)
+	}
+	return fmt.Sprintf(`<svg class="spark" width="%d" height="%d"><polyline fill="none" stroke="#5aa0d8" stroke-width="1.5" points="%s"/></svg>`,
+		w, h, b.String())
+}
+
+// burnClass maps a burn rate to a CSS severity class: under 1 the error
+// budget is being saved, over 1 it is being spent faster than allowed.
+func burnClass(burn float64) string {
+	switch {
+	case burn <= 1:
+		return "ok"
+	case burn <= 2:
+		return "warn"
+	default:
+		return "crit"
+	}
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+// WriteDashboard renders the self-contained HTML compliance dashboard:
+// no external assets, no JavaScript — every chart is inline SVG, so the
+// page works from a file:// save or an air-gapped scrape.
+func WriteDashboard(w io.Writer, p SLOPayload, tl telemetry.TimelineDump) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>softqos dashboard</title>")
+	fmt.Fprintf(&b, "<style>%s</style></head><body>\n", dashboardCSS)
+	b.WriteString("<h1>softqos compliance dashboard</h1>\n")
+	fmt.Fprintf(&b, `<div class="sub">t=%v · %d flight-recorder passes · reload to refresh</div>`+"\n",
+		p.At, tl.Samples)
+
+	// SLO table with burn-rate coloring.
+	b.WriteString("<h2>Soft-QoS compliance</h2>\n<table><tr><th>policy</th><th>objective</th><th>target</th><th>compliance</th><th>fast burn</th><th>slow burn</th><th>violation-min</th><th>episodes</th><th>mean TTR</th></tr>\n")
+	for _, s := range p.SLOs {
+		cls := burnClass(s.FastBurn)
+		if c2 := burnClass(s.SlowBurn); c2 == "crit" || (c2 == "warn" && cls == "ok") {
+			cls = c2
+		}
+		fmt.Fprintf(&b, `<tr class="%s"><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.3f</td><td>%d (%d open)</td><td>%s</td></tr>`+"\n",
+			cls, esc(s.Policy), esc(s.Objective), pct(s.Target), pct(s.Compliance),
+			burn(s.FastBurn), burn(s.SlowBurn), s.ViolationMinutes,
+			s.Episodes, s.Open, ms(s.MeanTTRMs))
+	}
+	b.WriteString("</table>\n")
+
+	// Control-loop latency.
+	b.WriteString("<h2>Control-loop latency</h2>\n<table><tr><th>stage</th><th>episodes</th><th>p50</th><th>p95</th><th>max</th></tr>\n")
+	for _, row := range []struct {
+		name string
+		s    telemetry.StageStats
+	}{{"detect", p.Loop.Detect}, {"locate", p.Loop.Locate}, {"adapt", p.Loop.Adapt}} {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			row.name, row.s.Count, ms(row.s.P50), ms(row.s.P95), ms(row.s.Max))
+	}
+	b.WriteString("</table>\n")
+
+	// Open episodes.
+	if len(p.OpenEpisodes) > 0 {
+		b.WriteString("<h2>Open episodes</h2>\n<ul>\n")
+		for _, e := range p.OpenEpisodes {
+			fmt.Fprintf(&b, `<li class="crit">%s · policy %s · open %v (%d spans)</li>`+"\n",
+				esc(e.Subject), esc(e.Policy), e.Age.Round(time.Millisecond), e.Spans)
+		}
+		b.WriteString("</ul>\n")
+	}
+
+	// Flight-recorder sparklines.
+	if len(tl.Series) > 0 {
+		fmt.Fprintf(&b, "<h2>Flight recorder (%d series, capacity %d)</h2>\n", len(tl.Series), tl.Capacity)
+		shown := tl.Series
+		if len(shown) > maxDashboardSeries {
+			shown = shown[:maxDashboardSeries]
+			fmt.Fprintf(&b, `<div class="sub">showing first %d of %d series</div>`+"\n",
+				maxDashboardSeries, len(tl.Series))
+		}
+		for _, s := range shown {
+			last := 0.0
+			if n := len(s.Points); n > 0 {
+				last = s.Points[n-1].V
+			}
+			fmt.Fprintf(&b, `<div class="cell"><div class="nm">%s</div>%s<span class="lv">%.4g</span></div>`+"\n",
+				esc(s.Name), sparkline(s.Points), last)
+		}
+	}
+
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -27,7 +27,7 @@ func DumpFiles(dir string, reg *telemetry.Registry, tracer *telemetry.Tracer) er
 	}
 	var traces []*telemetry.Trace
 	if tracer != nil {
-		traces = tracer.Traces()
+		traces = tracer.TracesSnapshot()
 	}
 
 	if err := writeFile(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {

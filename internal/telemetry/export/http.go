@@ -3,19 +3,59 @@ package export
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"softqos/internal/telemetry"
 )
 
+// handlerConfig collects the optional surfaces a Handler can expose on
+// top of the always-on metrics/trace endpoints.
+type handlerConfig struct {
+	timeline *telemetry.Timeline
+	targets  []telemetry.SLOTarget
+	pprof    bool
+}
+
+// Option customizes the observability Handler.
+type Option func(*handlerConfig)
+
+// WithTimeline attaches a flight recorder; /debug/qos/timeline serves
+// its retained history and the dashboard renders sparklines from it.
+func WithTimeline(tl *telemetry.Timeline) Option {
+	return func(c *handlerConfig) { c.timeline = tl }
+}
+
+// WithSLOTargets declares the policies (and their targets/windows) the
+// /debug/qos/slo endpoint and dashboard always report, even before the
+// first violation.
+func WithSLOTargets(targets []telemetry.SLOTarget) Option {
+	return func(c *handlerConfig) { c.targets = targets }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Intended for
+// live mode only: profiling a discrete-event simulation through its
+// export listener is rarely meaningful.
+func WithPprof() Option {
+	return func(c *handlerConfig) { c.pprof = true }
+}
+
 // Handler serves the observability surface for one management process:
 //
-//	/metrics          Prometheus text exposition of the registry
-//	/debug/qos        JSON snapshot: metrics + traces + explanations
-//	/debug/qos/chrome Chrome trace-event JSON of the violation traces
+//	/metrics             Prometheus text exposition of the registry
+//	/debug/qos           JSON snapshot: metrics + traces + explanations
+//	/debug/qos/chrome    Chrome trace-event JSON of the violation traces
+//	/debug/qos/timeline  flight-recorder history (JSON)
+//	/debug/qos/slo       per-policy compliance + loop latency (JSON)
+//	/debug/qos/dashboard self-contained HTML compliance dashboard
+//	/debug/pprof/        Go profiling endpoints (only with WithPprof)
 //
 // Either reg or tracer may be nil; the corresponding sections export
 // empty. The handler reads live state on every request.
-func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
+func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,10 +73,29 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		var traces []*telemetry.Trace
 		if tracer != nil {
-			traces = tracer.Traces()
+			traces = tracer.TracesSnapshot()
 		}
 		_ = WriteChromeTrace(w, traces)
 	})
+	mux.HandleFunc("/debug/qos/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.timeline.Dump().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/qos/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteSLOJSON(w, BuildSLO(reg, tracer, cfg.targets))
+	})
+	mux.HandleFunc("/debug/qos/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = WriteDashboard(w, BuildSLO(reg, tracer, cfg.targets), cfg.timeline.Dump())
+	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -49,12 +108,12 @@ type Server struct {
 // Serve starts the observability endpoints on addr (e.g. ":9090" or
 // "127.0.0.1:0") and returns once the listener is bound. Requests are
 // served on a background goroutine until Close.
-func Serve(addr string, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Server, error) {
+func Serve(addr string, reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{srv: &http.Server{Handler: Handler(reg, tracer)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: Handler(reg, tracer, opts...)}, ln: ln}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -32,7 +32,7 @@ func BuildPayload(reg *telemetry.Registry, tracer *telemetry.Tracer) Payload {
 		p.Metrics = &s
 	}
 	if tracer != nil {
-		p.Traces = tracer.Traces()
+		p.Traces = tracer.TracesSnapshot()
 		p.Completed = tracer.Completed()
 		p.Open = tracer.Open()
 		p.Dropped = tracer.Dropped()

@@ -1,0 +1,165 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"softqos/internal/telemetry"
+)
+
+// ComplianceReport is the end-of-run soft-QoS report qosd -report
+// writes: did the system meet its own soft guarantees, how fast did the
+// control loop turn, and what was still broken at the end. Rendered as
+// Markdown for humans and JSON for tooling; over a deterministic
+// simulation both renderings are byte-identical across same-seed runs.
+type ComplianceReport struct {
+	// Title names the run (scenario + seed, or a live session label).
+	Title string `json:"title,omitempty"`
+	SLOPayload
+	// Episodes summarizes the tracer's retention state.
+	Completed int    `json:"completed"`
+	Abandoned int    `json:"abandoned"`
+	Open      int    `json:"open"`
+	Dropped   uint64 `json:"dropped"`
+	// Timeline is the flight recorder's retained history (omitted when
+	// no recorder ran).
+	Timeline *telemetry.TimelineDump `json:"timeline,omitempty"`
+}
+
+// BuildComplianceReport assembles the report. Any of reg, tracer and tl
+// may be nil; the corresponding sections export empty.
+func BuildComplianceReport(title string, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	tl *telemetry.Timeline, targets []telemetry.SLOTarget) ComplianceReport {
+	r := ComplianceReport{Title: title, SLOPayload: BuildSLO(reg, tracer, targets)}
+	if tracer != nil {
+		r.Completed = tracer.Completed()
+		r.Abandoned = tracer.Abandoned()
+		r.Open = tracer.Open()
+		r.Dropped = tracer.Dropped()
+	}
+	if tl != nil {
+		d := tl.Dump()
+		r.Timeline = &d
+	}
+	return r
+}
+
+// Fixed-precision renderers: deterministic output for goldens.
+func pct(v float64) string  { return fmt.Sprintf("%.3f%%", 100*v) }
+func ms(v float64) string   { return fmt.Sprintf("%.2fms", v) }
+func burn(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func stageRow(w io.Writer, name string, s telemetry.StageStats) error {
+	_, err := fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n",
+		name, s.Count, ms(s.P50), ms(s.P95), ms(s.Max))
+	return err
+}
+
+// WriteMarkdown renders the report as a self-contained Markdown
+// document.
+func (r ComplianceReport) WriteMarkdown(w io.Writer) error {
+	title := r.Title
+	if title == "" {
+		title = "softqos run"
+	}
+	if _, err := fmt.Fprintf(w, "# Soft-QoS compliance report — %s\n\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Generated at t=%v. Episodes: %d completed (%d abandoned), %d open, %d dropped.\n\n",
+		r.At, r.Completed, r.Abandoned, r.Open, r.Dropped)
+
+	fmt.Fprintf(w, "## Policy compliance\n\n")
+	fmt.Fprintf(w, "| policy | objective | target | compliance | fast (%%/burn) | slow (%%/burn) | violation-min | episodes | mean TTR | state |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, s := range r.SLOs {
+		state := "meeting"
+		if s.Breaching() {
+			state = "BREACHING"
+		}
+		obj := s.Objective
+		if obj == "" {
+			obj = "-"
+		}
+		epi := fmt.Sprintf("%d (%d rec, %d abn, %d open)", s.Episodes, s.Recovered, s.Abandoned, s.Open)
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s / %s | %s / %s | %.3f | %s | %s | %s |\n",
+			s.Policy, obj, pct(s.Target), pct(s.Compliance),
+			pct(s.FastCompliance), burn(s.FastBurn),
+			pct(s.SlowCompliance), burn(s.SlowBurn),
+			s.ViolationMinutes, epi, ms(s.MeanTTRMs), state); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\n## Control-loop stage latency\n\n")
+	fmt.Fprintf(w, "| stage | episodes | p50 | p95 | max |\n|---|---|---|---|---|\n")
+	if err := stageRow(w, "detect", r.Loop.Detect); err != nil {
+		return err
+	}
+	if err := stageRow(w, "locate", r.Loop.Locate); err != nil {
+		return err
+	}
+	if err := stageRow(w, "adapt", r.Loop.Adapt); err != nil {
+		return err
+	}
+
+	if len(r.OpenEpisodes) > 0 {
+		fmt.Fprintf(w, "\n## Open episodes\n\n")
+		for _, e := range r.OpenEpisodes {
+			fmt.Fprintf(w, "- `%s` policy %s: open for %v (%d spans)\n",
+				e.Subject, e.Policy, e.Age, e.Spans)
+		}
+	}
+
+	if r.Timeline != nil {
+		fmt.Fprintf(w, "\n## Flight recorder\n\n")
+		fmt.Fprintf(w, "%d sample passes, %d series retained (capacity %d per series).\n",
+			r.Timeline.Samples, len(r.Timeline.Series), r.Timeline.Capacity)
+		fmt.Fprintf(w, "\n| series | kind | samples | last |\n|---|---|---|---|\n")
+		for _, s := range r.Timeline.Series {
+			last := 0.0
+			if n := len(s.Points); n > 0 {
+				last = s.Points[n-1].V
+			}
+			if _, err := fmt.Fprintf(w, "| %s | %s | %d | %.4g |\n",
+				s.Name, s.Kind, len(s.Points), last); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r ComplianceReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DumpReport writes compliance.md, compliance.json and (when a flight
+// recorder ran) timeline.json into dir, creating it if missing.
+func DumpReport(dir string, r ComplianceReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "compliance.md"), func(f *os.File) error {
+		return r.WriteMarkdown(f)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "compliance.json"), func(f *os.File) error {
+		return r.WriteJSON(f)
+	}); err != nil {
+		return err
+	}
+	if r.Timeline == nil {
+		return nil
+	}
+	return writeFile(filepath.Join(dir, "timeline.json"), func(f *os.File) error {
+		return r.Timeline.WriteJSON(f)
+	})
+}

@@ -1,0 +1,68 @@
+package export
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"softqos/internal/telemetry"
+)
+
+// RegisterRuntimeGauges registers Go process health gauges on reg:
+//
+//	go.goroutines  current goroutine count
+//	go.heap_bytes  bytes of allocated heap objects (MemStats.HeapAlloc)
+//
+// Live mode only: these read real process state, so registering them in
+// a deterministic simulation would leak wall-machine noise into sim
+// snapshots. ReadMemStats is cheap enough for scrape-rate sampling.
+func RegisterRuntimeGauges(reg *telemetry.Registry) {
+	reg.GaugeFunc("go.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go.heap_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+}
+
+// StartSampler drives the flight recorder and loop miner on a wall
+// ticker — the live-mode counterpart of the scenario's virtual-clock
+// sampling event. Any of tl, miner, tracer may be nil. The returned
+// stop function halts the ticker and performs one final sample so
+// short-lived runs still record their tail.
+func StartSampler(every time.Duration, tl *telemetry.Timeline, miner *telemetry.LoopMiner, tracer *telemetry.Tracer) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	sample := func() {
+		if miner != nil && tracer != nil {
+			miner.Mine(tracer.TracesSnapshot())
+		}
+		if tl != nil {
+			tl.Sample()
+		}
+	}
+	ticker := time.NewTicker(every)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(done)
+		wg.Wait()
+		sample()
+	}
+}

@@ -1,0 +1,97 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"softqos/internal/telemetry"
+)
+
+// LoopStats is the control-loop latency decomposition served alongside
+// the SLO table: how long the detect, locate and adapt stages of
+// completed violation episodes took, in milliseconds.
+type LoopStats struct {
+	Detect telemetry.StageStats `json:"detect"`
+	Locate telemetry.StageStats `json:"locate"`
+	Adapt  telemetry.StageStats `json:"adapt"`
+}
+
+// OpenEpisode is one still-unresolved violation in the SLO payload —
+// the dashboard's "what is broken right now" list.
+type OpenEpisode struct {
+	Trace   string        `json:"trace"`
+	Subject string        `json:"subject"`
+	Policy  string        `json:"policy"`
+	Since   time.Duration `json:"since_ns"`
+	Age     time.Duration `json:"age_ns"`
+	Spans   int           `json:"spans"`
+}
+
+// SLOPayload is the JSON document served at /debug/qos/slo: per-policy
+// soft-QoS compliance, control-loop stage latencies, and the open
+// episode list, all computed fresh from the tracer at request time.
+type SLOPayload struct {
+	At           time.Duration                `json:"at_ns"`
+	SLOs         []telemetry.PolicyCompliance `json:"slos"`
+	Loop         LoopStats                    `json:"loop"`
+	OpenEpisodes []OpenEpisode                `json:"open_episodes"`
+}
+
+// payloadNow picks the clock instant compliance windows end at: the
+// registry clock when available, otherwise the latest instant any trace
+// recorded (so registry-less payloads still evaluate sensibly).
+func payloadNow(reg *telemetry.Registry, traces []*telemetry.Trace) time.Duration {
+	if reg != nil {
+		return reg.Clock()()
+	}
+	var now time.Duration
+	for _, t := range traces {
+		if t.End > now {
+			now = t.End
+		}
+		for _, sp := range t.Spans {
+			if sp.At > now {
+				now = sp.At
+			}
+		}
+	}
+	return now
+}
+
+// BuildSLO assembles the compliance payload. reg supplies the clock
+// (may be nil); tracer supplies the episodes (may be nil — the payload
+// then reports only declared targets, fully compliant).
+func BuildSLO(reg *telemetry.Registry, tracer *telemetry.Tracer, targets []telemetry.SLOTarget) SLOPayload {
+	var traces []*telemetry.Trace
+	if tracer != nil {
+		traces = tracer.TracesSnapshot()
+	}
+	now := payloadNow(reg, traces)
+	p := SLOPayload{
+		At:           now,
+		SLOs:         telemetry.ComputeCompliance(traces, now, targets),
+		OpenEpisodes: []OpenEpisode{},
+	}
+	if p.SLOs == nil {
+		p.SLOs = []telemetry.PolicyCompliance{}
+	}
+	p.Loop.Detect, p.Loop.Locate, p.Loop.Adapt = telemetry.ComputeLoopStats(traces)
+	for _, t := range traces {
+		if t.Recovered || t.Abandoned {
+			continue
+		}
+		p.OpenEpisodes = append(p.OpenEpisodes, OpenEpisode{
+			Trace: t.ID, Subject: t.Subject, Policy: t.Policy,
+			Since: t.Start, Age: now - t.Start, Spans: len(t.Spans),
+		})
+	}
+	return p
+}
+
+// WriteSLOJSON renders the payload with stable indentation.
+func WriteSLOJSON(w io.Writer, p SLOPayload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

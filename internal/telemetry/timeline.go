@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTimelineCapacity bounds retained samples per series when the
+// caller does not choose one. At the default 1-second cadence this keeps
+// ~8.5 minutes of history per metric.
+const DefaultTimelineCapacity = 512
+
+// Point is one flight-recorder observation of one metric.
+type Point struct {
+	At time.Duration `json:"at_ns"`
+	V  float64       `json:"v"`
+}
+
+// Series is the exported form of one recorded metric: its samples in
+// chronological order. Kind distinguishes how the source metric behaves
+// ("counter" values are cumulative, "gauge" instantaneous, "quantile"
+// a histogram percentile).
+type Series struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// tlSeries is one fixed-capacity ring of samples.
+type tlSeries struct {
+	kind string
+	buf  []Point
+	head int // next write position
+	n    int // valid samples (<= cap)
+}
+
+func (s *tlSeries) push(p Point) {
+	if len(s.buf) == 0 {
+		return
+	}
+	s.buf[s.head] = p
+	s.head = (s.head + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+}
+
+// points returns the ring's contents oldest-first.
+func (s *tlSeries) points() []Point {
+	out := make([]Point, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// Timeline is the flight recorder: a fixed-capacity ring-buffer
+// time-series store fed by periodically sampling a Registry on its own
+// clock. Each counter and gauge becomes one series; each histogram
+// contributes p50 and p95 series ("<name>.p50", "<name>.p95"). When a
+// ring fills, the oldest sample is overwritten — the recorder always
+// holds the most recent history.
+//
+// Sampling only reads registry state, so attaching a Timeline to a
+// deterministic simulation changes nothing the simulation computes, and
+// two same-seed runs record byte-identical timelines. Safe for
+// concurrent use (live mode samples from a ticker goroutine while HTTP
+// scrapes read).
+type Timeline struct {
+	mu      sync.Mutex
+	reg     *Registry
+	cap     int
+	series  map[string]*tlSeries
+	samples uint64
+}
+
+// NewTimeline creates a flight recorder over reg retaining up to
+// capacity samples per series (DefaultTimelineCapacity when <= 0).
+func NewTimeline(reg *Registry, capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCapacity
+	}
+	return &Timeline{reg: reg, cap: capacity, series: make(map[string]*tlSeries)}
+}
+
+// Capacity returns the per-series ring size.
+func (tl *Timeline) Capacity() int { return tl.cap }
+
+// Samples returns how many Sample passes have run.
+func (tl *Timeline) Samples() uint64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.samples
+}
+
+func (tl *Timeline) record(name, kind string, p Point) {
+	s, ok := tl.series[name]
+	if !ok {
+		s = &tlSeries{kind: kind, buf: make([]Point, tl.cap)}
+		tl.series[name] = s
+	}
+	s.push(p)
+}
+
+// Sample takes one registry snapshot at the current clock instant and
+// appends every metric's value to its ring.
+func (tl *Timeline) Sample() {
+	if tl.reg == nil {
+		return
+	}
+	snap := tl.reg.Snapshot()
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.samples++
+	for _, c := range snap.Counters {
+		tl.record(c.Name, "counter", Point{At: snap.At, V: float64(c.Value)})
+	}
+	for _, g := range snap.Gauges {
+		tl.record(g.Name, "gauge", Point{At: snap.At, V: g.Value})
+	}
+	for _, h := range snap.Histograms {
+		tl.record(h.Name+".p50", "quantile", Point{At: snap.At, V: h.P50})
+		tl.record(h.Name+".p95", "quantile", Point{At: snap.At, V: h.P95})
+	}
+}
+
+// Series exports every recorded series name-sorted with points in
+// chronological order — a deterministic rendering for a deterministic
+// simulation.
+func (tl *Timeline) Series() []Series {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	names := make([]string, 0, len(tl.series))
+	for n := range tl.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Series, 0, len(names))
+	for _, n := range names {
+		s := tl.series[n]
+		out = append(out, Series{Name: n, Kind: s.kind, Points: s.points()})
+	}
+	return out
+}
+
+// SeriesByName returns one recorded series and whether it exists.
+func (tl *Timeline) SeriesByName(name string) (Series, bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	s, ok := tl.series[name]
+	if !ok {
+		return Series{}, false
+	}
+	return Series{Name: name, Kind: s.kind, Points: s.points()}, true
+}
+
+// TimelineDump is the JSON document served at /debug/qos/timeline and
+// dumped by qosd -report: the recorder's full retained history.
+type TimelineDump struct {
+	// At is the clock instant the dump was taken.
+	At time.Duration `json:"at_ns"`
+	// Samples counts recorder passes since start; Capacity is the ring
+	// size, so Samples > Capacity means old samples have been overwritten.
+	Samples  uint64   `json:"samples"`
+	Capacity int      `json:"capacity"`
+	Series   []Series `json:"series"`
+}
+
+// Dump assembles the exportable timeline document. A nil Timeline dumps
+// an empty (but valid) document.
+func (tl *Timeline) Dump() TimelineDump {
+	d := TimelineDump{Series: []Series{}}
+	if tl == nil {
+		return d
+	}
+	if tl.reg != nil {
+		d.At = tl.reg.Clock()()
+	}
+	d.Samples = tl.Samples()
+	d.Capacity = tl.cap
+	d.Series = tl.Series()
+	return d
+}
+
+// WriteJSON renders the dump with stable indentation (byte-identical
+// across same-seed sim runs).
+func (d TimelineDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

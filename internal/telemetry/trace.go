@@ -71,11 +71,11 @@ type Span struct {
 // rules.Firing — the answer to the paper's local-vs-remote diagnosis
 // question, kept with the violation it explains.
 type Explanation struct {
-	At        time.Duration     `json:"at_ns"`
-	Span      int               `json:"span"` // diagnosis span the firing belongs to
-	Engine    string            `json:"engine"`
-	Rule      string            `json:"rule"`
-	RuleSet   string            `json:"rule_set,omitempty"` // provenance: which stored rule set defined the rule
+	At      time.Duration `json:"at_ns"`
+	Span    int           `json:"span"` // diagnosis span the firing belongs to
+	Engine  string        `json:"engine"`
+	Rule    string        `json:"rule"`
+	RuleSet string        `json:"rule_set,omitempty"` // provenance: which stored rule set defined the rule
 
 	Salience  int               `json:"salience,omitempty"`
 	Bindings  map[string]string `json:"bindings,omitempty"`
@@ -107,6 +107,16 @@ type Trace struct {
 	Abandoned bool `json:"abandoned,omitempty"`
 
 	nextSpan int // last span ID handed out
+}
+
+// Clone returns a deep copy of the trace. Only safe to call where the
+// original cannot be mutated concurrently (the tracer clones under its
+// own lock in TracesSnapshot).
+func (t *Trace) Clone() *Trace {
+	c := *t
+	c.Spans = append([]Span(nil), t.Spans...)
+	c.Explanations = append([]Explanation(nil), t.Explanations...)
+	return &c
 }
 
 // TimeToRecovery returns how long the violation lasted; ok is false for
@@ -370,6 +380,31 @@ func (tr *Tracer) Traces() []*Trace {
 	open := make([]*Trace, 0, len(tr.active))
 	for _, t := range tr.active {
 		open = append(open, t)
+	}
+	sort.Slice(open, func(i, j int) bool {
+		if open[i].Subject != open[j].Subject {
+			return open[i].Subject < open[j].Subject
+		}
+		return open[i].Policy < open[j].Policy
+	})
+	return append(out, open...)
+}
+
+// TracesSnapshot returns deep copies of every trace in the same order as
+// Traces. Unlike Traces, the result is immune to concurrent mutation —
+// open traces keep gaining spans after the call, but only the originals
+// do. Concurrent readers (HTTP scrapes, wall-clock samplers) must use
+// this; single-threaded simulation code may keep using Traces.
+func (tr *Tracer) TracesSnapshot() []*Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Trace, 0, len(tr.done)+len(tr.active))
+	for _, t := range tr.done {
+		out = append(out, t.Clone())
+	}
+	open := make([]*Trace, 0, len(tr.active))
+	for _, t := range tr.active {
+		open = append(open, t.Clone())
 	}
 	sort.Slice(open, func(i, j int) bool {
 		if open[i].Subject != open[j].Subject {
