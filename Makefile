@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench examples live-smoke trace-smoke soak clean
+.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke soak clean
 
 all: check
 
@@ -54,8 +54,22 @@ live-smoke:
 trace-smoke:
 	$(GO) test -race -timeout 120s -v -run 'TestLiveObservabilityEndpoints|TestLiveSLOCompliance' .
 
+# Perf trajectory: `make bench` runs the micro-benchmarks (hot-path
+# packages at a stable benchtime, macro scenario benchmarks once) and
+# records the next-numbered BENCH_<n>.json snapshot via cmd/benchfmt.
+# `make bench-diff` compares the two newest snapshots and fails on a
+# >20% ns/op or allocs/op regression in the gated hot-path benchmarks.
+BENCHTIME ?= 200ms
+
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	( $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
+	      ./internal/msg ./internal/rules ./internal/telemetry ./internal/netsim ; \
+	  $(GO) test -run='^$$' -bench='^Benchmark(PolicyEvaluate|InstrumentationPass)$$' \
+	      -benchmem -benchtime=$(BENCHTIME) . ; \
+	  $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . ) | $(GO) run ./cmd/benchfmt -dir .
+
+bench-diff:
+	$(GO) run ./cmd/benchfmt -diff -dir .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,233 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"softqos/internal/sim"
+	"softqos/internal/telemetry"
+)
+
+// benchMessages is one message of every management type with realistic
+// field sizes, used by the codec and transport benchmarks. The names key
+// the per-type sub-benchmarks, so `make bench-diff` can track each wire
+// type's trajectory independently.
+func benchMessages() []struct {
+	name string
+	m    Message
+} {
+	id := Identity{Host: "client-host", PID: 4321, Executable: "mpeg_play",
+		Application: "VideoApplication", UserRole: "viewer"}
+	return []struct {
+		name string
+		m    Message
+	}{
+		{"register", Message{From: "/client-host/app/mpeg_play/4321", Body: Register{
+			ID: id, Sensors: []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}}}},
+		{"policyset", Message{From: "/mgmt/PolicyAgent", Body: PolicySet{ID: id, Policies: []PolicySpec{{
+			Name:       "NotifyQoSViolation",
+			Connective: "and",
+			Conditions: []CondSpec{
+				{Attribute: "frame_rate", Sensor: "fps_sensor", Op: ">=", Value: 24},
+				{Attribute: "jitter_rate", Sensor: "jitter_sensor", Op: "<", Value: 0.5},
+			},
+			Actions: []ActionSpec{
+				{Target: "fps_sensor", Op: "read", Args: []string{"frame_rate"}},
+				{Target: "/client-host/QoSHostManager", Op: "notify", Args: []string{"frame_rate", "jitter_rate"}},
+			},
+		}}}}},
+		{"violation", Message{From: "/client-host/app/mpeg_play/4321", Body: Violation{
+			ID: id, Policy: "NotifyQoSViolation",
+			Readings: map[string]float64{"frame_rate": 14.5, "jitter_rate": 0.42, "buffer_size": 12}}}},
+		{"query", Message{From: "/mgmt/QoSDomainManager", Body: Query{
+			From: "/mgmt/QoSDomainManager", Keys: []string{"cpu_load", "mem_usage", "proc_cpu:4321"}, Ref: "q17"}}},
+		{"report", Message{From: "/server-host/QoSHostManager", Body: Report{
+			Host: "server-host", Values: map[string]float64{"cpu_load": 3.7, "mem_usage": 0.61, "proc_cpu:4321": 0.22}, Ref: "q17"}}},
+		{"alarm", Message{From: "/client-host/QoSHostManager", Body: Alarm{
+			ID: id, Policy: "NotifyQoSViolation", Suspect: "remote",
+			Readings: map[string]float64{"frame_rate": 14.5, "buffer_size": 0}}}},
+		{"directive", Message{From: "/mgmt/QoSDomainManager", Body: Directive{
+			From: "/mgmt/QoSDomainManager", Action: "boost_cpu", Target: "mpeg_serv", Amount: 5}}},
+		{"ack", Message{From: "/server-host/QoSHostManager", Body: Ack{Ref: "boost_cpu", OK: true}}},
+		{"nack", Message{From: "/mgmt/PolicyAgent", Body: Nack{ID: id, Ref: "register", Reason: "repository unavailable"}}},
+		{"heartbeat", Message{From: "/client-host/app/mpeg_play/4321", Body: Heartbeat{ID: id, Seq: 93}}},
+	}
+}
+
+// BenchmarkCodecMarshal measures envelope encoding per message type and
+// wire format (the sender-side hot path of every transport).
+func BenchmarkCodecMarshal(b *testing.B) {
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		for _, tc := range benchMessages() {
+			b.Run(f.name+"/"+tc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					buf := getWireBuf()
+					data, err := appendWire(buf[:0], f.format, "/client-host/QoSHostManager", tc.m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					putWireBuf(data)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCodecUnmarshal measures frame decoding per message type and
+// wire format (the receiver-side hot path).
+func BenchmarkCodecUnmarshal(b *testing.B) {
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		for _, tc := range benchMessages() {
+			data, err := MarshalWire(f.format, "/client-host/QoSHostManager", tc.m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(f.name+"/"+tc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := UnmarshalWire(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip is the named hot-path gate benchmark: one
+// violation (the most common hot-path message) encoded and decoded, per
+// wire format. make bench-diff fails the build if its allocs/op regress.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	var viol Message
+	for _, tc := range benchMessages() {
+		if tc.name == "violation" {
+			viol = tc.m
+		}
+	}
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := getWireBuf()
+				data, err := appendWire(buf[:0], f.format, "/client-host/QoSHostManager", viol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := UnmarshalWire(data); err != nil {
+					b.Fatal(err)
+				}
+				putWireBuf(data)
+			}
+		})
+	}
+}
+
+// BenchmarkBusSend measures the sim transport's per-message cost with
+// metrics (and therefore byte accounting) attached — the configuration
+// every scenario run uses.
+func BenchmarkBusSend(b *testing.B) {
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		b.Run(f.name, func(b *testing.B) {
+			s := sim.New(1)
+			bus := NewBus(s, 100*time.Microsecond, 2*time.Millisecond)
+			bus.SetWireFormat(f.format)
+			reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+			bus.SetMetrics(reg)
+			bus.Bind("/mgr", "h", func(Message) {})
+			bus.Bind("/coord", "h", func(Message) {})
+			m := Message{From: "/coord", Body: Violation{
+				ID:       Identity{Host: "h", PID: 7, Executable: "mpeg_play"},
+				Policy:   "NotifyQoSViolation",
+				Readings: map[string]float64{"frame_rate": 14.5, "jitter_rate": 0.42, "buffer_size": 12}}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bus.Send("/mgr", m); err != nil {
+					b.Fatal(err)
+				}
+				if i%1024 == 0 {
+					s.Run()
+				}
+			}
+			s.Run()
+		})
+	}
+}
+
+// BenchmarkNetRoundTrip measures a full TCP request/reply between two
+// NetTransport nodes per wire configuration: a violation out, an ack
+// back. This is the live control loop's transport floor.
+func BenchmarkNetRoundTrip(b *testing.B) {
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		b.Run(f.name, func(b *testing.B) {
+			mgr, err := NewNetTransport("mgr-host", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			coord, err := NewNetTransport("coord-host", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer coord.Close()
+			mgr.SetWireFormat(f.format)
+			coord.SetWireFormat(f.format)
+
+			acks := make(chan struct{}, 1)
+			mgr.Bind("/h/QoSHostManager", "mgr-host", func(m Message) {
+				_ = mgr.Send(m.From, Message{From: "/h/QoSHostManager", Body: Ack{Ref: "v", OK: true}})
+			})
+			coord.Bind("/h/app/x/7", "coord-host", func(m Message) { acks <- struct{}{} })
+			coord.Route("/h/QoSHostManager", mgr.Addr())
+			mgr.Route("/h/app/x/7", coord.Addr())
+			viol := Message{From: "/h/app/x/7", Body: Violation{
+				ID:       Identity{Host: "h", PID: 7, Executable: "x"},
+				Policy:   "P",
+				Readings: map[string]float64{"frame_rate": 14.5, "jitter_rate": 0.42}}}
+			// Prime connections (and wire negotiation) outside the timer.
+			if err := coord.Send("/h/QoSHostManager", viol); err != nil {
+				b.Fatal(err)
+			}
+			<-acks
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := coord.Send("/h/QoSHostManager", viol); err != nil {
+					b.Fatal(err)
+				}
+				<-acks
+			}
+		})
+	}
+}
+
+// BenchmarkValidate pins the per-message validation cost paid on every
+// transport send and receive.
+func BenchmarkValidate(b *testing.B) {
+	msgs := benchMessages()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(msgs[i%len(msgs)].m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if cases change

@@ -29,6 +29,12 @@ type Bus struct {
 	localDelay  time.Duration
 	remoteDelay time.Duration
 
+	// wire selects the codec used for byte accounting (the Bus delivers
+	// Message values in-process, so the "wire" only exists as the
+	// modeled msg.bus.bytes cost). WireJSON is the default; the
+	// pre-existing determinism goldens pin its byte counts.
+	wire WireFormat
+
 	Sent           uint64
 	Delivered      uint64
 	Dropped        uint64 // destination not bound at delivery time
@@ -71,6 +77,12 @@ func NewBus(s *sim.Simulator, localDelay, remoteDelay time.Duration) *Bus {
 		remoteDelay: remoteDelay,
 	}
 }
+
+// SetWireFormat selects the codec the bus models for byte accounting
+// (msg.bus.bytes). Scenario runs that want the binary fast path's
+// modeled costs opt in; the default stays WireJSON so existing seeded
+// runs are unchanged.
+func (b *Bus) SetWireFormat(f WireFormat) { b.wire = f }
 
 // SetMetrics attaches the bus to a metrics registry: counters for
 // messages sent/delivered/dropped, wire bytes, and per-type message
@@ -136,11 +148,16 @@ func (b *Bus) Send(addr string, m Message) error {
 		}
 		// Byte accounting marshals without the trace context: tracing is
 		// out-of-band metadata and must not perturb the deterministic
-		// msg.bus.bytes counter pinned by the goldens.
+		// msg.bus.bytes counter pinned by the goldens. The encode goes
+		// through a pooled buffer — only the length is kept.
 		untraced := m
 		untraced.Trace = telemetry.TraceContext{}
-		if data, err := Marshal(untraced); err == nil {
+		buf := getWireBuf()
+		if data, err := appendWire(buf[:0], b.wire, "", untraced); err == nil {
 			b.metrics.bytes.Add(uint64(len(data)))
+			putWireBuf(data)
+		} else {
+			putWireBuf(buf)
 		}
 	}
 	delay := b.remoteDelay

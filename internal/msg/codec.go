@@ -1,0 +1,664 @@
+package msg
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"softqos/internal/telemetry"
+)
+
+// WireFormat selects how a transport encodes management frames. The
+// JSON-lines format is the compatibility default; the binary format is
+// the length-prefixed fast path negotiated between peers that both
+// support it (see docs/WIRE.md for the layout and negotiation rules).
+type WireFormat int
+
+const (
+	// WireJSON is one JSON envelope per newline-terminated line — the
+	// original wire format, readable by every peer.
+	WireJSON WireFormat = iota
+	// WireBinary is the length-prefixed binary frame: magic byte,
+	// version byte, uvarint payload length, payload. A binary frame can
+	// never be confused with a JSON line because the magic byte is not
+	// valid leading JSON.
+	WireBinary
+)
+
+func (f WireFormat) String() string {
+	if f == WireBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+const (
+	// binMagic opens every binary frame. 0xBF is not a valid first byte
+	// of UTF-8 JSON text, so receivers can sniff the format per frame.
+	binMagic = 0xBF
+	// binVersion is the current binary payload layout version.
+	binVersion = 1
+	// MaxFrameBytes caps a binary frame's declared payload length.
+	// Frames claiming more are rejected before any allocation, so a
+	// corrupt or hostile length prefix cannot balloon memory.
+	MaxFrameBytes = 1 << 20
+)
+
+// Typed decode errors. Transports and fuzzers distinguish these from
+// generic decode failures: a truncated frame on a stream means "read
+// more", while trailing bytes or a bad version mean the peer is broken.
+var (
+	// ErrNotBinary: the buffer does not start with the binary magic.
+	ErrNotBinary = errors.New("msg: not a binary frame")
+	// ErrBadVersion: the frame's version byte is unknown to this node.
+	ErrBadVersion = errors.New("msg: unsupported binary frame version")
+	// ErrFrameTooBig: the declared payload length exceeds MaxFrameBytes.
+	ErrFrameTooBig = errors.New("msg: binary frame exceeds size cap")
+	// ErrTruncated: the buffer ends before the declared frame does.
+	ErrTruncated = errors.New("msg: truncated binary frame")
+	// ErrTrailingBytes: bytes follow a complete frame in a buffer that
+	// should contain exactly one frame.
+	ErrTrailingBytes = errors.New("msg: trailing bytes after binary frame")
+	// ErrBadKind: the payload names a message kind this node lacks.
+	ErrBadKind = errors.New("msg: unknown binary message kind")
+)
+
+// Binary payload kind bytes, one per management message type.
+const (
+	kindRegister  = 1
+	kindPolicySet = 2
+	kindViolation = 3
+	kindQuery     = 4
+	kindReport    = 5
+	kindAlarm     = 6
+	kindDirective = 7
+	kindAck       = 8
+	kindNack      = 9
+	kindHeartbeat = 10
+)
+
+func binKind(body any) (byte, error) {
+	switch body.(type) {
+	case Register, *Register:
+		return kindRegister, nil
+	case PolicySet, *PolicySet:
+		return kindPolicySet, nil
+	case Violation, *Violation:
+		return kindViolation, nil
+	case Query, *Query:
+		return kindQuery, nil
+	case Report, *Report:
+		return kindReport, nil
+	case Alarm, *Alarm:
+		return kindAlarm, nil
+	case Directive, *Directive:
+		return kindDirective, nil
+	case Ack, *Ack:
+		return kindAck, nil
+	case Nack, *Nack:
+		return kindNack, nil
+	case Heartbeat, *Heartbeat:
+		return kindHeartbeat, nil
+	default:
+		return 0, fmt.Errorf("msg: unknown body type %T", body)
+	}
+}
+
+// wireBufPool recycles frame buffers between sends. Transports encode
+// into a pooled buffer, write it to the socket (or just read its length
+// for byte accounting) and return it, so the steady-state send path
+// allocates nothing for the envelope.
+var wireBufPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+func getWireBuf() []byte  { return wireBufPool.Get().([]byte) }
+func putWireBuf(b []byte) { wireBufPool.Put(b[:0]) } //nolint:staticcheck // slice header churn is fine here
+
+// keyPool recycles the scratch slices used to sort map keys during
+// binary encoding (binary maps are key-sorted so equal messages encode
+// to equal bytes on every node).
+var keyPool = sync.Pool{New: func() any { return make([]string, 0, 16) }}
+
+// MarshalWire encodes one routed frame in the given format. JSON frames
+// are the bare line (no trailing newline); binary frames include the
+// full magic/version/length header.
+func MarshalWire(f WireFormat, to string, m Message) ([]byte, error) {
+	data, err := appendWire(nil, f, to, m)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// appendWire appends one encoded frame to dst and returns the extended
+// slice. It is the shared encoder behind both transports' send paths.
+func appendWire(dst []byte, f WireFormat, to string, m Message) ([]byte, error) {
+	if f == WireBinary {
+		return appendBinaryFrame(dst, to, m)
+	}
+	return appendJSONFrame(dst, to, m)
+}
+
+// UnmarshalWire decodes one complete frame of either format, sniffing
+// the format from the first byte. The buffer must contain exactly one
+// frame; binary frames with trailing bytes return ErrTrailingBytes.
+func UnmarshalWire(data []byte) (to string, m Message, err error) {
+	if len(data) > 0 && data[0] == binMagic {
+		return unmarshalBinaryFrame(data)
+	}
+	return unmarshalRouted(data)
+}
+
+// ---------------------------------------------------------------------------
+// JSON fast path
+//
+// The original encoder marshaled the body into a json.RawMessage and then
+// re-marshaled the whole envelope, paying a second reflection pass and a
+// compact-copy of the body bytes. appendJSONFrame hand-builds the envelope
+// around a single body marshal, byte-identical to the old output (the
+// determinism goldens pin msg.bus.bytes, so identity is load-bearing).
+
+// appendJSONFrame appends the JSON envelope for m to dst.
+func appendJSONFrame(dst []byte, to string, m Message) ([]byte, error) {
+	tag, err := typeTag(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, `{"from":`...)
+	dst = appendJSONString(dst, m.From)
+	if to != "" {
+		dst = append(dst, `,"to":`...)
+		dst = appendJSONString(dst, to)
+	}
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONString(dst, tag)
+	if m.Trace.Valid() {
+		dst = append(dst, `,"trace":{"trace_id":`...)
+		dst = appendJSONString(dst, m.Trace.TraceID)
+		dst = append(dst, `,"span":`...)
+		dst = strconv.AppendInt(dst, int64(m.Trace.Span), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `,"body":`...)
+	dst = append(dst, body...)
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendJSONString appends s as a JSON string. Plain ASCII (the
+// overwhelmingly common case for management addresses and type tags) is
+// copied directly; anything needing escapes falls back to json.Marshal
+// so the output matches encoding/json byte-for-byte in every case.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, err := json.Marshal(s)
+			if err != nil { // cannot happen for a string
+				return append(append(dst, '"'), '"')
+			}
+			return append(dst, enc...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// ---------------------------------------------------------------------------
+// Binary encode
+
+// appendBinaryFrame appends the framed binary encoding of m to dst.
+func appendBinaryFrame(dst []byte, to string, m Message) ([]byte, error) {
+	payload := getWireBuf()
+	payload, err := appendBinaryPayload(payload[:0], to, m)
+	if err != nil {
+		putWireBuf(payload)
+		return nil, err
+	}
+	dst = append(dst, binMagic, binVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	putWireBuf(payload)
+	return dst, nil
+}
+
+func appendBinaryPayload(dst []byte, to string, m Message) ([]byte, error) {
+	kind, err := binKind(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, kind)
+	dst = appendBinString(dst, m.From)
+	dst = appendBinString(dst, to)
+	if m.Trace.Valid() {
+		dst = append(dst, 1)
+		dst = appendBinString(dst, m.Trace.TraceID)
+		dst = binary.AppendVarint(dst, int64(m.Trace.Span))
+	} else {
+		dst = append(dst, 0)
+	}
+	switch b := m.Body.(type) {
+	case Register:
+		return appendBinRegister(dst, &b), nil
+	case *Register:
+		return appendBinRegister(dst, b), nil
+	case PolicySet:
+		return appendBinPolicySet(dst, &b), nil
+	case *PolicySet:
+		return appendBinPolicySet(dst, b), nil
+	case Violation:
+		return appendBinViolation(dst, &b), nil
+	case *Violation:
+		return appendBinViolation(dst, b), nil
+	case Query:
+		return appendBinQuery(dst, &b), nil
+	case *Query:
+		return appendBinQuery(dst, b), nil
+	case Report:
+		return appendBinReport(dst, &b), nil
+	case *Report:
+		return appendBinReport(dst, b), nil
+	case Alarm:
+		return appendBinAlarm(dst, &b), nil
+	case *Alarm:
+		return appendBinAlarm(dst, b), nil
+	case Directive:
+		return appendBinDirective(dst, &b), nil
+	case *Directive:
+		return appendBinDirective(dst, b), nil
+	case Ack:
+		return appendBinAck(dst, &b), nil
+	case *Ack:
+		return appendBinAck(dst, b), nil
+	case Nack:
+		return appendBinNack(dst, &b), nil
+	case *Nack:
+		return appendBinNack(dst, b), nil
+	case Heartbeat:
+		return appendBinHeartbeat(dst, &b), nil
+	case *Heartbeat:
+		return appendBinHeartbeat(dst, b), nil
+	}
+	return nil, fmt.Errorf("msg: unknown body type %T", m.Body)
+}
+
+func appendBinString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBinF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendBinBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendBinMap encodes a string→float64 map with keys sorted, so the
+// encoding is a pure function of the map's contents.
+func appendBinMap(dst []byte, m map[string]float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	if len(m) == 0 {
+		return dst
+	}
+	keys := keyPool.Get().([]string)[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = appendBinString(dst, k)
+		dst = appendBinF64(dst, m[k])
+	}
+	keyPool.Put(keys[:0]) //nolint:staticcheck
+	return dst
+}
+
+func appendBinStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendBinString(dst, s)
+	}
+	return dst
+}
+
+func appendBinIdentity(dst []byte, id *Identity) []byte {
+	dst = appendBinString(dst, id.Host)
+	dst = binary.AppendVarint(dst, int64(id.PID))
+	dst = appendBinString(dst, id.Executable)
+	dst = appendBinString(dst, id.Application)
+	return appendBinString(dst, id.UserRole)
+}
+
+func appendBinRegister(dst []byte, b *Register) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	return appendBinStrings(dst, b.Sensors)
+}
+
+func appendBinPolicySet(dst []byte, b *PolicySet) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Policies)))
+	for i := range b.Policies {
+		p := &b.Policies[i]
+		dst = appendBinString(dst, p.Name)
+		dst = appendBinString(dst, p.Connective)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Conditions)))
+		for _, c := range p.Conditions {
+			dst = appendBinString(dst, c.Attribute)
+			dst = appendBinString(dst, c.Sensor)
+			dst = appendBinString(dst, c.Op)
+			dst = appendBinF64(dst, c.Value)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(p.Actions)))
+		for _, a := range p.Actions {
+			dst = appendBinString(dst, a.Target)
+			dst = appendBinString(dst, a.Op)
+			dst = appendBinStrings(dst, a.Args)
+		}
+	}
+	return dst
+}
+
+func appendBinViolation(dst []byte, b *Violation) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	dst = appendBinString(dst, b.Policy)
+	dst = appendBinMap(dst, b.Readings)
+	return appendBinBool(dst, b.Overshoot)
+}
+
+func appendBinQuery(dst []byte, b *Query) []byte {
+	dst = appendBinString(dst, b.From)
+	dst = appendBinStrings(dst, b.Keys)
+	return appendBinString(dst, b.Ref)
+}
+
+func appendBinReport(dst []byte, b *Report) []byte {
+	dst = appendBinString(dst, b.Host)
+	dst = appendBinMap(dst, b.Values)
+	return appendBinString(dst, b.Ref)
+}
+
+func appendBinAlarm(dst []byte, b *Alarm) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	dst = appendBinString(dst, b.Policy)
+	dst = appendBinMap(dst, b.Readings)
+	return appendBinString(dst, b.Suspect)
+}
+
+func appendBinDirective(dst []byte, b *Directive) []byte {
+	dst = appendBinString(dst, b.From)
+	dst = appendBinString(dst, b.Action)
+	dst = appendBinString(dst, b.Target)
+	return appendBinF64(dst, b.Amount)
+}
+
+func appendBinAck(dst []byte, b *Ack) []byte {
+	dst = appendBinString(dst, b.Ref)
+	dst = appendBinBool(dst, b.OK)
+	return appendBinString(dst, b.Err)
+}
+
+func appendBinNack(dst []byte, b *Nack) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	dst = appendBinString(dst, b.Ref)
+	return appendBinString(dst, b.Reason)
+}
+
+func appendBinHeartbeat(dst []byte, b *Heartbeat) []byte {
+	dst = appendBinIdentity(dst, &b.ID)
+	return binary.AppendUvarint(dst, b.Seq)
+}
+
+// ---------------------------------------------------------------------------
+// Binary decode
+
+// unmarshalBinaryFrame decodes one complete framed buffer: header checks
+// first, then the payload. Every length is validated against the bytes
+// actually present before any allocation sized from it.
+func unmarshalBinaryFrame(data []byte) (string, Message, error) {
+	if len(data) == 0 || data[0] != binMagic {
+		return "", Message{}, ErrNotBinary
+	}
+	if len(data) < 2 {
+		return "", Message{}, ErrTruncated
+	}
+	if data[1] != binVersion {
+		return "", Message{}, fmt.Errorf("%w: %d", ErrBadVersion, data[1])
+	}
+	n, used := binary.Uvarint(data[2:])
+	if used <= 0 {
+		return "", Message{}, ErrTruncated
+	}
+	if n > MaxFrameBytes {
+		return "", Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	payload := data[2+used:]
+	if uint64(len(payload)) < n {
+		return "", Message{}, ErrTruncated
+	}
+	if uint64(len(payload)) > n {
+		return "", Message{}, fmt.Errorf("%w: %d extra", ErrTrailingBytes, uint64(len(payload))-n)
+	}
+	return unmarshalBinaryPayload(payload)
+}
+
+// binReader is a bounds-checked cursor over a binary payload. The first
+// decode error sticks; every later read returns zero values, so decoders
+// can run straight-line and check err once.
+type binReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *binReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *binReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *binReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.pos < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *binReader) boolean() bool { return r.u8() != 0 }
+
+func (r *binReader) f64map() map[string]float64 {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Each entry costs at least 1 (key length) + 8 (value) bytes, so a
+	// count the remaining bytes cannot hold is corrupt, not a big alloc.
+	if n > uint64(len(r.buf)-r.pos)/9 {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	m := make(map[string]float64, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.str()
+		m[k] = r.f64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+func (r *binReader) strs() []string {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) { // each entry costs >= 1 byte
+		r.fail(ErrTruncated)
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		ss = append(ss, r.str())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ss
+}
+
+func (r *binReader) identity() Identity {
+	return Identity{
+		Host:        r.str(),
+		PID:         int(r.varint()),
+		Executable:  r.str(),
+		Application: r.str(),
+		UserRole:    r.str(),
+	}
+}
+
+func unmarshalBinaryPayload(payload []byte) (string, Message, error) {
+	r := &binReader{buf: payload}
+	kind := r.u8()
+	from := r.str()
+	to := r.str()
+	var tc telemetry.TraceContext
+	if r.boolean() {
+		tc.TraceID = r.str()
+		tc.Span = int(r.varint())
+	}
+	var body any
+	switch kind {
+	case kindRegister:
+		body = &Register{ID: r.identity(), Sensors: r.strs()}
+	case kindPolicySet:
+		ps := &PolicySet{ID: r.identity()}
+		np := r.uvarint()
+		if np > uint64(len(r.buf)-r.pos) { // each policy costs >= 1 byte
+			r.fail(ErrTruncated)
+		} else {
+			for i := uint64(0); i < np && r.err == nil; i++ {
+				p := PolicySpec{Name: r.str(), Connective: r.str()}
+				nc := r.uvarint()
+				if nc > uint64(len(r.buf)-r.pos)/11 { // >= 3 len bytes + 8 value bytes
+					r.fail(ErrTruncated)
+					break
+				}
+				for j := uint64(0); j < nc && r.err == nil; j++ {
+					p.Conditions = append(p.Conditions, CondSpec{
+						Attribute: r.str(), Sensor: r.str(), Op: r.str(), Value: r.f64()})
+				}
+				na := r.uvarint()
+				if na > uint64(len(r.buf)-r.pos)/3 { // >= 3 len bytes
+					r.fail(ErrTruncated)
+					break
+				}
+				for j := uint64(0); j < na && r.err == nil; j++ {
+					p.Actions = append(p.Actions, ActionSpec{
+						Target: r.str(), Op: r.str(), Args: r.strs()})
+				}
+				ps.Policies = append(ps.Policies, p)
+			}
+		}
+		body = ps
+	case kindViolation:
+		body = &Violation{ID: r.identity(), Policy: r.str(), Readings: r.f64map(), Overshoot: r.boolean()}
+	case kindQuery:
+		body = &Query{From: r.str(), Keys: r.strs(), Ref: r.str()}
+	case kindReport:
+		body = &Report{Host: r.str(), Values: r.f64map(), Ref: r.str()}
+	case kindAlarm:
+		body = &Alarm{ID: r.identity(), Policy: r.str(), Readings: r.f64map(), Suspect: r.str()}
+	case kindDirective:
+		body = &Directive{From: r.str(), Action: r.str(), Target: r.str(), Amount: r.f64()}
+	case kindAck:
+		body = &Ack{Ref: r.str(), OK: r.boolean(), Err: r.str()}
+	case kindNack:
+		body = &Nack{ID: r.identity(), Ref: r.str(), Reason: r.str()}
+	case kindHeartbeat:
+		body = &Heartbeat{ID: r.identity(), Seq: r.uvarint()}
+	default:
+		if r.err == nil {
+			r.fail(fmt.Errorf("%w: %d", ErrBadKind, kind))
+		}
+	}
+	if r.err != nil {
+		return "", Message{}, r.err
+	}
+	if r.pos != len(r.buf) {
+		return "", Message{}, fmt.Errorf("%w: %d extra payload bytes", ErrTrailingBytes, len(r.buf)-r.pos)
+	}
+	return to, Message{From: from, Trace: tc, Body: body}, nil
+}

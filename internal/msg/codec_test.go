@@ -1,0 +1,232 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"softqos/internal/telemetry"
+)
+
+// codecCorpus is one message of every type with awkward field contents:
+// empty strings, unicode, JSON-escaping hazards, zero and negative
+// numbers, NaN-adjacent floats are excluded (JSON cannot carry them).
+func codecCorpus() []Message {
+	id := Identity{Host: "h-1", PID: 4321, Executable: "mpeg_play",
+		Application: "VideoApplication", UserRole: "viewer"}
+	return []Message{
+		{From: "/h/app/x/1", Body: Register{ID: id, Sensors: []string{"fps_sensor"}}},
+		{From: "", Body: Register{}},
+		{From: "/mgmt/agent", Body: PolicySet{ID: id, Policies: []PolicySpec{{
+			Name: "P", Connective: "and",
+			Conditions: []CondSpec{{Attribute: "frame_rate", Sensor: "s", Op: ">=", Value: 24}},
+			Actions:    []ActionSpec{{Target: "s", Op: "read", Args: []string{"frame_rate"}}},
+		}, {Name: "Q", Connective: "or"}}}},
+		{From: "/h/app/x/1", Body: Violation{ID: id, Policy: "P",
+			Readings: map[string]float64{"frame_rate": 14.5, "z": -0.25, "a": 0}, Overshoot: true}},
+		{From: "/h/app/x/1", Trace: telemetry.TraceContext{TraceID: "/h/app/x/1#7", Span: 3},
+			Body: Violation{ID: id, Policy: "P"}},
+		{From: "/mgmt/dm", Body: Query{From: "/mgmt/dm", Keys: []string{"cpu_load", "proc_cpu:42"}, Ref: "q1"}},
+		{From: "/h/hm", Body: Report{Host: "h", Values: map[string]float64{"cpu_load": 3.5}, Ref: "q1"}},
+		{From: "/h/hm", Body: Alarm{ID: id, Policy: "P", Suspect: "network",
+			Readings: map[string]float64{"frame_rate": 10}}},
+		{From: "/mgmt/dm", Body: Directive{From: "/mgmt/dm", Action: "boost_cpu", Target: "mpeg_serv", Amount: -2.5}},
+		{From: "/h/hm", Body: Ack{Ref: "boost_cpu", OK: true}},
+		{From: "/h/hm", Body: Ack{Ref: "x", OK: false, Err: "no such process"}},
+		{From: "/mgmt/agent", Body: Nack{ID: id, Ref: "register", Reason: "repository \"down\" <unavailable> & gone"}},
+		{From: "/h/app/x/1", Body: Heartbeat{ID: id, Seq: 18446744073709551615}},
+		{From: "/h/über/x/1", Body: Ack{Ref: "ünïcode\n\ttab"}},
+	}
+}
+
+// oldEnvelopeMarshal is the pre-fast-path encoder (body into a
+// RawMessage, then a second reflection marshal of the envelope struct),
+// kept here as the reference the hand-built encoder must match.
+func oldEnvelopeMarshal(to string, m Message) ([]byte, error) {
+	tag, err := typeTag(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	env := envelope{From: m.From, To: to, Type: tag, Body: raw}
+	if m.Trace.Valid() {
+		tc := m.Trace
+		env.Trace = &tc
+	}
+	return json.Marshal(env)
+}
+
+// TestJSONFastPathByteIdentity pins the hand-built JSON envelope to the
+// reflection-based encoding it replaced. The determinism goldens pin
+// msg.bus.bytes, so this identity is what keeps them byte-stable.
+func TestJSONFastPathByteIdentity(t *testing.T) {
+	for i, m := range codecCorpus() {
+		for _, to := range []string{"", "/h/QoSHostManager", "weird <to> & \"addr\""} {
+			want, err := oldEnvelopeMarshal(to, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := appendJSONFrame(nil, to, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("message %d to=%q:\nfast path: %s\nreference: %s", i, to, got, want)
+			}
+		}
+	}
+}
+
+// TestBinaryRoundTrip: every corpus message survives the binary codec
+// with its routing address, trace context and body intact.
+func TestBinaryRoundTrip(t *testing.T) {
+	for i, m := range codecCorpus() {
+		data, err := MarshalWire(WireBinary, "/dest/addr", m)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		to, got, err := UnmarshalWire(data)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if to != "/dest/addr" {
+			t.Errorf("message %d: to = %q", i, to)
+		}
+		assertSameMessage(t, i, m, got)
+
+		// And the JSON format through the same entry points.
+		jdata, err := MarshalWire(WireJSON, "/dest/addr", m)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		jto, jgot, err := UnmarshalWire(jdata)
+		if err != nil {
+			t.Fatalf("message %d json: %v", i, err)
+		}
+		if jto != "/dest/addr" {
+			t.Errorf("message %d json: to = %q", i, jto)
+		}
+		assertSameMessage(t, i, m, jgot)
+	}
+}
+
+// assertSameMessage compares a decoded message against the original.
+// Decoders return pointer bodies and normalize empty maps/slices to
+// nil, exactly as the JSON decoder always has, so the comparison
+// normalizes the original the same way via a JSON round-trip of itself.
+func assertSameMessage(t *testing.T, i int, want, got Message) {
+	t.Helper()
+	if got.From != want.From {
+		t.Errorf("message %d: from = %q, want %q", i, got.From, want.From)
+	}
+	if got.Trace != want.Trace {
+		t.Errorf("message %d: trace = %+v, want %+v", i, got.Trace, want.Trace)
+	}
+	wantTag, _ := typeTag(want.Body)
+	ref, err := Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Unmarshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTag, err := typeTag(got.Body)
+	if err != nil {
+		t.Fatalf("message %d: %v", i, err)
+	}
+	if gotTag != wantTag {
+		t.Fatalf("message %d: type %q, want %q", i, gotTag, wantTag)
+	}
+	if !reflect.DeepEqual(got.Body, norm.Body) {
+		t.Errorf("message %d: body = %#v, want %#v", i, got.Body, norm.Body)
+	}
+}
+
+// TestBinaryFrameErrors: malformed frames come back as the documented
+// typed errors, never panics, never silent success.
+func TestBinaryFrameErrors(t *testing.T) {
+	good, err := MarshalWire(WireBinary, "/d", Message{From: "/s", Body: Ack{Ref: "r", OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty-is-json", []byte{}, nil}, // falls through to JSON decode, which errors generically
+		{"magic-only", []byte{binMagic}, ErrTruncated},
+		{"bad-version", []byte{binMagic, 99, 1, kindAck}, ErrBadVersion},
+		{"no-length", []byte{binMagic, binVersion}, ErrTruncated},
+		{"oversized-claim", append([]byte{binMagic, binVersion}, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), ErrFrameTooBig},
+		{"truncated-payload", good[:len(good)-3], ErrTruncated},
+		{"trailing-bytes", append(append([]byte(nil), good...), 0xAB), ErrTrailingBytes},
+		{"bad-kind", []byte{binMagic, binVersion, 4, 77, 0, 0, 0}, ErrBadKind},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := UnmarshalWire(tc.data)
+			if err == nil {
+				t.Fatal("malformed frame decoded without error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBinaryTruncationSweep: every prefix of a valid frame errors
+// cleanly (the streaming reader depends on truncation being loud).
+func TestBinaryTruncationSweep(t *testing.T) {
+	for i, m := range codecCorpus() {
+		data, err := MarshalWire(WireBinary, "/dest", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(data); n++ {
+			if _, _, err := UnmarshalWire(data[:n]); err == nil {
+				t.Fatalf("message %d: %d-byte prefix of %d decoded without error", i, n, len(data))
+			}
+		}
+	}
+}
+
+// TestBinaryEncodingDeterministic: equal messages (including map-heavy
+// ones) encode to equal bytes, so byte accounting and goldens are a
+// pure function of traffic.
+func TestBinaryEncodingDeterministic(t *testing.T) {
+	m := Message{From: "/s", Body: Report{Host: "h", Ref: "r",
+		Values: map[string]float64{"c": 3, "a": 1, "b": 2, "e": 5, "d": 4}}}
+	first, err := MarshalWire(WireBinary, "/d", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		again, err := MarshalWire(WireBinary, "/d", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("iteration %d: encoding varied:\n%x\n%x", i, first, again)
+		}
+	}
+}
+
+// TestHelloFrame: the negotiation frame parses as errHelloFrame for
+// transports and stays invisible to message decoding.
+func TestHelloFrame(t *testing.T) {
+	line := helloFrame("node-a")
+	if _, _, err := unmarshalRouted(line); !errors.Is(err, errHelloFrame) {
+		t.Fatalf("hello decoded as %v, want errHelloFrame", err)
+	}
+	if _, _, err := UnmarshalWire(line); !errors.Is(err, errHelloFrame) {
+		t.Fatalf("UnmarshalWire(hello) = %v, want errHelloFrame", err)
+	}
+}

@@ -1,0 +1,164 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"softqos/internal/telemetry"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the wire decoder. The invariants
+// are absolute: never panic, never return a message and an error
+// together, and classify malformed binary frames as the documented typed
+// errors. The seed corpus covers both formats plus every deterministic
+// malformation the unit tests pin.
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range codecCorpus() {
+		for _, wf := range []WireFormat{WireJSON, WireBinary} {
+			data, err := MarshalWire(wf, "/dest/addr", m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binMagic})
+	f.Add([]byte{binMagic, binVersion})
+	f.Add([]byte{binMagic, 99, 1, kindAck})
+	f.Add(append([]byte{binMagic, binVersion}, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F))
+	f.Add([]byte{binMagic, binVersion, 4, 77, 0, 0, 0})
+	f.Add([]byte(`{"type":"ack","body":{"ref":"r","ok":true}}`))
+	f.Add([]byte(`{"type":"nosuch","body":{}}`))
+	f.Add(helloFrame("fuzz"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		to, m, err := UnmarshalWire(data) // must not panic
+		if err != nil {
+			return
+		}
+		// Decoded successfully: the message must survive a binary
+		// re-encode byte-stably (decode → encode is a fixpoint).
+		re, err := MarshalWire(WireBinary, to, m)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded message failed: %v", err)
+		}
+		to2, m2, err := UnmarshalWire(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if to2 != to {
+			t.Fatalf("to changed across round-trip: %q -> %q", to, to2)
+		}
+		re2, err := MarshalWire(WireBinary, to2, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("binary encoding not a fixpoint:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzBinaryTruncation: for any decodable binary frame, every strict
+// prefix must fail loudly with a typed error — the stream reader depends
+// on truncation never decoding as success.
+func FuzzBinaryTruncation(f *testing.F) {
+	for _, m := range codecCorpus() {
+		data, err := MarshalWire(WireBinary, "/d", m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, 5)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if len(data) == 0 || data[0] != binMagic {
+			return
+		}
+		if _, _, err := UnmarshalWire(data); err != nil {
+			return // not a valid frame to begin with
+		}
+		if cut < 0 {
+			cut = -cut
+		}
+		cut %= len(data) // strict prefix: 0..len-1
+		_, _, err := UnmarshalWire(data[:cut])
+		if err == nil {
+			t.Fatalf("%d-byte prefix of a %d-byte frame decoded successfully", cut, len(data))
+		}
+		if cut == 0 {
+			return // empty input routes to the JSON decoder's generic error
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFrameTooBig) &&
+			!errors.Is(err, ErrBadVersion) && !errors.Is(err, ErrBadKind) &&
+			!errors.Is(err, ErrTrailingBytes) && !errors.Is(err, ErrNotBinary) {
+			t.Fatalf("prefix error is untyped: %v", err)
+		}
+	})
+}
+
+// FuzzCodecRoundTrip builds a message from fuzzed field values and
+// requires both codecs to carry it losslessly (modulo the documented
+// nil/empty map normalization, checked via canonical re-encode).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add("/h/app/x/1", "/mgmt/agent", "frame_rate", 14.5, uint64(3), true, "trace#1")
+	f.Add("", "", "", -0.25, uint64(0), false, "")
+	f.Add("/h/über", "weird \"to\" <>&", "ünïcode\n\t", 1e308, uint64(1<<63), true, "t")
+	f.Fuzz(func(t *testing.T, from, to, attr string, val float64, seq uint64, flag bool, traceID string) {
+		if val != val || val > 1.7e308 || val < -1.7e308 {
+			return // JSON cannot carry NaN/Inf; out of scope for both codecs
+		}
+		// The management plane only ever carries UTF-8 addresses and
+		// names; JSON re-encodes invalid sequences as U+FFFD, so align
+		// the inputs rather than testing a lossy path.
+		from = strings.ToValidUTF8(from, "�")
+		to = strings.ToValidUTF8(to, "�")
+		attr = strings.ToValidUTF8(attr, "�")
+		traceID = strings.ToValidUTF8(traceID, "�")
+		id := Identity{Host: from, PID: int(seq % 1 << 16), Executable: attr, Application: "app"}
+		msgs := []Message{
+			{From: from, Body: Violation{ID: id, Policy: attr,
+				Readings: map[string]float64{attr: val}, Overshoot: flag}},
+			{From: from, Body: Report{Host: from, Values: map[string]float64{attr: val}, Ref: attr}},
+			{From: from, Body: Heartbeat{ID: id, Seq: seq}},
+			{From: from, Body: Ack{Ref: attr, OK: flag, Err: to}},
+			{From: from, Body: Query{From: from, Keys: []string{attr, to}, Ref: attr}},
+		}
+		if traceID != "" {
+			msgs[0].Trace = telemetry.TraceContext{TraceID: traceID, Span: int(seq % 1 << 20)}
+		}
+		for i, m := range msgs {
+			for _, wf := range []WireFormat{WireJSON, WireBinary} {
+				data, err := MarshalWire(wf, to, m)
+				if err != nil {
+					t.Fatalf("message %d format %d: marshal: %v", i, wf, err)
+				}
+				gotTo, got, err := UnmarshalWire(data)
+				if err != nil {
+					t.Fatalf("message %d format %d: unmarshal: %v", i, wf, err)
+				}
+				if gotTo != to {
+					t.Fatalf("message %d format %d: to = %q, want %q", i, wf, gotTo, to)
+				}
+				if got.From != m.From || got.Trace != m.Trace {
+					t.Fatalf("message %d format %d: envelope changed: %+v", i, wf, got)
+				}
+				// Canonical comparison: both the original and the decoded
+				// message must produce identical binary encodings.
+				want, err := MarshalWire(WireBinary, to, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				again, err := MarshalWire(WireBinary, gotTo, got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, again) {
+					t.Fatalf("message %d format %d: canonical encodings differ:\n%x\n%x", i, wf, want, again)
+				}
+			}
+		}
+	})
+}

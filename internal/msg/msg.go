@@ -198,22 +198,12 @@ func Marshal(m Message) ([]byte, error) {
 }
 
 // marshalRouted encodes a message addressed to a management address, for
-// transports that multiplex many destinations over one connection.
+// transports that multiplex many destinations over one connection. The
+// envelope is hand-built around a single body marshal (see
+// appendJSONFrame); the output is byte-identical to marshaling the
+// envelope struct, which the determinism goldens pin via byte counters.
 func marshalRouted(to string, m Message) ([]byte, error) {
-	tag, err := typeTag(m.Body)
-	if err != nil {
-		return nil, err
-	}
-	raw, err := json.Marshal(m.Body)
-	if err != nil {
-		return nil, err
-	}
-	env := envelope{From: m.From, To: to, Type: tag, Body: raw}
-	if m.Trace.Valid() {
-		tc := m.Trace
-		env.Trace = &tc
-	}
-	return json.Marshal(env)
+	return appendJSONFrame(nil, to, m)
 }
 
 // Unmarshal decodes one JSON line into a Message whose Body has the
@@ -252,6 +242,11 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 		body = &Nack{}
 	case "heartbeat":
 		body = &Heartbeat{}
+	case "hello":
+		// Wire-format negotiation control frame (see wire.go), not a
+		// management message: transports intercept it, everyone else
+		// treats it as undecodable.
+		return "", Message{}, errHelloFrame
 	default:
 		return "", Message{}, fmt.Errorf("msg: unknown message type %q", env.Type)
 	}

@@ -2,7 +2,9 @@ package msg
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,8 +36,11 @@ func newTCPMetrics(reg *telemetry.Registry) *tcpMetrics {
 	return m
 }
 
-// Conn is a JSON-lines message connection over a net.Conn — the live-mode
-// analogue of the prototype's management sockets.
+// Conn is a message connection over a net.Conn — the live-mode analogue
+// of the prototype's management sockets. Outbound frames use the
+// configured WireFormat (JSON lines by default); inbound frames are
+// format-sniffed per frame, so a connection can carry both formats (as
+// it does while wire negotiation is in flight).
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
@@ -43,8 +48,22 @@ type Conn struct {
 	mu sync.Mutex // serializes writes
 	w  *bufio.Writer
 
+	rbuf []byte // reader-goroutine scratch for binary payloads
+
+	wfmt      atomic.Int32 // WireFormat for outbound frames
+	peerBin   atomic.Bool  // peer announced binary capability (hello seen)
+	helloSent atomic.Bool  // we announced ours on this conn
+
 	metrics atomic.Pointer[tcpMetrics]
 }
+
+// SetWireFormat selects the outbound frame encoding for this
+// point-to-point connection. Both ends of a Conn are wired by the same
+// embedding code, so there is no negotiation here — NetTransport, which
+// talks to arbitrary peers, negotiates before upgrading (see wire.go).
+func (c *Conn) SetWireFormat(f WireFormat) { c.wfmt.Store(int32(f)) }
+
+func (c *Conn) wireFormat() WireFormat { return WireFormat(c.wfmt.Load()) }
 
 // SetMetrics attaches the connection to a metrics registry (counters
 // under "msg.tcp.*"). Safe to call concurrently with Send/Recv.
@@ -70,26 +89,25 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(nc), nil
 }
 
-// Send writes one message as a JSON line and flushes it.
+// Send writes one message in the connection's wire format and flushes
+// it. The frame is encoded into a pooled buffer, so the steady-state
+// send path allocates only the body's JSON marshal (nothing at all on
+// the binary path).
 func (c *Conn) Send(m Message) error {
-	data, err := Marshal(m)
+	buf := getWireBuf()
+	data, err := appendWire(buf[:0], c.wireFormat(), "", m)
 	if err != nil {
+		putWireBuf(buf)
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.Write(data); err != nil {
-		return err
-	}
-	if err := c.w.WriteByte('\n'); err != nil {
-		return err
-	}
-	if err := c.w.Flush(); err != nil {
+	wire, err := c.sendFrame(data, c.wireFormat())
+	putWireBuf(data)
+	if err != nil {
 		return err
 	}
 	if tm := c.metrics.Load(); tm != nil {
 		tm.sent.Inc()
-		tm.sentBytes.Add(uint64(len(data) + 1))
+		tm.sentBytes.Add(uint64(wire))
 		if tag, err := typeTag(m.Body); err == nil {
 			if ctr, ok := tm.byType[tag]; ok {
 				ctr.Inc()
@@ -99,21 +117,114 @@ func (c *Conn) Send(m Message) error {
 	return nil
 }
 
-// Recv blocks for the next message.
+// Recv blocks for the next message, sniffing the frame format.
 func (c *Conn) Recv() (Message, error) {
-	line, err := c.r.ReadBytes('\n')
+	frame, bin, err := c.recvFrame()
 	if err != nil {
 		return Message{}, err
 	}
 	if tm := c.metrics.Load(); tm != nil {
 		tm.received.Inc()
-		tm.recvBytes.Add(uint64(len(line)))
+		tm.recvBytes.Add(uint64(frame.wire))
 	}
-	return Unmarshal(line)
+	if bin {
+		_, m, err := unmarshalBinaryPayload(frame.data)
+		return m, err
+	}
+	return Unmarshal(frame.data)
 }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
+
+// wireFrame is one frame read off the stream: the decodable bytes (a
+// JSON line, or a binary payload) plus the total wire bytes consumed
+// including framing overhead (for byte accounting).
+type wireFrame struct {
+	data []byte
+	wire int
+}
+
+// sendFrame writes one pre-encoded frame and flushes it, returning the
+// bytes put on the wire (JSON lines cost one extra newline byte).
+func (c *Conn) sendFrame(data []byte, f WireFormat) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(data); err != nil {
+		return 0, err
+	}
+	if f == WireJSON {
+		if err := c.w.WriteByte('\n'); err != nil {
+			return 0, err
+		}
+		if err := c.w.Flush(); err != nil {
+			return 0, err
+		}
+		return len(data) + 1, nil
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// recvFrame blocks for the next frame of either format, sniffing the
+// first byte: the binary magic can never begin a JSON line. Binary
+// payloads are read into a per-connection scratch buffer reused across
+// frames (the decoder copies everything it keeps), so the steady-state
+// binary receive path does not allocate per frame.
+func (c *Conn) recvFrame() (wireFrame, bool, error) {
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return wireFrame{}, false, err
+	}
+	if first[0] != binMagic {
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return wireFrame{}, false, err
+		}
+		return wireFrame{data: line, wire: len(line)}, false, nil
+	}
+	if _, err := c.r.Discard(1); err != nil { // magic
+		return wireFrame{}, false, err
+	}
+	version, err := c.r.ReadByte()
+	if err != nil {
+		return wireFrame{}, false, err
+	}
+	if version != binVersion {
+		// Cannot know the unknown layout's length, so the stream is
+		// unrecoverable: surface the typed error and let the caller
+		// drop the connection.
+		return wireFrame{}, false, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return wireFrame{}, false, err
+	}
+	if n > MaxFrameBytes {
+		return wireFrame{}, false, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	header := 2 + uvarintLen(n)
+	if uint64(cap(c.rbuf)) < n {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return wireFrame{}, false, err
+	}
+	return wireFrame{data: buf, wire: header + int(n)}, true, nil
+}
+
+// uvarintLen returns how many bytes binary.AppendUvarint uses for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // Server accepts message connections and dispatches inbound messages to a
 // handler. The handler may use the supplied connection to reply.

@@ -131,6 +131,26 @@ type NetTransport struct {
 	dropFn  atomic.Pointer[DropLogger]
 	metrics atomic.Pointer[netMetrics]
 	retryP  atomic.Pointer[Backoff]
+	wire    atomic.Int32 // preferred WireFormat (negotiated per conn, see wire.go)
+}
+
+// SetWireFormat sets the node's preferred frame encoding. WireJSON (the
+// default) keeps every frame a JSON line. WireBinary announces binary
+// capability on each new connection and upgrades outbound data frames
+// once the peer has announced too; peers that never do keep receiving
+// JSON (see wire.go for the negotiation rules).
+func (t *NetTransport) SetWireFormat(f WireFormat) { t.wire.Store(int32(f)) }
+
+func (t *NetTransport) wireFormat() WireFormat { return WireFormat(t.wire.Load()) }
+
+// sendHello announces binary capability on a connection, once.
+func (t *NetTransport) sendHello(c *Conn) {
+	if c.helloSent.Swap(true) {
+		return
+	}
+	if _, err := c.sendFrame(helloFrame(t.host), WireJSON); err != nil {
+		t.logf("msg: %s: wire hello failed: %v", t.host, err)
+	}
 }
 
 // NewNetTransport creates a live transport node named host. listen is
@@ -423,20 +443,33 @@ func (t *NetTransport) trySend(to string, m Message) error {
 			t.wg.Add(1)
 			go t.readLoop(c)
 			t.mu.Unlock()
+			if t.wireFormat() == WireBinary {
+				t.sendHello(c)
+			}
 		}
 	}
 
-	data, err := marshalRouted(to, m)
+	// Binary only after the peer announced it understands binary;
+	// otherwise (including always, for a WireJSON node) JSON lines.
+	format := WireJSON
+	if t.wireFormat() == WireBinary && c.peerBin.Load() {
+		format = WireBinary
+	}
+	buf := getWireBuf()
+	data, err := appendWire(buf[:0], format, to, m)
 	if err != nil {
+		putWireBuf(buf)
 		return err
 	}
-	if err := c.sendLine(data); err != nil {
+	wire, err := c.sendFrame(data, format)
+	putWireBuf(data)
+	if err != nil {
 		t.forgetConn(c)
 		return &SendError{To: to, Kind: ErrConnLost, Err: err}
 	}
 	t.countSent(m, false)
 	if nm := t.metrics.Load(); nm != nil {
-		nm.bytes.Add(uint64(len(data) + 1))
+		nm.bytes.Add(uint64(wire))
 	}
 	return nil
 }
@@ -472,8 +505,13 @@ func (t *NetTransport) countSent(m Message, local bool) {
 	}
 	if local {
 		// parity with Bus: local deliveries still account wire bytes
-		if data, err := Marshal(m); err == nil {
+		// (in the node's preferred format, through a pooled buffer)
+		buf := getWireBuf()
+		if data, err := appendWire(buf[:0], t.wireFormat(), "", m); err == nil {
 			nm.bytes.Add(uint64(len(data)))
+			putWireBuf(data)
+		} else {
+			putWireBuf(buf)
 		}
 	}
 }
@@ -499,6 +537,9 @@ func (t *NetTransport) acceptLoop() {
 		t.conns[c] = struct{}{}
 		t.wg.Add(1)
 		t.mu.Unlock()
+		if t.wireFormat() == WireBinary {
+			t.sendHello(c)
+		}
 		go t.readLoop(c)
 	}
 }
@@ -507,12 +548,28 @@ func (t *NetTransport) readLoop(c *Conn) {
 	defer t.wg.Done()
 	defer t.forgetConn(c)
 	for {
-		line, err := c.recvLine()
+		frame, bin, err := c.recvFrame()
 		if err != nil {
 			return
 		}
-		to, m, err := unmarshalRouted(line)
+		var to string
+		var m Message
+		if bin {
+			// A peer that speaks binary to us has negotiated already;
+			// note the capability in case we missed (or raced) its hello.
+			c.peerBin.Store(true)
+			to, m, err = unmarshalBinaryPayload(frame.data)
+		} else {
+			to, m, err = unmarshalRouted(frame.data)
+		}
 		if err != nil {
+			if errors.Is(err, errHelloFrame) {
+				c.peerBin.Store(true)
+				if t.wireFormat() == WireBinary {
+					t.sendHello(c)
+				}
+				continue
+			}
 			t.dropped.Add(1)
 			if nm := t.metrics.Load(); nm != nil {
 				nm.dropped.Inc()
@@ -632,20 +689,3 @@ func (t *NetTransport) Close() error {
 	return err
 }
 
-// sendLine writes one pre-marshaled JSON line and flushes it.
-func (c *Conn) sendLine(data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.Write(data); err != nil {
-		return err
-	}
-	if err := c.w.WriteByte('\n'); err != nil {
-		return err
-	}
-	return c.w.Flush()
-}
-
-// recvLine blocks for the next raw JSON line.
-func (c *Conn) recvLine() ([]byte, error) {
-	return c.r.ReadBytes('\n')
-}

@@ -1,0 +1,36 @@
+package msg
+
+import "errors"
+
+// Wire-format negotiation.
+//
+// A transport configured for WireBinary must not spray binary frames at
+// a peer that only understands JSON lines, so the upgrade is negotiated
+// per connection with a "hello" control frame:
+//
+//   - When a binary-capable node establishes a connection (dial or
+//     accept), it sends one hello — always as a JSON line, so even a
+//     JSON-only peer can parse it (old peers log-and-drop the unknown
+//     type; nothing breaks).
+//   - A node that receives a hello marks the connection's peer as
+//     binary-capable and, if it is itself configured for binary,
+//     replies with its own hello (at most one per connection).
+//   - Data frames go out binary only once the peer's hello has been
+//     seen; until then — and forever, against a peer that never sends
+//     one — the connection stays on JSON. That is the negotiate-down
+//     path: binary speaker → JSON listener degrades to JSON silently.
+//
+// Receivers never need negotiation: the binary magic byte cannot begin
+// a JSON line, so every inbound frame self-describes its format.
+
+// errHelloFrame is returned by the envelope decoder when the frame is
+// the negotiation hello rather than a management message; transports
+// intercept it instead of dispatching.
+var errHelloFrame = errors.New("msg: wire-negotiation hello frame")
+
+// helloFrame builds the capability announcement sent by host.
+func helloFrame(host string) []byte {
+	dst := append([]byte(nil), `{"from":`...)
+	dst = appendJSONString(dst, host)
+	return append(dst, `,"type":"hello","body":{"v":1}}`...)
+}

@@ -1,0 +1,242 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"softqos/internal/sim"
+	"softqos/internal/telemetry"
+)
+
+// Cross-codec conformance: the management plane's semantics must be
+// identical whichever wire format each peer is configured with. The
+// matrix covers both homogeneous deployments and the mixed-fleet case a
+// rolling upgrade produces: a binary-capable sender talking to a
+// JSON-only listener must silently stay on JSON (negotiation never
+// upgrades without a hello from the peer), and the reverse pairing must
+// deliver every JSON frame to a binary-capable listener.
+
+type wirePairCase struct {
+	name     string
+	sender   WireFormat
+	receiver WireFormat
+	// upgraded: whether sender→receiver data frames are expected to end
+	// up binary once negotiation settles.
+	upgraded bool
+}
+
+var wirePairCases = []wirePairCase{
+	{"json-to-json", WireJSON, WireJSON, false},
+	{"binary-to-binary", WireBinary, WireBinary, true},
+	{"binary-to-json", WireBinary, WireJSON, false}, // negotiates down
+	{"json-to-binary", WireJSON, WireBinary, false},
+}
+
+// openWirePair starts two connected NetTransports with the given wire
+// configs and a route from each to the other.
+func openWirePair(t *testing.T, sf, rf WireFormat) (sender, receiver *NetTransport) {
+	t.Helper()
+	sender, err := NewNetTransport("hostA", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sender.Close() })
+	receiver, err = NewNetTransport("hostB", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { receiver.Close() })
+	sender.SetWireFormat(sf)
+	receiver.SetWireFormat(rf)
+	sender.Route("/hostB/sink", receiver.Addr())
+	receiver.Route("/hostA/reply", sender.Addr())
+	return sender, receiver
+}
+
+// pumpUntil spins the two dispatchers until cond holds or the deadline
+// passes (deliveries ride the receiver's reader goroutine, so there is
+// no single queue to drain deterministically).
+func pumpUntil(t *testing.T, sender, receiver *NetTransport, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := false
+		receiver.Sync(func() { sender.Sync(func() { ok = cond() }) })
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+func TestWireFormatConformance(t *testing.T) {
+	for _, tc := range wirePairCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sender, receiver := openWirePair(t, tc.sender, tc.receiver)
+			var got []Message
+			receiver.Sync(func() {}) // dispatcher up
+			receiver.Bind("/hostB/sink", "hostB", func(m Message) {
+				receiver.Do(func() { got = append(got, m) })
+			})
+
+			// Every management type, including one traced message, twice:
+			// the first frame rides the pre-negotiation connection, the
+			// repeat rides the (possibly upgraded) settled connection.
+			msgs := oneOfEach()
+			msgs = append(msgs, Message{From: "/hostA/src",
+				Trace: telemetry.TraceContext{TraceID: "/hostA/src#9", Span: 2},
+				Body:  Violation{ID: Identity{Host: "hostA", PID: 7, Executable: "x"}, Policy: "P"}})
+			for round := 0; round < 2; round++ {
+				for _, m := range msgs {
+					if err := sender.Send("/hostB/sink", m); err != nil {
+						t.Fatalf("round %d send %T: %v", round, m.Body, err)
+					}
+				}
+			}
+			want := 2 * len(msgs)
+			pumpUntil(t, sender, receiver, func() bool { return len(got) == want })
+
+			for i, m := range got {
+				ref := msgs[i%len(msgs)]
+				wantTag, _ := typeTag(ref.Body)
+				haveTag, err := typeTag(m.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if haveTag != wantTag {
+					t.Errorf("message %d: delivered %q, sent %q", i, haveTag, wantTag)
+				}
+				if m.From != ref.From {
+					t.Errorf("message %d: From = %q, want %q", i, m.From, ref.From)
+				}
+				if m.Trace != ref.Trace {
+					t.Errorf("message %d: trace = %+v, want %+v", i, m.Trace, ref.Trace)
+				}
+			}
+
+			// Validation is codec-independent: an invalid message is
+			// rejected before any frame is cut.
+			if err := sender.Send("/hostB/sink", Message{From: "/hostA/src",
+				Body: Violation{Policy: "P"}}); err == nil {
+				t.Error("invalid message accepted")
+			}
+		})
+	}
+}
+
+// TestWireNegotiationDown pins the mixed-fleet byte accounting: a
+// binary-capable sender facing a JSON-only peer never cuts a binary
+// frame (JSON byte counts exactly match a json-to-json deployment),
+// while a binary pair's settled connection sends strictly smaller
+// frames.
+func TestWireNegotiationDown(t *testing.T) {
+	bytesSent := func(sf, rf WireFormat) uint64 {
+		sender, receiver := openWirePair(t, sf, rf)
+		reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+		sender.SetMetrics(reg)
+		delivered := 0
+		receiver.Bind("/hostB/sink", "hostB", func(m Message) {
+			receiver.Do(func() { delivered++ })
+		})
+		m := Message{From: "/hostA/src", Body: Violation{
+			ID: Identity{Host: "hostA", PID: 7, Executable: "x"}, Policy: "P",
+			Readings: map[string]float64{"frame_rate": 12.5}}}
+		// Prime the connection (and negotiation) with one message, then
+		// measure a settled batch.
+		if err := sender.Send("/hostB/sink", m); err != nil {
+			t.Fatal(err)
+		}
+		pumpUntil(t, sender, receiver, func() bool { return delivered == 1 })
+		before := reg.Counter("msg.net.bytes").Value()
+		const batch = 16
+		for i := 0; i < batch; i++ {
+			if err := sender.Send("/hostB/sink", m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pumpUntil(t, sender, receiver, func() bool { return delivered == 1+batch })
+		return reg.Counter("msg.net.bytes").Value() - before
+	}
+
+	jsonBaseline := bytesSent(WireJSON, WireJSON)
+	negotiatedDown := bytesSent(WireBinary, WireJSON)
+	binaryPair := bytesSent(WireBinary, WireBinary)
+
+	if negotiatedDown != jsonBaseline {
+		t.Errorf("binary→json sender cut %d wire bytes, json→json cut %d — negotiation must stay on JSON",
+			negotiatedDown, jsonBaseline)
+	}
+	if binaryPair >= jsonBaseline {
+		t.Errorf("binary pair cut %d wire bytes, json baseline %d — settled binary frames should be smaller",
+			binaryPair, jsonBaseline)
+	}
+}
+
+// TestBusWireFormats: the Bus models both codecs for byte accounting;
+// delivery semantics and counts are identical, only msg.bus.bytes moves.
+func TestBusWireFormats(t *testing.T) {
+	run := func(f WireFormat) (delivered int, bytes uint64) {
+		s := sim.New(1)
+		b := NewBus(s, time.Millisecond, 5*time.Millisecond)
+		b.SetWireFormat(f)
+		reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+		b.SetMetrics(reg)
+		b.Bind("/conf/sink", "conf", func(Message) { delivered++ })
+		for _, m := range oneOfEach() {
+			if err := b.Send("/conf/sink", m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunFor(time.Second)
+		return delivered, reg.Counter("msg.bus.bytes").Value()
+	}
+	jd, jb := run(WireJSON)
+	bd, bb := run(WireBinary)
+	if jd != bd {
+		t.Errorf("delivery count depends on modeled codec: json=%d binary=%d", jd, bd)
+	}
+	if bb == 0 || jb == 0 {
+		t.Fatalf("byte accounting missing: json=%d binary=%d", jb, bb)
+	}
+	if bb >= jb {
+		t.Errorf("binary modeled bytes (%d) not smaller than JSON (%d)", bb, jb)
+	}
+}
+
+// TestConnWireFormats: the point-to-point Conn carries every type under
+// both formats, including a mid-stream format switch (receivers sniff
+// per frame).
+func TestConnWireFormats(t *testing.T) {
+	recv := make(chan Message, 64)
+	srv, err := Serve("127.0.0.1:0", func(_ *Conn, m Message) { recv <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sent []Message
+	for i, f := range []WireFormat{WireJSON, WireBinary, WireJSON, WireBinary} {
+		c.SetWireFormat(f)
+		m := Message{From: "/h/src", Body: Ack{Ref: fmt.Sprintf("switch-%d", i), OK: true}}
+		if err := c.Send(m); err != nil {
+			t.Fatalf("frame %d (%v): %v", i, f, err)
+		}
+		sent = append(sent, m)
+	}
+	for i, want := range sent {
+		select {
+		case got := <-recv:
+			assertSameMessage(t, i, want, got)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}

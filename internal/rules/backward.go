@@ -49,7 +49,7 @@ func (e *Engine) ProveAll(limit int, goal ...Value) []Solution {
 		sol := make(Solution)
 		for _, v := range goal {
 			if v.IsVariable() && v.Sym != "?" {
-				if bound, ok := b.vars[v.Sym]; ok {
+				if bound, ok := b.lookup(v.Sym); ok {
 					sol[v.Sym] = bound
 				}
 			}
@@ -71,7 +71,7 @@ func substitute(pattern []Value, b *bindings) []Value {
 	out := make([]Value, len(pattern))
 	for i, v := range pattern {
 		if v.IsVariable() && v.Sym != "?" {
-			if bound, ok := b.vars[v.Sym]; ok {
+			if bound, ok := b.lookup(v.Sym); ok {
 				out[i] = bound
 				continue
 			}
@@ -111,12 +111,18 @@ func (e *Engine) prove(goal []Value, b *bindings, depth int, emit func(*bindings
 	g := substitute(goal, b)
 
 	// Ground case: facts.
-	for _, id := range e.candidates(g) {
-		if nb, ok := unify(g, e.facts[id], b); ok {
+	stopped := false
+	e.forEachCandidate(g, func(id int, f *Fact) bool {
+		if nb, ok := unify(g, f, b); ok {
 			if !emit(nb) {
+				stopped = true
 				return false
 			}
 		}
+		return true
+	})
+	if stopped {
+		return false
 	}
 
 	// Rule case: any Horn clause whose head unifies with the goal.
@@ -135,14 +141,14 @@ func (e *Engine) prove(goal []Value, b *bindings, depth int, emit func(*bindings
 			gv := g[i]
 			switch {
 			case hv.IsVariable() && hv.Sym != "?":
-				if bound, exists := rb.vars[hv.Sym]; exists {
+				if bound, exists := rb.lookup(hv.Sym); exists {
 					if gv.IsVariable() {
 						ok = false // cannot match two unbound vars here
 					} else if !bound.Equal(gv) {
 						ok = false
 					}
 				} else if !gv.IsVariable() {
-					rb.vars[hv.Sym] = gv
+					rb.setVar(hv.Sym, gv)
 				}
 				// An unbound goal variable against a head variable stays
 				// open; the body proof will bind it and emit propagates

@@ -12,15 +12,27 @@ type Callback func(args []Value) error
 
 // Engine is the fact repository plus inference machinery of one manager.
 type Engine struct {
-	facts  map[int]*Fact
-	order  []int // assertion order (live fact ids)
-	byKey  map[string]int
-	nextID int
+	facts map[int]*Fact
+	// order holds fact ids in assertion order. Retraction tombstones
+	// (the id stays until compaction; liveness is the facts map) so a
+	// retract never scans all of working memory; iteration skips dead
+	// ids and the slice is compacted once half of it is tombstones.
+	order     []int
+	orderDead int
+	byKey     map[string]int
+	nextID    int
 
 	// byRelation indexes live fact ids by (relation, arity) — the
 	// alpha-memory of a Rete network, enough to keep pattern matching
 	// linear in the relevant facts rather than all of working memory.
-	byRelation map[relKey][]int
+	// Buckets tombstone on retract exactly like order.
+	byRelation map[relKey]*bucket
+
+	// noIndex disables the alpha memories, forcing every pattern to
+	// scan all of working memory in assertion order. Test-only: the
+	// equivalence suite uses it as the reference matcher the indexed
+	// engine must agree with, firing for firing.
+	noIndex bool
 
 	rs        []*Rule
 	templates map[string]*template
@@ -54,7 +66,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		facts:      make(map[int]*Fact),
 		byKey:      make(map[string]int),
-		byRelation: make(map[relKey][]int),
+		byRelation: make(map[relKey]*bucket),
 		templates:  make(map[string]*template),
 		funcs:      make(map[string]Callback),
 		fired:      make(map[string]bool),
@@ -117,16 +129,22 @@ func (e *Engine) RegisterFunc(name string, fn Callback) { e.funcs[name] = fn }
 // a duplicate of a live fact is a no-op returning the existing id.
 func (e *Engine) Assert(items ...Value) int {
 	f := &Fact{items: append([]Value(nil), items...)}
-	if id, ok := e.byKey[f.key()]; ok {
+	key := f.key()
+	if id, ok := e.byKey[key]; ok {
 		return id
 	}
 	e.nextID++
 	f.id = e.nextID
 	e.facts[f.id] = f
-	e.byKey[f.key()] = f.id
+	e.byKey[key] = f.id
 	e.order = append(e.order, f.id)
 	k := relKey{f.Relation(), f.Len()}
-	e.byRelation[k] = append(e.byRelation[k], f.id)
+	b := e.byRelation[k]
+	if b == nil {
+		b = &bucket{}
+		e.byRelation[k] = b
+	}
+	b.ids = append(b.ids, f.id)
 	return f.id
 }
 
@@ -136,20 +154,55 @@ type relKey struct {
 	arity int
 }
 
-// candidates returns the fact ids a pattern can possibly match, in
-// assertion order: the relation bucket when the pattern's head is a
-// constant symbol, all facts otherwise.
-func (e *Engine) candidates(pattern []Value) []int {
-	if len(pattern) > 0 && pattern[0].Kind == SymbolKind && !pattern[0].IsVariable() {
-		return e.byRelation[relKey{pattern[0].Sym, len(pattern)}]
+// bucket is one alpha memory: fact ids of a (relation, arity) in
+// assertion order, tombstoned on retract and compacted when half dead.
+type bucket struct {
+	ids  []int
+	dead int
+}
+
+// compact rebuilds the bucket keeping only live ids. It allocates a
+// fresh slice so iterators holding the old one stay valid.
+func (b *bucket) compact(live map[int]*Fact) {
+	ids := make([]int, 0, len(b.ids)-b.dead)
+	for _, id := range b.ids {
+		if _, ok := live[id]; ok {
+			ids = append(ids, id)
+		}
 	}
-	return e.order
+	b.ids, b.dead = ids, 0
+}
+
+// forEachCandidate calls yield with every live fact the pattern could
+// possibly match, in assertion order: the relation bucket when the
+// pattern's head is a constant symbol, all of working memory otherwise.
+// yield returns false to stop early. Mutating the engine from yield is
+// safe with respect to this iteration (compaction allocates fresh
+// slices), but newly asserted facts may or may not be visited.
+func (e *Engine) forEachCandidate(pattern []Value, yield func(id int, f *Fact) bool) {
+	ids := e.order
+	if !e.noIndex && len(pattern) > 0 && pattern[0].Kind == SymbolKind && !pattern[0].IsVariable() {
+		b := e.byRelation[relKey{pattern[0].Sym, len(pattern)}]
+		if b == nil {
+			return
+		}
+		ids = b.ids
+	}
+	for _, id := range ids {
+		if f, ok := e.facts[id]; ok {
+			if !yield(id, f) {
+				return
+			}
+		}
+	}
 }
 
 // AssertF is Assert with Go-native items (see F).
 func (e *Engine) AssertF(items ...any) int { return e.Assert(F(items...)...) }
 
 // Retract removes a fact by id; it reports whether the fact existed.
+// The order and alpha-memory entries are tombstoned, not searched, so
+// retraction cost is independent of working-memory size.
 func (e *Engine) Retract(id int) bool {
 	f, ok := e.facts[id]
 	if !ok {
@@ -157,18 +210,20 @@ func (e *Engine) Retract(id int) bool {
 	}
 	delete(e.facts, id)
 	delete(e.byKey, f.key())
-	for i, fid := range e.order {
-		if fid == id {
-			e.order = append(e.order[:i], e.order[i+1:]...)
-			break
+	e.orderDead++
+	if e.orderDead*2 > len(e.order) {
+		order := make([]int, 0, len(e.order)-e.orderDead)
+		for _, fid := range e.order {
+			if _, ok := e.facts[fid]; ok {
+				order = append(order, fid)
+			}
 		}
+		e.order, e.orderDead = order, 0
 	}
-	k := relKey{f.Relation(), f.Len()}
-	bucket := e.byRelation[k]
-	for i, fid := range bucket {
-		if fid == id {
-			e.byRelation[k] = append(bucket[:i:i], bucket[i+1:]...)
-			break
+	if b := e.byRelation[relKey{f.Relation(), f.Len()}]; b != nil {
+		b.dead++
+		if b.dead*2 > len(b.ids) {
+			b.compact(e.facts)
 		}
 	}
 	return true
@@ -179,11 +234,13 @@ func (e *Engine) Retract(id int) bool {
 // per-process facts between diagnosis episodes.
 func (e *Engine) RetractMatching(pattern ...Value) int {
 	var ids []int
-	for _, id := range e.candidates(pattern) {
-		if _, ok := unify(pattern, e.facts[id], newBindings()); ok {
+	base := newBindings()
+	e.forEachCandidate(pattern, func(id int, f *Fact) bool {
+		if _, ok := unify(pattern, f, base); ok {
 			ids = append(ids, id)
 		}
-	}
+		return true
+	})
 	for _, id := range ids {
 		e.Retract(id)
 	}
@@ -195,9 +252,11 @@ func (e *Engine) FactCount() int { return len(e.facts) }
 
 // Facts returns live facts in assertion order.
 func (e *Engine) Facts() []*Fact {
-	out := make([]*Fact, 0, len(e.order))
+	out := make([]*Fact, 0, len(e.facts))
 	for _, id := range e.order {
-		out = append(out, e.facts[id])
+		if f, ok := e.facts[id]; ok {
+			out = append(out, f)
+		}
 	}
 	return out
 }
@@ -205,40 +264,63 @@ func (e *Engine) Facts() []*Fact {
 // FactsMatching returns live facts unifying with the pattern.
 func (e *Engine) FactsMatching(pattern ...Value) []*Fact {
 	var out []*Fact
-	for _, id := range e.candidates(pattern) {
-		if _, ok := unify(pattern, e.facts[id], newBindings()); ok {
-			out = append(out, e.facts[id])
+	base := newBindings()
+	e.forEachCandidate(pattern, func(id int, f *Fact) bool {
+		if _, ok := unify(pattern, f, base); ok {
+			out = append(out, f)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // unify matches a pattern tuple against a fact, extending b. The returned
-// bindings share structure with b only on success.
+// bindings share structure with b only on success. b is never mutated:
+// the match is verified first (collecting new variable bindings into a
+// stack scratch), and b is cloned only for successful matches — match
+// attempts vastly outnumber matches, so the failure path allocates
+// nothing.
 func unify(pattern []Value, f *Fact, b *bindings) (*bindings, bool) {
 	if len(pattern) != f.Len() {
 		return nil, false
 	}
-	nb := b.clone()
+	var scratch [8]varBind
+	fresh := scratch[:0]
 	for i, pv := range pattern {
 		fv := f.At(i)
 		if pv.IsVariable() {
 			if pv.Sym == "?" { // anonymous wildcard
 				continue
 			}
-			if bound, ok := nb.vars[pv.Sym]; ok {
+			if bound, ok := b.lookup(pv.Sym); ok {
 				if !bound.Equal(fv) {
 					return nil, false
 				}
 				continue
 			}
-			nb.vars[pv.Sym] = fv
+			// A variable can repeat within one pattern: later
+			// occurrences must agree with the binding collected here.
+			dup := false
+			for _, nb := range fresh {
+				if nb.name == pv.Sym {
+					dup = true
+					if !nb.val.Equal(fv) {
+						return nil, false
+					}
+					break
+				}
+			}
+			if !dup {
+				fresh = append(fresh, varBind{pv.Sym, fv})
+			}
 			continue
 		}
 		if !pv.Equal(fv) {
 			return nil, false
 		}
 	}
+	nb := b.clone()
+	nb.vars = append(nb.vars, fresh...)
 	return nb, true
 }
 
@@ -250,12 +332,26 @@ type activation struct {
 	recency int
 }
 
-func (a *activation) key() string {
-	ids := make([]string, len(a.factIDs))
+// appendKey renders the activation's dedup key ("name#id,id,...") into
+// buf. The agenda checks keys against the fired set after every firing,
+// so lookups go through appendKey with a stack buffer (map access with a
+// string([]byte) key does not allocate); key() materializes the string
+// only when an activation actually fires.
+func (a *activation) appendKey(buf []byte) []byte {
+	buf = append(buf, a.rule.Name...)
+	buf = append(buf, '#')
 	for i, id := range a.factIDs {
-		ids[i] = strconv.Itoa(id)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(id), 10)
 	}
-	return a.rule.Name + "#" + strings.Join(ids, ",")
+	return buf
+}
+
+func (a *activation) key() string {
+	var scratch [64]byte
+	return string(a.appendKey(scratch[:0]))
 }
 
 // matchRule enumerates all complete matches for r.
@@ -280,22 +376,28 @@ func (e *Engine) matchRule(r *Rule) []*activation {
 		ce := r.ces[i]
 		switch ce.kind {
 		case cePattern:
-			for _, id := range e.candidates(ce.pattern) {
-				f := e.facts[id]
+			e.forEachCandidate(ce.pattern, func(id int, f *Fact) bool {
 				nb, ok := unify(ce.pattern, f, b)
 				if !ok {
-					continue
+					return true
 				}
 				if ce.bindVar != "" {
-					nb.facts[ce.bindVar] = f
+					nb.setFact(ce.bindVar, f)
 				}
 				rec(i+1, nb, append(ids, id))
-			}
+				return true
+			})
 		case ceNegated:
-			for _, id := range e.candidates(ce.pattern) {
-				if _, ok := unify(ce.pattern, e.facts[id], b); ok {
-					return // a match exists: negation fails
+			blocked := false
+			e.forEachCandidate(ce.pattern, func(id int, f *Fact) bool {
+				if _, ok := unify(ce.pattern, f, b); ok {
+					blocked = true
+					return false // a match exists: negation fails
 				}
+				return true
+			})
+			if blocked {
+				return
 			}
 			rec(i+1, b, ids)
 		case ceTest:
@@ -309,7 +411,10 @@ func (e *Engine) matchRule(r *Rule) []*activation {
 			}
 		}
 	}
-	rec(0, newBindings(), nil)
+	// One scratch backing array serves every depth: recursion is
+	// depth-first and activations copy factIDs out, so siblings reusing
+	// a slot never observe each other's writes.
+	rec(0, newBindings(), make([]int, 0, len(r.ces)))
 	return acts
 }
 
@@ -317,9 +422,10 @@ func (e *Engine) matchRule(r *Rule) []*activation {
 // recency (desc), then rule definition order.
 func (e *Engine) agenda() []*activation {
 	var acts []*activation
+	var kbuf [64]byte
 	for _, r := range e.rs {
 		for _, a := range e.matchRule(r) {
-			if !e.fired[a.key()] {
+			if !e.fired[string(a.appendKey(kbuf[:0]))] {
 				acts = append(acts, a)
 			}
 		}
@@ -405,7 +511,7 @@ func (e *Engine) execute(a *activation) error {
 				if item.atom == nil || !item.atom.IsVariable() {
 					return fmt.Errorf("retract takes fact-address variables")
 				}
-				f, ok := a.binds.facts[item.atom.Sym]
+				f, ok := a.binds.fact(item.atom.Sym)
 				if !ok {
 					return fmt.Errorf("retract: %s is not a fact address", item.atom.Sym)
 				}

@@ -1,0 +1,107 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+)
+
+// diagRules is a representative host-manager style rule set: a join over
+// two relations with a numeric guard, plus a cleanup rule.
+const diagRules = `
+(defrule local-cpu-starvation
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (test (>= ?len 8))
+  =>
+  (assert (diagnosis ?p local-cpu)))
+(defrule escalate
+  (violation ?p ?policy)
+  (reading ?p buffer_size ?len)
+  (test (< ?len 8))
+  =>
+  (assert (diagnosis ?p non-local)))
+`
+
+// seedResidentFacts fills working memory with n resident facts spread
+// over 20 unrelated relations — the standing state (component records,
+// topology, policy facts) a long-lived manager accumulates.
+func seedResidentFacts(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		e.AssertF(fmt.Sprintf("state-%d", i%20), fmt.Sprintf("item-%d", i), i)
+	}
+}
+
+// BenchmarkRuleFiring is the named hot-path gate benchmark: one
+// diagnosis episode (assert violation facts, run to quiescence, retract
+// the episode's facts) at increasing resident working-memory sizes. With
+// relation-indexed matching the cost must stay flat as residents grow.
+func BenchmarkRuleFiring(b *testing.B) {
+	for _, resident := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("facts=%d", resident), func(b *testing.B) {
+			e := NewEngine()
+			if err := e.LoadRules(diagRules); err != nil {
+				b.Fatal(err)
+			}
+			seedResidentFacts(e, resident)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.AssertF("violation", "p1", "P")
+				e.AssertF("reading", "p1", "buffer_size", 12)
+				if _, err := e.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				e.RetractMatching(Sym("violation"), Sym("?"), Sym("?"))
+				e.RetractMatching(Sym("reading"), Sym("?"), Sym("?"), Sym("?"))
+				e.RetractMatching(Sym("diagnosis"), Sym("?"), Sym("?"))
+			}
+		})
+	}
+}
+
+// BenchmarkAssertRetract measures raw working-memory churn at a large
+// resident size: the per-fact cost of Assert plus Retract must not scale
+// with total fact count.
+func BenchmarkAssertRetract(b *testing.B) {
+	e := NewEngine()
+	seedResidentFacts(e, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.AssertF("episode", "p1", i)
+		if !e.Retract(id) {
+			b.Fatal("retract failed")
+		}
+	}
+}
+
+// BenchmarkRetractMatching measures pattern-directed retraction against
+// a big working memory where only a few facts match the pattern.
+func BenchmarkRetractMatching(b *testing.B) {
+	e := NewEngine()
+	seedResidentFacts(e, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AssertF("episode", "p1", 1)
+		e.AssertF("episode", "p2", 2)
+		if n := e.RetractMatching(Sym("episode"), Sym("?"), Sym("?")); n != 2 {
+			b.Fatalf("retracted %d", n)
+		}
+	}
+}
+
+// BenchmarkFactsMatching measures indexed lookup cost with 5k facts of
+// noise resident.
+func BenchmarkFactsMatching(b *testing.B) {
+	e := NewEngine()
+	seedResidentFacts(e, 5000)
+	e.AssertF("violation", "p1", "P")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := len(e.FactsMatching(Sym("violation"), Sym("?"), Sym("?"))); n != 1 {
+			b.Fatalf("matches = %d", n)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// equivRules exercises every condition-element kind the matcher supports:
+// plain patterns, joins through shared variables, negation, tests, and a
+// fact-address retract. The indexed and unindexed matchers must agree on
+// all of it.
+const equivRules = `
+(defrule diagnose
+  (violation ?p ?policy)
+  (reading ?p load ?v)
+  (test (>= ?v 5))
+  (not (diagnosis ?p ?))
+  =>
+  (assert (diagnosis ?p overload)))
+(defrule clear
+  (salience 10)
+  ?d <- (diagnosis ?p ?)
+  (cleared ?p)
+  =>
+  (retract ?d))
+(defrule chain
+  (diagnosis ?p overload)
+  (owner ?p ?h)
+  =>
+  (assert (notify ?h ?p)))
+`
+
+// equivOp is one step of a generated workload.
+type equivOp struct {
+	kind    int // 0 = assert, 1 = retract-matching, 2 = run
+	items   []Value
+	pattern []Value
+}
+
+// genWorkload produces a deterministic random op sequence from seed. The
+// fact population is drawn from small domains so asserts collide with
+// existing facts, retracts hit live facts, and rules actually fire.
+func genWorkload(seed int64, n int) []equivOp {
+	rng := rand.New(rand.NewSource(seed))
+	procs := []string{"p1", "p2", "p3", "p4"}
+	hosts := []string{"hA", "hB"}
+	var ops []equivOp
+	for i := 0; i < n; i++ {
+		p := procs[rng.Intn(len(procs))]
+		switch rng.Intn(10) {
+		case 0, 1:
+			ops = append(ops, equivOp{kind: 0, items: F("violation", p, "P")})
+		case 2, 3:
+			ops = append(ops, equivOp{kind: 0, items: F("reading", p, "load", rng.Intn(10))})
+		case 4:
+			ops = append(ops, equivOp{kind: 0, items: F("owner", p, hosts[rng.Intn(len(hosts))])})
+		case 5:
+			ops = append(ops, equivOp{kind: 0, items: F("cleared", p)})
+		case 6:
+			ops = append(ops, equivOp{kind: 1, pattern: F("violation", p, "?")})
+		case 7:
+			ops = append(ops, equivOp{kind: 1, pattern: F("reading", "?", "?", "?")})
+		case 8:
+			ops = append(ops, equivOp{kind: 1, pattern: F("cleared", "?")})
+		default:
+			ops = append(ops, equivOp{kind: 2})
+		}
+	}
+	ops = append(ops, equivOp{kind: 2}) // always finish with a run
+	return ops
+}
+
+// applyWorkload drives one engine through the ops, returning the
+// per-step observable outcomes (assert ids, retract counts, firings).
+func applyWorkload(t *testing.T, e *Engine, ops []equivOp) []string {
+	t.Helper()
+	var outcomes []string
+	for i, op := range ops {
+		switch op.kind {
+		case 0:
+			outcomes = append(outcomes, fmt.Sprintf("step%d assert id=%d", i, e.Assert(op.items...)))
+		case 1:
+			outcomes = append(outcomes, fmt.Sprintf("step%d retract n=%d", i, e.RetractMatching(op.pattern...)))
+		case 2:
+			n, err := e.Run(0)
+			if err != nil {
+				t.Fatalf("step %d: Run: %v", i, err)
+			}
+			outcomes = append(outcomes, fmt.Sprintf("step%d run fired=%d", i, n))
+		}
+	}
+	return outcomes
+}
+
+// factStrings renders live working memory in assertion order.
+func factStrings(e *Engine) []string {
+	facts := e.Facts()
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = fmt.Sprintf("%d:%s", f.ID(), f.String())
+	}
+	return out
+}
+
+// TestIndexedMatcherEquivalence drives the indexed engine and the
+// unindexed reference matcher (noIndex) through identical randomized
+// workloads and requires identical observable behavior at every step:
+// assert ids, retract counts, firing counts, the full firing trace
+// (rule, bindings, matched facts, effects, order), and final working
+// memory. The alpha memories are a pure access-path optimization; any
+// divergence here is a matcher bug.
+func TestIndexedMatcherEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := genWorkload(seed, 120)
+
+			indexed := NewEngine()
+			reference := NewEngine()
+			reference.noIndex = true
+			for _, e := range []*Engine{indexed, reference} {
+				if err := e.LoadRules(equivRules); err != nil {
+					t.Fatal(err)
+				}
+				e.SetTracing(true)
+			}
+
+			got := applyWorkload(t, indexed, ops)
+			want := applyWorkload(t, reference, ops)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("outcome diverged:\nindexed:   %s\nreference: %s", got[i], want[i])
+				}
+			}
+			if gf, wf := factStrings(indexed), factStrings(reference); !reflect.DeepEqual(gf, wf) {
+				t.Errorf("final working memory diverged:\nindexed:   %v\nreference: %v", gf, wf)
+			}
+			gt, wt := indexed.Trace(), reference.Trace()
+			if !reflect.DeepEqual(gt, wt) {
+				t.Errorf("firing traces diverged (%d vs %d firings)", len(gt), len(wt))
+				for i := 0; i < len(gt) && i < len(wt); i++ {
+					if !reflect.DeepEqual(gt[i], wt[i]) {
+						t.Errorf("first divergence at firing %d:\nindexed:   %+v\nreference: %+v", i, gt[i], wt[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackwardChainingEquivalence: the backward chainer's ground case
+// also goes through the candidate iterator; Prove/ProveAll must agree
+// with the unindexed reference on populated working memory.
+func TestBackwardChainingEquivalence(t *testing.T) {
+	build := func(noIndex bool) *Engine {
+		e := NewEngine()
+		e.noIndex = noIndex
+		if err := e.LoadRules(equivRules); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			p := fmt.Sprintf("p%d", rng.Intn(6))
+			switch rng.Intn(3) {
+			case 0:
+				e.AssertF("owner", p, fmt.Sprintf("h%d", rng.Intn(3)))
+			case 1:
+				e.AssertF("diagnosis", p, "overload")
+			default:
+				e.AssertF("reading", p, "load", rng.Intn(10))
+			}
+		}
+		return e
+	}
+	indexed, reference := build(false), build(true)
+	goals := [][]Value{
+		F("owner", "?p", "?h"),
+		F("diagnosis", "?p", "overload"),
+		F("notify", "?h", "?p"),
+		F("reading", "p1", "load", "?v"),
+	}
+	for _, g := range goals {
+		gi := indexed.ProveAll(0, g...)
+		gr := reference.ProveAll(0, g...)
+		if !reflect.DeepEqual(gi, gr) {
+			t.Errorf("ProveAll(%v) diverged:\nindexed:   %v\nreference: %v", g, gi, gr)
+		}
+	}
+}

@@ -5,24 +5,74 @@ import (
 	"math"
 )
 
-// bindings maps variable names (including the leading '?') to values, and
-// fact-address variables to matched facts.
+// bindings is the variable environment built during a match: variable
+// names (including the leading '?') bound to values, and fact-address
+// variables bound to matched facts. Environments are tiny — a handful of
+// entries — so both live in small slices: lookup is a linear scan and
+// clone is a straight copy, which is far cheaper than per-clone map
+// allocation on the matcher's hot path.
 type bindings struct {
-	vars  map[string]Value
-	facts map[string]*Fact
+	vars  []varBind
+	facts []factBind
 }
 
-func newBindings() *bindings {
-	return &bindings{vars: make(map[string]Value), facts: make(map[string]*Fact)}
+type varBind struct {
+	name string
+	val  Value
+}
+
+type factBind struct {
+	name string
+	fact *Fact
+}
+
+func newBindings() *bindings { return &bindings{} }
+
+func (b *bindings) lookup(name string) (Value, bool) {
+	for i := range b.vars {
+		if b.vars[i].name == name {
+			return b.vars[i].val, true
+		}
+	}
+	return Value{}, false
+}
+
+func (b *bindings) setVar(name string, v Value) {
+	for i := range b.vars {
+		if b.vars[i].name == name {
+			b.vars[i].val = v
+			return
+		}
+	}
+	b.vars = append(b.vars, varBind{name, v})
+}
+
+func (b *bindings) fact(name string) (*Fact, bool) {
+	for i := range b.facts {
+		if b.facts[i].name == name {
+			return b.facts[i].fact, true
+		}
+	}
+	return nil, false
+}
+
+func (b *bindings) setFact(name string, f *Fact) {
+	for i := range b.facts {
+		if b.facts[i].name == name {
+			b.facts[i].fact = f
+			return
+		}
+	}
+	b.facts = append(b.facts, factBind{name, f})
 }
 
 func (b *bindings) clone() *bindings {
-	nb := newBindings()
-	for k, v := range b.vars {
-		nb.vars[k] = v
+	nb := &bindings{}
+	if len(b.vars) > 0 {
+		nb.vars = append(make([]varBind, 0, len(b.vars)+4), b.vars...)
 	}
-	for k, v := range b.facts {
-		nb.facts[k] = v
+	if len(b.facts) > 0 {
+		nb.facts = append([]factBind(nil), b.facts...)
 	}
 	return nb
 }
@@ -45,7 +95,7 @@ func eval(e sexpr, b *bindings) (Value, error) {
 	if e.atom != nil {
 		v := *e.atom
 		if v.IsVariable() {
-			bound, ok := b.vars[v.Sym]
+			bound, ok := b.lookup(v.Sym)
 			if !ok {
 				return Value{}, fmt.Errorf("unbound variable %s", v.Sym)
 			}

@@ -106,7 +106,7 @@ func TestEvalShortCircuit(t *testing.T) {
 
 func TestEvalVariables(t *testing.T) {
 	b := newBindings()
-	b.vars["?x"] = Num(4)
+	b.setVar("?x", Num(4))
 	v, err := evalStr(t, "(+ ?x 1)", b)
 	if err != nil || v.Num != 5 {
 		t.Errorf("(+ ?x 1) = %v, %v", v, err)
@@ -138,7 +138,8 @@ func TestValueHelpers(t *testing.T) {
 func TestPropertyArithmetic(t *testing.T) {
 	prop := func(a, b float64) bool {
 		bnd := newBindings()
-		bnd.vars["?a"], bnd.vars["?b"] = Num(a), Num(b)
+		bnd.setVar("?a", Num(a))
+		bnd.setVar("?b", Num(b))
 		forms, _ := readAll("(+ ?a ?b)")
 		v, err := eval(forms[0], bnd)
 		if err != nil {

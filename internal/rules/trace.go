@@ -68,8 +68,8 @@ func (e *Engine) newFiring(a *activation) Firing {
 		Salience: a.rule.Salience,
 		Bindings: make(map[string]string, len(a.binds.vars)),
 	}
-	for k, v := range a.binds.vars {
-		f.Bindings[k] = v.String()
+	for _, vb := range a.binds.vars {
+		f.Bindings[vb.name] = vb.val.String()
 	}
 	for _, id := range a.factIDs {
 		if fact, ok := e.facts[id]; ok {
@@ -107,22 +107,24 @@ func (e *Engine) Explain(ruleName string) string {
 		case cePattern:
 			desc = "(" + renderPattern(ce.pattern) + ")"
 			for _, st := range cur {
-				for _, id := range e.candidates(ce.pattern) {
-					if nb, ok := unify(ce.pattern, e.facts[id], st.b); ok {
+				e.forEachCandidate(ce.pattern, func(id int, f *Fact) bool {
+					if nb, ok := unify(ce.pattern, f, st.b); ok {
 						next = append(next, state{nb})
 					}
-				}
+					return true
+				})
 			}
 		case ceNegated:
 			desc = "(not (" + renderPattern(ce.pattern) + "))"
 			for _, st := range cur {
 				blocked := false
-				for _, id := range e.candidates(ce.pattern) {
-					if _, ok := unify(ce.pattern, e.facts[id], st.b); ok {
+				e.forEachCandidate(ce.pattern, func(id int, f *Fact) bool {
+					if _, ok := unify(ce.pattern, f, st.b); ok {
 						blocked = true
-						break
+						return false
 					}
-				}
+					return true
+				})
 				if !blocked {
 					next = append(next, st)
 				}

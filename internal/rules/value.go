@@ -121,8 +121,28 @@ func (f *Fact) String() string {
 	return "(" + strings.Join(parts, " ") + ")"
 }
 
-// key returns a canonical string for duplicate detection.
-func (f *Fact) key() string { return f.String() }
+// key returns a canonical string for duplicate detection. Same rendering
+// as String, built in one pass through a stack buffer: Assert and Retract
+// compute it on every call, so it must not allocate per item.
+func (f *Fact) key() string {
+	var scratch [96]byte
+	buf := append(scratch[:0], '(')
+	for i, v := range f.items {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		switch v.Kind {
+		case SymbolKind:
+			buf = append(buf, v.Sym...)
+		case NumberKind:
+			buf = strconv.AppendFloat(buf, v.Num, 'g', -1, 64)
+		default:
+			buf = strconv.AppendQuote(buf, v.Str)
+		}
+	}
+	buf = append(buf, ')')
+	return string(buf)
+}
 
 // F builds a fact tuple from Go values: string → symbol, float64/int →
 // number, use Str(...) explicitly for strings.

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTraceAppend is the flight-recorder hot path: every management
+// step of a violation episode appends one span to an open trace. The
+// episodes here mirror the canonical lifecycle (violation → notify →
+// diagnose → adapt → recovered) so the cost measured is the one every
+// traced violation pays.
+func BenchmarkTraceAppend(b *testing.B) {
+	var now time.Duration
+	tr := NewTracer(func() time.Duration { now += time.Microsecond; return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := tr.Begin("/h/app/x/1", "P", "coordinator", "frame_rate below floor")
+		ctx = tr.EventCtx(ctx, "/h/app/x/1", "P", "coordinator", StageNotify, "")
+		ctx = tr.EventCtx(ctx, "/h/app/x/1", "P", "hostmanager", StageDiagnose, "local-cpu")
+		tr.EventCtx(ctx, "/h/app/x/1", "P", "cpu-manager", StageAdapt, "boost_cpu")
+		tr.Resolve("/h/app/x/1", "P")
+	}
+}
+
+// BenchmarkTraceExplain measures attaching a rule-firing explanation to
+// an open episode — the per-firing cost of inference explanations.
+func BenchmarkTraceExplain(b *testing.B) {
+	var now time.Duration
+	tr := NewTracer(func() time.Duration { now += time.Microsecond; return now })
+	e := Explanation{Engine: "hostmanager", Rule: "local-cpu-starvation",
+		Matched: []string{"(violation p1 P)", "(reading p1 buffer_size 12)"},
+		Asserted: []string{"(diagnosis p1 local-cpu)"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := tr.Begin("/h/app/x/1", "P", "coordinator", "")
+		tr.Explain(ctx, "/h/app/x/1", "P", e)
+		tr.Resolve("/h/app/x/1", "P")
+	}
+}
