@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke soak clean
+.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke fleet-smoke soak clean
 
 all: check
 
@@ -29,7 +29,7 @@ test: race
 race:
 	$(GO) test -race ./...
 
-check: build vet examples race trace-smoke soak
+check: build vet examples race trace-smoke fleet-smoke soak
 
 # The resilience gate: seeded chaos soaks — hundreds of violation
 # episodes under a randomized fault schedule on the sim Bus, plus the
@@ -53,6 +53,15 @@ live-smoke:
 # the induced violation is open and climbing back after recovery.
 trace-smoke:
 	$(GO) test -race -timeout 120s -v -run 'TestLiveObservabilityEndpoints|TestLiveSLOCompliance' .
+
+# The fleet-scale gate: assemble the three-tier hierarchy at 1000
+# hosts, simulate two minutes of virtual time (sub-second wall), and
+# require a healthy run — every tier registered, >=90% of load spikes
+# adapted, detect->adapt p99 under a second, and region-side alarm
+# accounting exact. Bounded wall-clock by construction: the simulation
+# is event-driven, not real-time.
+fleet-smoke:
+	$(GO) run ./cmd/qosfleet -hosts 1000 -duration 2m -check
 
 # Perf trajectory: `make bench` runs the micro-benchmarks (hot-path
 # packages at a stable benchtime, macro scenario benchmarks once) and

@@ -97,6 +97,25 @@ type episode struct {
 	retried bool
 }
 
+// fanout is one in-flight downward query: a parent tier asked this
+// domain for aggregate statistics, and the domain fanned the question
+// out to its registered hosts. pending tracks exactly which hosts have
+// not reported yet, so a retry re-queries only the non-responders.
+type fanout struct {
+	requester string   // address the aggregate Report goes back to
+	ref       string   // requester's correlation tag, echoed on the reply
+	keys      []string // statistics asked for
+	asked     int
+	pending   map[string]string  // host name -> host manager address, not yet reported
+	values    map[string]float64 // aggregation: "<key>_max" across reporters
+	hotHost   string             // host manager address with the max cpu_load so far
+	hotLoad   float64
+	reports   int
+	ctx     telemetry.TraceContext
+	at      time.Duration
+	retried bool
+}
+
 // DomainManager locates sources of problems spanning hosts and issues
 // corrective directives to host managers.
 type DomainManager struct {
@@ -107,6 +126,26 @@ type DomainManager struct {
 	servers  map[string]serverRef // application -> server side
 	episodes map[string]*episode  // ref -> pending episode
 	nextRef  int
+
+	// Hierarchy state, empty in flat (2-tier) topologies. Hosts register
+	// with the domain exactly as coordinators register with the policy
+	// agent; the same heartbeat/liveness machinery then governs them.
+	hosts     map[string]string // host name -> host manager address
+	hostSeen  map[string]time.Duration
+	hostOrder []string // registration order, for deterministic sweeps
+	// hostTimeout governs host-roster eviction (SetHostTimeout); zero
+	// falls back to livenessTimeout.
+	hostTimeout time.Duration
+	fanouts   map[string]*fanout // ref -> pending downward fan-out
+	tier      int                // trace tier depth (0 = flat, 2 = domain under a region)
+	lastHot   string             // most recently implicated host manager address
+
+	// uplink, when set, batches this domain's alarm traffic toward the
+	// parent tier instead of (or in addition to) diagnosing locally.
+	uplink *AlarmCoalescer
+	// SeverityFor, when set, grades an alarm for uplink escalation
+	// (default severity 1).
+	SeverityFor func(msg.Alarm) int
 
 	// OnNetworkFault, if set, is invoked when an episode is diagnosed as
 	// a network problem (scenarios hook rerouting here: "rerouting
@@ -122,6 +161,10 @@ type DomainManager struct {
 	RuleErrors      uint64
 	QueryRetries    uint64
 	EpisodeTimeouts uint64
+	Fanouts          uint64 // downward fan-out queries answered
+	FanoutQueries    uint64 // per-host sub-queries those fanned out to
+	HostsEvicted     uint64
+	DirectivesRouted uint64 // parent directives routed down to a host
 
 	// Liveness tracking (EnableLiveness): episodes whose server report
 	// never arrives are retried once, then abandoned with a traced
@@ -147,10 +190,14 @@ type dmMetrics struct {
 	inferNS       *telemetry.Histogram
 	wall          telemetry.Clock
 
-	// Lazy counters (fault-injection runs only; see hmMetrics).
+	// Lazy counters (fault-injection and hierarchical runs only; see
+	// hmMetrics).
 	reg          *telemetry.Registry
 	queryRetries *telemetry.Counter
 	timeouts     *telemetry.Counter
+	fanouts      *telemetry.Counter
+	fanoutSubs   *telemetry.Counter
+	hostsEvicted *telemetry.Counter
 }
 
 func (m *dmMetrics) countQueryRetry() {
@@ -165,6 +212,22 @@ func (m *dmMetrics) countTimeout() {
 		m.timeouts = m.reg.Counter("domain.episode_timeouts")
 	}
 	m.timeouts.Inc()
+}
+
+func (m *dmMetrics) countFanout(subQueries int) {
+	if m.fanouts == nil {
+		m.fanouts = m.reg.Counter("domain.fanouts")
+		m.fanoutSubs = m.reg.Counter("domain.fanout_queries")
+	}
+	m.fanouts.Inc()
+	m.fanoutSubs.Add(uint64(subQueries))
+}
+
+func (m *dmMetrics) countHostEvicted() {
+	if m.hostsEvicted == nil {
+		m.hostsEvicted = m.reg.Counter("domain.hosts_evicted")
+	}
+	m.hostsEvicted.Inc()
 }
 
 // NewDomainManager creates a domain manager bound to addr, loading the
@@ -224,8 +287,8 @@ func (dm *DomainManager) traceEvent(ep *episode, stage, detail string) telemetry
 	if dm.tracer == nil {
 		return telemetry.TraceContext{}
 	}
-	ctx := dm.tracer.EventCtx(ep.ctx, ep.alarm.ID.Address(), ep.alarm.Policy,
-		"domainmanager", stage, detail)
+	ctx := dm.tracer.EventCtxTier(ep.ctx, ep.alarm.ID.Address(), ep.alarm.Policy,
+		"domainmanager", stage, detail, dm.tier)
 	if ctx.Valid() {
 		ep.ctx = ctx
 	}
@@ -386,6 +449,22 @@ func (dm *DomainManager) HandleMessage(m msg.Message) {
 		dm.handleReport(*body)
 	case msg.Report:
 		dm.handleReport(body)
+	case *msg.Register:
+		dm.handleHostRegister(*body, m.From)
+	case msg.Register:
+		dm.handleHostRegister(body, m.From)
+	case *msg.Heartbeat:
+		dm.handleHostHeartbeat(*body, m.From)
+	case msg.Heartbeat:
+		dm.handleHostHeartbeat(body, m.From)
+	case *msg.Query:
+		dm.handleTierQuery(*body, m.Trace)
+	case msg.Query:
+		dm.handleTierQuery(body, m.Trace)
+	case *msg.Directive:
+		dm.handleTierDirective(*body, m.Trace)
+	case msg.Directive:
+		dm.handleTierDirective(body, m.Trace)
 	case *msg.Ack, msg.Ack:
 		// Directive acknowledgements are informational.
 	}
@@ -399,6 +478,16 @@ func (dm *DomainManager) handleAlarm(al msg.Alarm, tc telemetry.TraceContext) {
 	dm.Alarms++
 	if dm.metrics != nil {
 		dm.metrics.alarms.Inc()
+	}
+	// Hierarchical uplink: the domain's alarm activity coalesces upward
+	// regardless of whether local diagnosis succeeds, so the region tier
+	// sees aggregate pressure instead of per-host floods.
+	if dm.uplink != nil {
+		sev := 1
+		if dm.SeverityFor != nil {
+			sev = dm.SeverityFor(al)
+		}
+		_ = dm.uplink.AddCtx(al, sev, tc)
 	}
 	server, ok := dm.servers[al.ID.Application]
 	if !ok {
@@ -453,6 +542,13 @@ func (dm *DomainManager) CheckLiveness() (retried, abandoned int) {
 		return 0, 0
 	}
 	now := dm.livenessClock()
+	// Hierarchy sweeps (no-ops in flat topologies): pending fan-outs are
+	// retried with the scope narrowed to the hosts that have not
+	// reported, and silent hosts are evicted.
+	fr, fa := dm.checkFanouts(now)
+	retried += fr
+	abandoned += fa
+	dm.checkHosts(now)
 	refs := make([]string, 0, len(dm.episodes))
 	for ref, ep := range dm.episodes {
 		if now-ep.at > dm.livenessTimeout {
@@ -497,10 +593,15 @@ func (dm *DomainManager) PendingEpisodes() int { return len(dm.episodes) }
 // handleReport closes the episode: asserts the server statistics as
 // facts, forward-chains the diagnosis, and cleans up.
 func (dm *DomainManager) handleReport(r msg.Report) {
+	if f, ok := dm.fanouts[r.Ref]; ok {
+		dm.handleFanoutReport(r.Ref, f, r)
+		return
+	}
 	ep, ok := dm.episodes[r.Ref]
 	if !ok {
 		return
 	}
+	dm.hostContact(r.Host)
 	dm.engine.AssertF("episode", r.Ref, orUnknown(ep.alarm.ID.Application))
 	dm.engine.AssertF("server-exe", r.Ref, ep.server.executable)
 	procAlive := false

@@ -79,7 +79,8 @@ const (
 	kindDirective = 7
 	kindAck       = 8
 	kindNack      = 9
-	kindHeartbeat = 10
+	kindHeartbeat  = 10
+	kindAlarmBatch = 11
 )
 
 func binKind(body any) (byte, error) {
@@ -104,6 +105,8 @@ func binKind(body any) (byte, error) {
 		return kindNack, nil
 	case Heartbeat, *Heartbeat:
 		return kindHeartbeat, nil
+	case AlarmBatch, *AlarmBatch:
+		return kindAlarmBatch, nil
 	default:
 		return 0, fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -287,6 +290,10 @@ func appendBinaryPayload(dst []byte, to string, m Message) ([]byte, error) {
 		return appendBinHeartbeat(dst, &b), nil
 	case *Heartbeat:
 		return appendBinHeartbeat(dst, b), nil
+	case AlarmBatch:
+		return appendBinAlarmBatch(dst, &b), nil
+	case *AlarmBatch:
+		return appendBinAlarmBatch(dst, b), nil
 	}
 	return nil, fmt.Errorf("msg: unknown body type %T", m.Body)
 }
@@ -420,6 +427,18 @@ func appendBinNack(dst []byte, b *Nack) []byte {
 func appendBinHeartbeat(dst []byte, b *Heartbeat) []byte {
 	dst = appendBinIdentity(dst, &b.ID)
 	return binary.AppendUvarint(dst, b.Seq)
+}
+
+func appendBinAlarmBatch(dst []byte, b *AlarmBatch) []byte {
+	dst = appendBinString(dst, b.Tier)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Alarms)))
+	for i := range b.Alarms {
+		e := &b.Alarms[i]
+		dst = appendBinAlarm(dst, &e.Alarm)
+		dst = binary.AppendVarint(dst, int64(e.Count))
+		dst = binary.AppendVarint(dst, int64(e.Severity))
+	}
+	return appendBinMap(dst, b.Summary)
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +668,25 @@ func unmarshalBinaryPayload(payload []byte) (string, Message, error) {
 		body = &Nack{ID: r.identity(), Ref: r.str(), Reason: r.str()}
 	case kindHeartbeat:
 		body = &Heartbeat{ID: r.identity(), Seq: r.uvarint()}
+	case kindAlarmBatch:
+		ab := &AlarmBatch{Tier: r.str()}
+		na := r.uvarint()
+		// Each entry costs at least an identity (5 string lengths + pid),
+		// policy + readings + suspect lengths, and two varints: 11 bytes.
+		if na > uint64(len(r.buf)-r.pos)/11 {
+			r.fail(ErrTruncated)
+		} else {
+			for i := uint64(0); i < na && r.err == nil; i++ {
+				ab.Alarms = append(ab.Alarms, BatchedAlarm{
+					Alarm: Alarm{ID: r.identity(), Policy: r.str(),
+						Readings: r.f64map(), Suspect: r.str()},
+					Count:    int(r.varint()),
+					Severity: int(r.varint()),
+				})
+			}
+		}
+		ab.Summary = r.f64map()
+		body = ab
 	default:
 		if r.err == nil {
 			r.fail(fmt.Errorf("%w: %d", ErrBadKind, kind))

@@ -38,6 +38,16 @@ func codecCorpus() []Message {
 		{From: "/mgmt/agent", Body: Nack{ID: id, Ref: "register", Reason: "repository \"down\" <unavailable> & gone"}},
 		{From: "/h/app/x/1", Body: Heartbeat{ID: id, Seq: 18446744073709551615}},
 		{From: "/h/über/x/1", Body: Ack{Ref: "ünïcode\n\ttab"}},
+		{From: "/mgmt/dm-0", Body: AlarmBatch{Tier: "domain",
+			Alarms: []BatchedAlarm{
+				{Alarm: Alarm{ID: id, Policy: "P", Suspect: "network",
+					Readings: map[string]float64{"cpu_load": 3.5, "frame_rate": 10}},
+					Count: 4, Severity: 2},
+				{Alarm: Alarm{ID: id, Policy: "Q"}, Count: 1},
+			},
+			Summary: map[string]float64{"domain_saturation": 0.125, "hosts": 64}}},
+		{From: "/mgmt/dm-1", Body: AlarmBatch{Tier: "domain",
+			Summary: map[string]float64{"domain_saturation": 0}}},
 	}
 }
 

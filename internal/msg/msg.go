@@ -137,6 +137,28 @@ type Heartbeat struct {
 	Seq uint64   `json:"seq"`
 }
 
+// BatchedAlarm is one coalesced entry of an AlarmBatch: the
+// representative alarm (the latest occurrence's readings win), how many
+// occurrences the coalescing window merged into it, and the highest
+// severity observed among them.
+type BatchedAlarm struct {
+	Alarm    Alarm `json:"alarm"`
+	Count    int   `json:"count"`
+	Severity int   `json:"severity,omitempty"`
+}
+
+// AlarmBatch carries one tier's coalesced alarm traffic up the
+// management hierarchy (host managers to a domain manager, domain
+// managers to a region manager): the per-window alarm entries plus
+// summary aggregates such as "domain_saturation" that replace per-host
+// floods at the receiving tier. Tier names the emitting tier ("host",
+// "domain").
+type AlarmBatch struct {
+	Tier    string             `json:"tier"`
+	Alarms  []BatchedAlarm     `json:"alarms,omitempty"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
 // Message is the envelope union: exactly one well-known body type. Trace
 // is out-of-band observability metadata — the violation-trace context the
 // message extends, propagated identically by both transports and absent
@@ -187,6 +209,8 @@ func typeTag(body any) (string, error) {
 		return "nack", nil
 	case Heartbeat, *Heartbeat:
 		return "heartbeat", nil
+	case AlarmBatch, *AlarmBatch:
+		return "alarmbatch", nil
 	default:
 		return "", fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -242,6 +266,8 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 		body = &Nack{}
 	case "heartbeat":
 		body = &Heartbeat{}
+	case "alarmbatch":
+		body = &AlarmBatch{}
 	case "hello":
 		// Wire-format negotiation control frame (see wire.go), not a
 		// management message: transports intercept it, everyone else

@@ -59,7 +59,7 @@ func (m *netMetrics) droppedInvalid() {
 }
 
 func newNetMetrics(reg *telemetry.Registry) *netMetrics {
-	tags := append(append([]string(nil), typeTags...), "nack", "heartbeat")
+	tags := append(append([]string(nil), typeTags...), "nack", "heartbeat", "alarmbatch")
 	m := &netMetrics{
 		reg:        reg,
 		sent:       reg.Counter("msg.net.sent"),

@@ -33,6 +33,10 @@ func Validate(m Message) error {
 		return validateHeartbeat(b)
 	case *Heartbeat:
 		return validateHeartbeat(*b)
+	case AlarmBatch:
+		return validateAlarmBatch(b)
+	case *AlarmBatch:
+		return validateAlarmBatch(*b)
 	default:
 		return fmt.Errorf("msg: unknown body type %T", m.Body)
 	}
@@ -75,6 +79,21 @@ func validateDirective(d Directive) error {
 func validateHeartbeat(h Heartbeat) error {
 	if h.ID.PID <= 0 {
 		return fmt.Errorf("msg: heartbeat with non-positive pid %d", h.ID.PID)
+	}
+	return nil
+}
+
+func validateAlarmBatch(b AlarmBatch) error {
+	if len(b.Alarms) == 0 && len(b.Summary) == 0 {
+		return fmt.Errorf("msg: empty alarm batch")
+	}
+	for i, e := range b.Alarms {
+		if err := validateAlarm(e.Alarm); err != nil {
+			return fmt.Errorf("msg: batch entry %d: %w", i, err)
+		}
+		if e.Count < 1 {
+			return fmt.Errorf("msg: batch entry %d with count %d", i, e.Count)
+		}
 	}
 	return nil
 }

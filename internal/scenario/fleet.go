@@ -1,0 +1,484 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"softqos/internal/manager"
+	"softqos/internal/msg"
+	"softqos/internal/sim"
+	"softqos/internal/telemetry"
+)
+
+// The fleet scenario scales the paper's control loop to a three-tier
+// hierarchy: N lightweight host managers register with domain managers
+// (one per ~100 hosts), which register with a single region manager.
+// Detection and adaptation stay local — a host's load spike raises an
+// alarm to its domain, which diagnoses it with the ordinary episode
+// machinery and directs the host to adapt — while the domain's alarm
+// traffic coalesces upward into per-window AlarmBatch summaries. The
+// region keeps only per-domain aggregates (never per-host state) and
+// probes a domain — only that domain — when its saturation summary
+// crosses a threshold, shedding load from the hottest host it finds.
+
+// RegionAddr is the region manager's management address in fleet runs.
+const RegionAddr = "/mgmt/QoSRegionManager"
+
+// FleetConfig parameterizes a fleet run.
+type FleetConfig struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Hosts is the fleet size (default 100).
+	Hosts int
+	// ProcsPerHost is how many managed processes each host reports
+	// statistics for (default 10).
+	ProcsPerHost int
+	// Domains is the number of domain managers (default ceil(Hosts/100)).
+	Domains int
+	// BatchWindow is the alarm-coalescing window on each domain's uplink
+	// (default 2s). NoBatching forwards every alarm per-message instead —
+	// the flat protocol's degenerate case.
+	BatchWindow time.Duration
+	NoBatching  bool
+	// SampleEvery paces each host's load sampling (default 5s).
+	SampleEvery time.Duration
+	// HeartbeatEvery paces host and domain heartbeats (default 15s).
+	HeartbeatEvery time.Duration
+	// SpikeProb is the per-sample probability a calm host spikes
+	// (default 0.02).
+	SpikeProb float64
+	// LoadThreshold is the cpu_load at which a host raises an alarm and
+	// the domain rules indict the host (default 2.0, matching
+	// manager.DefaultDomainRules' cpu-load-threshold).
+	LoadThreshold float64
+	// SevereLoad marks a spike severe: its alarm flushes the uplink batch
+	// immediately instead of waiting out the window (default 4.0).
+	SevereLoad float64
+	// SaturationThreshold is the region's probe trigger on a domain's
+	// alarms-per-host-per-window summary (default 0.02).
+	SaturationThreshold float64
+	// LivenessTimeout arms per-tier liveness sweeps (default 10s).
+	LivenessTimeout time.Duration
+	// Trace attaches a tracer (small fleets only: traces are capped and
+	// 10k hosts would just churn the ring).
+	Trace bool
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 100
+	}
+	if c.ProcsPerHost <= 0 {
+		c.ProcsPerHost = 10
+	}
+	if c.Domains <= 0 {
+		c.Domains = (c.Hosts + 99) / 100
+	}
+	if c.Domains > c.Hosts {
+		c.Domains = c.Hosts
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
+	if c.SpikeProb <= 0 {
+		c.SpikeProb = 0.02
+	}
+	if c.LoadThreshold <= 0 {
+		c.LoadThreshold = 2.0
+	}
+	if c.SevereLoad <= 0 {
+		c.SevereLoad = 4.0
+	}
+	if c.SaturationThreshold <= 0 {
+		c.SaturationThreshold = 0.02
+	}
+	if c.LivenessTimeout <= 0 {
+		c.LivenessTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// fleetHost is a lightweight host manager stub: it speaks the full
+// management protocol (register, heartbeat, alarm, query-report,
+// directive) without simulating a scheduler underneath, so fleets of
+// 10k hosts stay cheap. Load is a random walk that occasionally spikes;
+// a spike raises exactly one alarm and persists until a corrective
+// directive arrives.
+type fleetHost struct {
+	sys    *FleetSystem
+	index  int
+	name   string
+	addr   string
+	domain string // domain manager address
+	id     msg.Identity
+
+	baseline float64
+	load     float64
+	spiked   bool
+	alarmed  bool          // alarm sent for the current spike
+	detectAt time.Duration // when the current spike's alarm was raised
+
+	// procCPU is the per-process share of the host's load; procs exist
+	// only as reported statistics.
+	procCPU []float64
+
+	adaptations int
+	sheds       int
+}
+
+func (h *fleetHost) exe(i int) string { return fmt.Sprintf("svc%d", i) }
+
+// appName is the application this host's lead process serves; the
+// domain's episode machinery queries the host through it.
+func (h *fleetHost) appName() string { return "app-" + h.name }
+
+func (h *fleetHost) send(to string, m msg.Message) {
+	_ = h.sys.Bus.Send(to, m)
+}
+
+func (h *fleetHost) register() {
+	h.send(h.domain, msg.Message{From: h.addr, Body: msg.Register{ID: h.id}})
+}
+
+func (h *fleetHost) heartbeat(seq uint64) {
+	h.send(h.domain, msg.Message{From: h.addr, Body: msg.Heartbeat{ID: h.id, Seq: seq}})
+}
+
+// sample advances the host's load: calm hosts jitter around their
+// baseline and occasionally spike; spiked hosts stay hot (re-alarming
+// is suppressed) until a directive adapts them.
+func (h *fleetHost) sample() {
+	rng := h.sys.Sim.Rand()
+	if h.spiked {
+		h.load += rng.Float64() * 0.2 // spike keeps creeping
+	} else {
+		h.load = h.baseline + rng.Float64()*0.4 - 0.2
+		if rng.Float64() < h.sys.Cfg.SpikeProb {
+			h.spiked = true
+			h.load = h.sys.Cfg.LoadThreshold + 0.5 + rng.Float64()*(h.sys.Cfg.SevereLoad-h.sys.Cfg.LoadThreshold)
+		}
+	}
+	for i := range h.procCPU {
+		h.procCPU[i] = h.load / float64(len(h.procCPU))
+	}
+	if h.spiked && !h.alarmed {
+		h.alarmed = true
+		h.detectAt = h.sys.Sim.Now().Duration()
+		h.sys.alarmsRaised++
+		var tc telemetry.TraceContext
+		if h.sys.Tracer != nil {
+			tc = h.sys.Tracer.Begin(h.id.Address(), "FleetLoadPolicy", "hostmanager",
+				fmt.Sprintf("cpu_load %.2f over threshold", h.load))
+		}
+		h.send(h.domain, msg.Message{From: h.addr, Trace: tc, Body: msg.Alarm{
+			ID: h.id, Policy: "FleetLoadPolicy",
+			Readings: map[string]float64{"cpu_load": h.load},
+		}})
+	}
+}
+
+// handle processes one management message addressed to this host.
+func (h *fleetHost) handle(m msg.Message) {
+	switch body := m.Body.(type) {
+	case msg.Query:
+		h.answer(body, m.Trace)
+	case *msg.Query:
+		h.answer(*body, m.Trace)
+	case msg.Directive:
+		h.directive(body)
+	case *msg.Directive:
+		h.directive(*body)
+	case msg.Ack, *msg.Ack:
+	}
+}
+
+// answer replies to a statistics query — an episode interrogation or a
+// fan-out sub-query — with exactly the requested keys.
+func (h *fleetHost) answer(q msg.Query, tc telemetry.TraceContext) {
+	values := make(map[string]float64, len(q.Keys))
+	for _, k := range q.Keys {
+		switch k {
+		case "cpu_load", "run_queue":
+			values[k] = h.load
+		case "mem_usage":
+			values[k] = 0.4 + 0.1*h.load/h.sys.Cfg.LoadThreshold
+		default:
+			const p = "proc_cpu:"
+			if len(k) > len(p) && k[:len(p)] == p {
+				exe := k[len(p):]
+				for i := range h.procCPU {
+					if h.exe(i) == exe {
+						values[k] = h.procCPU[i]
+					}
+				}
+			}
+		}
+	}
+	h.send(q.From, msg.Message{From: h.addr, Trace: tc,
+		Body: msg.Report{Host: h.name, Values: values, Ref: q.Ref}})
+}
+
+// directive adapts the host: a boost (the domain's episode outcome) or
+// a shed (the region's rebalance) ends the current spike, closing the
+// detect→adapt loop the fleet histogram measures.
+func (h *fleetHost) directive(d msg.Directive) {
+	switch d.Action {
+	case "boost_cpu":
+		h.adaptations++
+	case "shed_load":
+		h.sheds++
+	default:
+		return
+	}
+	if h.spiked {
+		h.spiked = false
+		h.alarmed = false
+		h.load = h.baseline
+		if h.detectAt > 0 {
+			h.sys.DetectAdapt.ObserveDuration(h.sys.Sim.Now().Duration() - h.detectAt)
+			h.detectAt = 0
+		}
+		if h.sys.Tracer != nil {
+			h.sys.Tracer.Resolve(h.id.Address(), "FleetLoadPolicy")
+		}
+	}
+}
+
+// fleetDomain is one middle-tier slot: the ordinary DomainManager plus
+// its uplink coalescer and saturation bookkeeping.
+type fleetDomain struct {
+	name    string
+	addr    string
+	dm      *manager.DomainManager
+	uplink  *manager.AlarmCoalescer
+	hosts   int
+	flushed uint64 // dm.Alarms already summarized in earlier flushes
+}
+
+// FleetSystem is a fully wired three-tier fleet.
+type FleetSystem struct {
+	Cfg FleetConfig
+	Sim *sim.Simulator
+	Bus *msg.Bus
+
+	Region  *manager.RegionManager
+	Domains []*fleetDomain
+	hosts   []*fleetHost
+
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
+
+	// DetectAdapt is the end-to-end detect→adapt latency histogram
+	// (fleet.detect_adapt_ns).
+	DetectAdapt *telemetry.Histogram
+
+	alarmsRaised uint64
+}
+
+// FleetResult summarizes one fleet run.
+type FleetResult struct {
+	Cfg FleetConfig
+
+	AlarmsRaised  uint64 // host spikes that raised an alarm
+	Adaptations   uint64 // boost_cpu directives applied by hosts
+	Sheds         uint64 // shed_load directives applied by hosts
+	Batches       uint64 // alarm batches the region ingested
+	BatchedAlarms uint64 // alarms carried by those batches
+	Probes        uint64 // region -> domain localization probes
+	FanoutQueries uint64 // domain -> host sub-queries those probes fanned into
+	Rebalances    uint64 // region shed_load directives issued
+
+	// DetectAdaptP50/P99 are the detect→adapt latency quantiles.
+	DetectAdaptP50 time.Duration
+	DetectAdaptP99 time.Duration
+	Adapted        uint64 // histogram observation count
+
+	BusMessages uint64
+	BusBytes    uint64
+	Events      uint64        // simulation events fired
+	SimTime     time.Duration // virtual time simulated
+}
+
+// BuildFleet assembles a fleet system; nothing has executed yet.
+func BuildFleet(cfg FleetConfig) *FleetSystem {
+	cfg = cfg.withDefaults()
+	sys := &FleetSystem{Cfg: cfg}
+	s := sim.New(cfg.Seed)
+	sys.Sim = s
+
+	sys.Metrics = telemetry.NewRegistry(func() time.Duration { return s.Now().Duration() })
+	if cfg.Trace {
+		sys.Tracer = telemetry.NewTracer(sys.Metrics.Clock())
+	}
+	sys.Bus = msg.NewBus(s, 100*time.Microsecond, 2*time.Millisecond)
+	sys.Bus.SetMetrics(sys.Metrics)
+	sys.DetectAdapt = sys.Metrics.Histogram("fleet.detect_adapt_ns", 0)
+
+	send := msg.SendFunc(sys.Bus.Send)
+
+	// Tier 3: the region manager.
+	sys.Region = manager.NewRegionManager(RegionAddr, send)
+	sys.Region.SaturationThreshold = cfg.SaturationThreshold
+	sys.Region.LoadThreshold = cfg.LoadThreshold
+	sys.Region.SetTelemetry(sys.Metrics, sys.Tracer)
+	sys.Region.EnableLiveness(sys.Metrics.Clock(), 2*cfg.HeartbeatEvery)
+	sys.Bus.Bind(RegionAddr, "mgmt", func(m msg.Message) { sys.Region.HandleMessage(m) })
+
+	// Tier 2: domain managers with coalescing uplinks.
+	window := cfg.BatchWindow
+	if cfg.NoBatching {
+		window = 0
+	}
+	for j := 0; j < cfg.Domains; j++ {
+		name := fmt.Sprintf("domain-%d", j)
+		addr := fmt.Sprintf("/%s/QoSDomainManager", name)
+		fd := &fleetDomain{name: name, addr: addr}
+		fd.dm = manager.NewDomainManager(addr, send)
+		fd.dm.SetTier(manager.TierDomain)
+		fd.dm.SetTelemetry(sys.Metrics, sys.Tracer)
+		fd.dm.EnableLiveness(sys.Metrics.Clock(), cfg.LivenessTimeout)
+		// Hosts beat slowly; their roster tolerates two missed beats.
+		fd.dm.SetHostTimeout(2*cfg.HeartbeatEvery + time.Second)
+		fd.dm.SeverityFor = func(a msg.Alarm) int {
+			if a.Readings["cpu_load"] >= cfg.SevereLoad {
+				return 2
+			}
+			return 1
+		}
+		co := manager.NewAlarmCoalescer("domain", addr, RegionAddr, send,
+			window, func(d time.Duration, fn func()) { s.After(d, fn) })
+		co.SetTelemetry(sys.Metrics)
+		co.SetEscalation(2)
+		co.Summarize = func() map[string]float64 {
+			delta := fd.dm.Alarms - fd.flushed
+			fd.flushed = fd.dm.Alarms
+			hosts := fd.hosts
+			if hosts == 0 {
+				hosts = 1
+			}
+			return map[string]float64{
+				"domain_saturation": float64(delta) / float64(hosts),
+				"hosts":             float64(hosts),
+			}
+		}
+		fd.uplink = co
+		fd.dm.SetUplink(co)
+		sys.Domains = append(sys.Domains, fd)
+		sys.Bus.Bind(addr, name, func(m msg.Message) { fd.dm.HandleMessage(m) })
+	}
+
+	// Tier 1: the hosts, dealt round-robin across domains so every
+	// domain holds ceil(Hosts/Domains) or floor of it.
+	for i := 0; i < cfg.Hosts; i++ {
+		fd := sys.Domains[i%cfg.Domains]
+		name := fmt.Sprintf("fleet-%05d", i)
+		h := &fleetHost{
+			sys:      sys,
+			index:    i,
+			name:     name,
+			addr:     fmt.Sprintf("/%s/QoSHostManager", name),
+			domain:   fd.addr,
+			baseline: 0.4 + 0.8*float64(i%7)/7,
+			procCPU:  make([]float64, cfg.ProcsPerHost),
+		}
+		h.id = msg.Identity{Host: name, PID: i + 1, Executable: h.exe(0),
+			Application: h.appName()}
+		h.load = h.baseline
+		fd.hosts++
+		// The host is the server of its own application, so the domain's
+		// episode machinery (query, report, rule diagnosis, boost
+		// directive) runs unchanged against fleet hosts.
+		fd.dm.RegisterAppServer(h.appName(), h.addr, h.exe(0))
+		sys.hosts = append(sys.hosts, h)
+		sys.Bus.Bind(h.addr, name, h.handle)
+	}
+	return sys
+}
+
+// Start schedules the fleet's recurring activity: registration,
+// heartbeats, load sampling, and per-tier liveness sweeps. Offsets are
+// index-staggered so 10k hosts do not fire on the same instant.
+func (sys *FleetSystem) Start() {
+	cfg := sys.Cfg
+	s := sys.Sim
+	for _, fd := range sys.Domains {
+		fd := fd
+		s.After(time.Millisecond, func() {
+			_ = sys.Bus.Send(RegionAddr, msg.Message{From: fd.addr,
+				Body: msg.Register{ID: msg.Identity{Host: fd.name}}})
+		})
+		s.Every(cfg.LivenessTimeout/2, func() { fd.dm.CheckLiveness() })
+		seq := uint64(0)
+		s.Every(cfg.HeartbeatEvery, func() {
+			seq++
+			_ = sys.Bus.Send(RegionAddr, msg.Message{From: fd.addr,
+				Body: msg.Heartbeat{ID: msg.Identity{Host: fd.name, PID: 1}, Seq: seq}})
+		})
+	}
+	s.Every(cfg.LivenessTimeout/2, func() { sys.Region.CheckLiveness() })
+	for _, h := range sys.hosts {
+		h := h
+		// Stagger per-host schedules across their periods.
+		regAt := 2*time.Millisecond + time.Duration(h.index%1000)*time.Millisecond
+		s.After(regAt, func() {
+			h.register()
+			sampleOff := time.Duration(h.index*37) % cfg.SampleEvery
+			s.After(sampleOff, func() { s.Every(cfg.SampleEvery, h.sample) })
+			hbOff := time.Duration(h.index*53) % cfg.HeartbeatEvery
+			seq := uint64(0)
+			s.After(hbOff, func() {
+				s.Every(cfg.HeartbeatEvery, func() { seq++; h.heartbeat(seq) })
+			})
+		})
+	}
+}
+
+// Run starts the fleet and simulates it for d of virtual time.
+func (sys *FleetSystem) Run(d time.Duration) FleetResult {
+	sys.Start()
+	sys.Sim.RunFor(d)
+	return sys.Result()
+}
+
+// Result summarizes the run so far.
+func (sys *FleetSystem) Result() FleetResult {
+	res := FleetResult{
+		Cfg:           sys.Cfg,
+		AlarmsRaised:  sys.alarmsRaised,
+		Batches:       sys.Region.Batches,
+		BatchedAlarms: sys.Region.BatchedAlarms,
+		Probes:        sys.Region.Probes,
+		Rebalances:    sys.Region.Rebalances,
+		BusMessages:   sys.Bus.Sent,
+		BusBytes:      sys.Metrics.Counter("msg.bus.bytes").Value(),
+		Events:        sys.Sim.Fired(),
+		SimTime:       sys.Sim.Now().Duration(),
+	}
+	for _, h := range sys.hosts {
+		res.Adaptations += uint64(h.adaptations)
+		res.Sheds += uint64(h.sheds)
+	}
+	for _, fd := range sys.Domains {
+		res.FanoutQueries += fd.dm.FanoutQueries
+	}
+	res.Adapted = sys.DetectAdapt.Count()
+	if p50, ok := sys.DetectAdapt.Quantile(0.50); ok {
+		res.DetectAdaptP50 = time.Duration(p50)
+	}
+	if p99, ok := sys.DetectAdapt.Quantile(0.99); ok {
+		res.DetectAdaptP99 = time.Duration(p99)
+	}
+	return res
+}
+
+// HostCount returns the number of simulated hosts.
+func (sys *FleetSystem) HostCount() int { return len(sys.hosts) }

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"softqos/internal/telemetry"
+)
+
+// fleetSnapshot runs a fleet config for d and renders the telemetry
+// snapshot (plus the trace table when tracing is on) as one text blob.
+func fleetSnapshot(t *testing.T, cfg FleetConfig, d time.Duration) (string, FleetResult) {
+	t.Helper()
+	sys := BuildFleet(cfg)
+	res := sys.Run(d)
+	var b strings.Builder
+	if err := sys.Metrics.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Tracer != nil {
+		if err := telemetry.WriteTraceTable(&b, sys.Tracer.Traces()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String(), res
+}
+
+// TestFleetDeterminismGolden pins a small 3-tier fleet run — 60 hosts,
+// 3 domains, tracing on — to a golden: the hierarchy (registration,
+// batched uplinks, saturation probes, fan-out, rebalancing) must be a
+// pure function of the seed, byte for byte. Regenerate with GEN_GOLDEN=1
+// after an intentional behavior change.
+func TestFleetDeterminismGolden(t *testing.T) {
+	cfg := FleetConfig{
+		Seed:         7,
+		Hosts:        60,
+		Domains:      3,
+		ProcsPerHost: 4,
+		SpikeProb:    0.10,
+		Trace:        true,
+	}
+	a, resA := fleetSnapshot(t, cfg, 2*time.Minute)
+	b, _ := fleetSnapshot(t, cfg, 2*time.Minute)
+	if a != b {
+		t.Fatalf("same seed produced different fleet telemetry:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	const golden = "testdata/determinism_fleet.golden"
+	if os.Getenv("GEN_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != string(want) {
+		t.Errorf("fleet snapshot differs from %s (same seed, code change altered simulated behavior); rerun with GEN_GOLDEN=1 if intended", golden)
+	}
+	// The golden run must actually exercise the hierarchy end to end.
+	if resA.AlarmsRaised == 0 || resA.Adaptations == 0 {
+		t.Errorf("golden fleet run idle: alarms=%d adaptations=%d", resA.AlarmsRaised, resA.Adaptations)
+	}
+	if resA.Batches == 0 {
+		t.Error("no alarm batches reached the region")
+	}
+	if resA.Probes == 0 || resA.FanoutQueries == 0 {
+		t.Errorf("no downward fan-out: probes=%d fanoutQueries=%d", resA.Probes, resA.FanoutQueries)
+	}
+	if !strings.Contains(a, "[tier 2]") && !strings.Contains(a, "[tier 3]") {
+		t.Error("trace table carries no tier markers")
+	}
+}
+
+// TestFleetBatchingReducesUplinkMessages compares a batched fleet
+// against the NoBatching degenerate case on the same seed: batching
+// must deliver the same alarm count to the region in strictly fewer
+// envelopes, and the degenerate case must behave like the flat
+// per-alarm protocol (one region ingest per alarm).
+func TestFleetBatchingReducesUplinkMessages(t *testing.T) {
+	base := FleetConfig{Seed: 11, Hosts: 120, Domains: 2, SpikeProb: 0.15}
+
+	batched := base
+	_, rb := fleetSnapshot(t, batched, 2*time.Minute)
+
+	degenerate := base
+	degenerate.NoBatching = true
+	_, rd := fleetSnapshot(t, degenerate, 2*time.Minute)
+
+	if rb.AlarmsRaised == 0 {
+		t.Fatal("batched run raised no alarms")
+	}
+	// Every alarm the domains saw reaches the region in both modes.
+	if rb.BatchedAlarms != rb.AlarmsRaised {
+		t.Errorf("batched mode: region saw %d alarms, hosts raised %d",
+			rb.BatchedAlarms, rb.AlarmsRaised)
+	}
+	if rd.BatchedAlarms != rd.AlarmsRaised {
+		t.Errorf("degenerate mode: region saw %d alarms, hosts raised %d",
+			rd.BatchedAlarms, rd.AlarmsRaised)
+	}
+	// Degenerate mode ships one envelope per alarm; batching ships fewer.
+	if rd.Batches != rd.AlarmsRaised {
+		t.Errorf("degenerate mode: %d region ingests for %d alarms, want 1:1",
+			rd.Batches, rd.AlarmsRaised)
+	}
+	if rb.Batches >= rb.AlarmsRaised {
+		t.Errorf("batching did not coalesce: %d batches for %d alarms",
+			rb.Batches, rb.AlarmsRaised)
+	}
+}
+
+// TestFleetSmoke is the bounded-wall-clock gate `make fleet-smoke` runs
+// in CI: a 1000-host, 10-domain fleet simulates two minutes of virtual
+// time, every tier stays live, detection→adaptation completes with a
+// bounded p99, and the region holds no per-host state.
+func TestFleetSmoke(t *testing.T) {
+	cfg := FleetConfig{Seed: 3, Hosts: 1000, ProcsPerHost: 10}
+	sys := BuildFleet(cfg)
+	res := sys.Run(2 * time.Minute)
+
+	if got := sys.Region.Domains(); got != 10 {
+		t.Errorf("region sees %d domains, want 10", got)
+	}
+	for _, fd := range sys.Domains {
+		if fd.dm.HostCount() != 100 {
+			t.Errorf("%s holds %d hosts, want 100", fd.name, fd.dm.HostCount())
+		}
+	}
+	if res.AlarmsRaised == 0 {
+		t.Fatal("no spikes in a 1000-host fleet over 2 minutes")
+	}
+	// Detection→adaptation must complete for (nearly) every spike; the
+	// tail may still be in flight at cutoff.
+	if res.Adapted < res.AlarmsRaised*9/10 {
+		t.Errorf("only %d of %d spikes adapted", res.Adapted, res.AlarmsRaised)
+	}
+	// The local control loop is a handful of bus hops: detect→adapt p99
+	// must stay well under one sample period.
+	if res.DetectAdaptP99 <= 0 || res.DetectAdaptP99 > time.Second {
+		t.Errorf("detect→adapt p99 = %v, want (0, 1s]", res.DetectAdaptP99)
+	}
+	if res.BatchedAlarms != res.AlarmsRaised {
+		t.Errorf("region alarm accounting: %d batched vs %d raised",
+			res.BatchedAlarms, res.AlarmsRaised)
+	}
+}
+
+// TestFleetRoundRobinPlacement: hosts deal across domains evenly even
+// when the counts do not divide.
+func TestFleetRoundRobinPlacement(t *testing.T) {
+	sys := BuildFleet(FleetConfig{Hosts: 10, Domains: 3})
+	counts := make([]int, 0, 3)
+	total := 0
+	for _, fd := range sys.Domains {
+		counts = append(counts, fd.hosts)
+		total += fd.hosts
+	}
+	if total != 10 {
+		t.Fatalf("placed %d hosts, want 10 (%v)", total, counts)
+	}
+	for _, n := range counts {
+		if n < 3 || n > 4 {
+			t.Fatalf("unbalanced placement %v", counts)
+		}
+	}
+}

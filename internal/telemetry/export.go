@@ -200,6 +200,11 @@ func WriteTraceTable(w io.Writer, traces []*Trace) error {
 		}
 		for _, sp := range t.Spans {
 			line := fmt.Sprintf("   +%-12v %s", (sp.At - t.Start).String(), sp.Stage)
+			// Tier depth appears only on spans from hierarchical managers;
+			// flat-topology spans (tier 0) render exactly as before.
+			if sp.Tier > 0 {
+				line += fmt.Sprintf(" [tier %d]", sp.Tier)
+			}
 			if sp.Detail != "" {
 				line += "  " + sp.Detail
 			}

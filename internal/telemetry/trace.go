@@ -63,6 +63,11 @@ type Span struct {
 	At     time.Duration `json:"at_ns"` // clock time the step happened
 	Stage  string        `json:"stage"`
 	Detail string        `json:"detail,omitempty"`
+	// Tier records the management-hierarchy depth of the emitting
+	// component when known (1 = host, 2 = domain, 3 = region). Zero —
+	// the flat-topology default — is omitted everywhere it is rendered,
+	// so tier annotations never perturb flat-topology output.
+	Tier int `json:"tier,omitempty"`
 }
 
 // Explanation records why one inference-engine rule fired during a
@@ -160,10 +165,16 @@ func traceKey(subject, policy string) string { return subject + "|" + policy }
 
 // addSpan appends a span to t and returns its context. Caller holds mu.
 func (tr *Tracer) addSpan(t *Trace, parent int, src, stage, detail string, at time.Duration) TraceContext {
+	return tr.addSpanTier(t, parent, src, stage, detail, at, 0)
+}
+
+// addSpanTier is addSpan with the emitting component's management tier
+// recorded on the span (0 = unknown/flat). Caller holds mu.
+func (tr *Tracer) addSpanTier(t *Trace, parent int, src, stage, detail string, at time.Duration, tier int) TraceContext {
 	t.nextSpan++
 	t.Spans = append(t.Spans, Span{
 		ID: t.nextSpan, Parent: parent, Src: src,
-		At: at, Stage: stage, Detail: detail,
+		At: at, Stage: stage, Detail: detail, Tier: tier,
 	})
 	return TraceContext{TraceID: t.ID, Span: t.nextSpan}
 }
@@ -224,6 +235,15 @@ func (tr *Tracer) lookup(ctx TraceContext, subject, policy string, at time.Durat
 // context when no trace is open (e.g. management actions for overshoot
 // episodes, which are not violations).
 func (tr *Tracer) EventCtx(ctx TraceContext, subject, policy, src, stage, detail string) TraceContext {
+	return tr.EventCtxTier(ctx, subject, policy, src, stage, detail, 0)
+}
+
+// EventCtxTier is EventCtx with the emitting component's management
+// tier recorded on the span (1 = host, 2 = domain, 3 = region).
+// Hierarchical managers use it so exported traces carry the depth each
+// step happened at; tier 0 is the flat-topology default and renders
+// identically to spans recorded before tiers existed.
+func (tr *Tracer) EventCtxTier(ctx TraceContext, subject, policy, src, stage, detail string, tier int) TraceContext {
 	now := tr.clock()
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
@@ -235,7 +255,7 @@ func (tr *Tracer) EventCtx(ctx TraceContext, subject, policy, src, stage, detail
 	if ctx.Valid() && ctx.TraceID == t.ID {
 		parent = ctx.Span
 	}
-	return tr.addSpan(t, parent, src, stage, detail, now)
+	return tr.addSpanTier(t, parent, src, stage, detail, now, tier)
 }
 
 // Event appends a span to the open trace for (subject, policy); it is a
