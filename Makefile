@@ -58,10 +58,15 @@ trace-smoke:
 # hosts, simulate two minutes of virtual time (sub-second wall), and
 # require a healthy run — every tier registered, >=90% of load spikes
 # adapted, detect->adapt p99 under a second, and region-side alarm
-# accounting exact. Bounded wall-clock by construction: the simulation
-# is event-driven, not real-time.
+# accounting exact. The second line re-runs at 10k hosts with the
+# federated telemetry plane armed: the region must reconstruct the
+# fleet view from domain aggregates alone, within the per-host heap
+# budget, and serve each debug payload under the size cap. Bounded
+# wall-clock by construction: the simulation is event-driven, not
+# real-time.
 fleet-smoke:
 	$(GO) run ./cmd/qosfleet -hosts 1000 -duration 2m -check
+	$(GO) run ./cmd/qosfleet -hosts 10000 -procs 10 -duration 2m -federate -check
 
 # Perf trajectory: `make bench` runs the micro-benchmarks (hot-path
 # packages at a stable benchtime, macro scenario benchmarks once) and
@@ -72,7 +77,8 @@ BENCHTIME ?= 200ms
 
 bench:
 	( $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
-	      ./internal/msg ./internal/rules ./internal/telemetry ./internal/netsim ; \
+	      ./internal/msg ./internal/rules ./internal/telemetry \
+	      ./internal/telemetry/export ./internal/netsim ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark(PolicyEvaluate|InstrumentationPass)$$' \
 	      -benchmem -benchtime=$(BENCHTIME) . ; \
 	  $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . ) | $(GO) run ./cmd/benchfmt -dir .

@@ -556,24 +556,34 @@ func fleetExp() {
 	fmt.Println("fleet; batched uplinks (2s window). Flat p99 and flat KB/host")
 	fmt.Println("across sizes is the hierarchy working.")
 	fmt.Println()
-	fmt.Printf("%-8s %-8s %-8s %-8s %-8s %-7s %-10s %-9s %-9s\n",
-		"hosts", "domains", "alarms", "batches", "probes", "rebal", "p99", "KB/host", "wall")
-	for _, hosts := range []int{100, 1000, 10000} {
-		runtime.GC()
-		var before runtimeMemStats
-		runtime.ReadMemStats(&before.m)
-		start := time.Now()
-		sys := scenario.BuildFleet(scenario.FleetConfig{Seed: *seed, Hosts: hosts, ProcsPerHost: 10})
-		res := sys.Run(2 * time.Minute)
-		wall := time.Since(start)
-		runtime.GC()
-		var after runtimeMemStats
-		runtime.ReadMemStats(&after.m)
-		kbPerHost := float64(after.m.HeapAlloc-before.m.HeapAlloc) / float64(hosts) / 1024
-		fmt.Printf("%-8d %-8d %-8d %-8d %-8d %-7d %-10v %-9.2f %-9v\n",
-			hosts, len(sys.Domains), res.AlarmsRaised, res.Batches, res.Probes,
-			res.Rebalances, res.DetectAdaptP99, kbPerHost, wall.Round(time.Millisecond))
+	fmt.Printf("%-8s %-8s %-9s %-8s %-8s %-8s %-7s %-10s %-9s %-9s\n",
+		"hosts", "domains", "telem", "alarms", "batches", "probes", "rebal", "p99", "KB/host", "wall")
+	for _, federate := range []bool{false, true} {
+		for _, hosts := range []int{100, 1000, 10000} {
+			runtime.GC()
+			var before runtimeMemStats
+			runtime.ReadMemStats(&before.m)
+			start := time.Now()
+			sys := scenario.BuildFleet(scenario.FleetConfig{
+				Seed: *seed, Hosts: hosts, ProcsPerHost: 10, Federate: federate})
+			res := sys.Run(2 * time.Minute)
+			wall := time.Since(start)
+			runtime.GC()
+			var after runtimeMemStats
+			runtime.ReadMemStats(&after.m)
+			kbPerHost := float64(after.m.HeapAlloc-before.m.HeapAlloc) / float64(hosts) / 1024
+			telem := "flat"
+			if federate {
+				telem = fmt.Sprintf("fed:%d", res.Summaries)
+			}
+			fmt.Printf("%-8d %-8d %-9s %-8d %-8d %-8d %-7d %-10v %-9.2f %-9v\n",
+				hosts, len(sys.Domains), telem, res.AlarmsRaised, res.Batches, res.Probes,
+				res.Rebalances, res.DetectAdaptP99, kbPerHost, wall.Round(time.Millisecond))
+		}
 	}
+	fmt.Println()
+	fmt.Println("fed:N rows add the federated telemetry plane (N summaries reached")
+	fmt.Println("the region); the KB/host delta is the price of per-host sketches.")
 }
 
 // runtimeMemStats wraps runtime.MemStats so fleetExp can take two

@@ -46,7 +46,19 @@ var (
 	agentTCP = flag.String("agent-addr", "", "policy agent TCP address (workload role)")
 	mgrTCP   = flag.String("manager-addr", "", "host manager TCP address (workload role)")
 	httpAddr = flag.String("http", "", "serve /metrics, /debug/qos and /debug/qos/chrome on this address (live mode)")
+
+	unboundedTel = flag.Bool("unbounded-telemetry", false,
+		"opt out of live-mode retention caps: keep every completed trace and every timeline series")
+	traceSample = flag.Int("trace-sample", 1,
+		"tail-sample fast recoveries: keep 1 in N (1 keeps all; abandoned and slow episodes are always kept)")
+	traceSlow = flag.Duration("trace-slow", 2*time.Second,
+		"recoveries at or above this time-to-recovery bypass -trace-sample")
 )
+
+// liveMaxTimelineSeries caps flight-recorder series cardinality in live
+// mode: a runaway metric-name set costs an eviction counter, not the
+// process. -unbounded-telemetry lifts it.
+const liveMaxTimelineSeries = 512
 
 // serveExport starts the opt-in observability listener for a live role.
 // Returns a closer (no-op when -http is unset). Live mode gets the full
@@ -59,9 +71,26 @@ func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
 	}
 	var opts []export.Option
 	stopSampler := func() {}
+	if tracer != nil {
+		// Live processes run indefinitely, so retention is bounded by
+		// default (evict-oldest at telemetry.DefaultMaxTraces, surfaced as
+		// telemetry.traces.evicted); -unbounded-telemetry opts back in to
+		// keeping every episode.
+		tracer.SetMetrics(reg)
+		if *unboundedTel {
+			tracer.SetRetention(0)
+		}
+		if *traceSample > 1 {
+			tracer.SetSampling(*traceSample, *traceSlow)
+		}
+	}
 	if reg != nil {
 		export.RegisterRuntimeGauges(reg)
 		tl := telemetry.NewTimeline(reg, 0)
+		tl.EnableRollup(0)
+		if !*unboundedTel {
+			tl.SetMaxSeries(liveMaxTimelineSeries)
+		}
 		var miner *telemetry.LoopMiner
 		if tracer != nil {
 			miner = telemetry.NewLoopMiner(reg)

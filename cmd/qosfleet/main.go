@@ -6,23 +6,35 @@
 //
 //	qosfleet [-hosts 10000] [-procs 10] [-domains 0 (auto)]
 //	         [-duration 2m] [-window 2s] [-nobatch] [-seed 1]
+//	         [-federate] [-telemetry-window 10s]
+//	         [-http addr] [-host-budget 0 (auto)] [-payload-cap 262144]
 //	         [-check]
 //
 // The summary reports control-loop throughput (alarms, batches, probes,
 // rebalances), the detect→adapt latency quantiles, bus traffic, and the
-// process's heap growth per simulated host. With -check the run becomes
-// a smoke gate: it exits non-zero unless the fleet assembled fully, the
-// loop closed for ≥90% of spikes, and p99 detect→adapt stayed under 1s.
+// process's heap growth per simulated host. With -federate each host
+// additionally ships mergeable telemetry summaries up the hierarchy and
+// the region reconstructs the fleet view from aggregates alone; -http
+// then serves /metrics, /debug/qos and the dashboard from that view
+// after the run. With -check the run becomes a smoke gate: it exits
+// non-zero unless the fleet assembled fully, the loop closed for ≥90%
+// of spikes, p99 detect→adapt stayed under 1s, heap per host stayed
+// within -host-budget, and (federated) the debug surface serves bounded
+// payloads from the aggregates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"softqos/internal/scenario"
+	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 )
 
 var (
@@ -34,6 +46,12 @@ var (
 	nobatch  = flag.Bool("nobatch", false, "disable alarm batching (per-alarm uplink, the flat degenerate case)")
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	check    = flag.Bool("check", false, "smoke-gate mode: exit non-zero on an unhealthy run")
+
+	federate  = flag.Bool("federate", false, "arm the federated telemetry plane (host summaries -> domain -> region)")
+	telWindow = flag.Duration("telemetry-window", 10*time.Second, "federated summary flush window")
+	httpAddr  = flag.String("http", "", "serve the post-run observability surface on this address and block (federated runs serve the fleet view)")
+	budget    = flag.Float64("host-budget", 0, "heap bytes per host -check tolerates (0 = auto: 2048 plain, 6144 federated)")
+	capBytes  = flag.Int("payload-cap", 256<<10, "max bytes -check tolerates for one federated debug payload")
 )
 
 func heapBytes() uint64 {
@@ -46,12 +64,14 @@ func heapBytes() uint64 {
 func main() {
 	flag.Parse()
 	cfg := scenario.FleetConfig{
-		Seed:         *seed,
-		Hosts:        *hosts,
-		ProcsPerHost: *procs,
-		Domains:      *domains,
-		BatchWindow:  *window,
-		NoBatching:   *nobatch,
+		Seed:            *seed,
+		Hosts:           *hosts,
+		ProcsPerHost:    *procs,
+		Domains:         *domains,
+		BatchWindow:     *window,
+		NoBatching:      *nobatch,
+		Federate:        *federate,
+		TelemetryWindow: *telWindow,
 	}
 
 	before := heapBytes()
@@ -68,7 +88,11 @@ func main() {
 	if res.Cfg.NoBatching {
 		mode = "unbatched (per-alarm uplink)"
 	}
-	fmt.Printf("uplink: %s\n\n", mode)
+	fmt.Printf("uplink: %s\n", mode)
+	if *federate {
+		fmt.Printf("telemetry: federated (window %v)\n", cfg.TelemetryWindow)
+	}
+	fmt.Println()
 	fmt.Printf("%-28s %12v\n", "virtual time", res.SimTime)
 	fmt.Printf("%-28s %12v\n", "wall time", wall.Round(time.Millisecond))
 	fmt.Printf("%-28s %12d\n", "events fired", res.Events)
@@ -84,11 +108,47 @@ func main() {
 	fmt.Printf("%-28s %12v\n", "detect→adapt p99", res.DetectAdaptP99)
 	fmt.Printf("%-28s %12d\n", "bus messages", res.BusMessages)
 	fmt.Printf("%-28s %12d\n", "bus bytes", res.BusBytes)
+	if *federate {
+		fmt.Printf("%-28s %12d\n", "telemetry summaries", res.Summaries)
+	}
 	fmt.Printf("%-28s %12.0f\n", "heap bytes per host", perHost)
 
-	if !*check {
-		return
+	if *check {
+		runCheck(cfg, sys, res, perHost)
 	}
+
+	if *httpAddr != "" {
+		serveForever(sys)
+	}
+}
+
+// fleetView adapts the system's federated accessor for the export
+// handler (zero view when federation is off, though callers gate on it).
+func fleetView(sys *scenario.FleetSystem) func() telemetry.FederatedView {
+	return func() telemetry.FederatedView {
+		v, _ := sys.FederatedView()
+		return v
+	}
+}
+
+func serveForever(sys *scenario.FleetSystem) {
+	var opts []export.Option
+	if _, ok := sys.FederatedView(); ok {
+		opts = append(opts, export.WithFederation(fleetView(sys)))
+	}
+	if sys.Flight != nil {
+		opts = append(opts, export.WithTimeline(sys.Flight))
+	}
+	srv, err := export.Serve(*httpAddr, sys.Metrics, sys.Tracer, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosfleet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nserving observability surface on http://%s (ctrl-c to stop)\n", srv.Addr())
+	select {}
+}
+
+func runCheck(cfg scenario.FleetConfig, sys *scenario.FleetSystem, res scenario.FleetResult, perHost float64) {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "fleet-smoke: "+format+"\n", args...)
 		os.Exit(1)
@@ -112,5 +172,65 @@ func main() {
 	if res.BatchedAlarms != res.AlarmsRaised {
 		fail("region alarm accounting: %d batched vs %d raised", res.BatchedAlarms, res.AlarmsRaised)
 	}
+
+	// Heap budget: the reason a 10k-host fleet fits in one process. The
+	// federated default is higher because every host carries sketches and
+	// a summary exporter in addition to its manager state.
+	hostBudget := *budget
+	if hostBudget <= 0 {
+		hostBudget = 2048
+		if cfg.Federate {
+			hostBudget = 6144
+		}
+	}
+	if perHost > hostBudget {
+		fail("heap %.0f bytes per host, budget %.0f", perHost, hostBudget)
+	}
+
+	if cfg.Federate {
+		checkFederated(sys, res, fail)
+	}
 	fmt.Println("\nfleet-smoke: ok")
+}
+
+// checkFederated asserts the federated debug surface works end to end:
+// the region ingested summaries, and each endpoint serves a 200 with a
+// body bounded by -payload-cap — from aggregates alone, so the bound
+// holds at any host count.
+func checkFederated(sys *scenario.FleetSystem, res scenario.FleetResult, fail func(string, ...any)) {
+	if res.Summaries == 0 {
+		fail("federated run: region ingested no telemetry summaries")
+	}
+	v, ok := sys.FederatedView()
+	if !ok {
+		fail("federated run has no fleet view")
+	}
+	if v.Hosts != uint64(sys.HostCount()) {
+		fail("fleet view covers %d hosts, want %d", v.Hosts, sys.HostCount())
+	}
+	srv, err := export.Serve("127.0.0.1:0", sys.Metrics, sys.Tracer,
+		export.WithFederation(fleetView(sys)))
+	if err != nil {
+		fail("serve: %v", err)
+	}
+	defer srv.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, path := range []string{"/metrics", "/debug/qos", "/debug/qos/dashboard"} {
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			fail("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fail("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 || len(body) > *capBytes {
+			fail("GET %s: %d-byte payload, want (0, %d]", path, len(body), *capBytes)
+		}
+		fmt.Printf("federated %-22s %8d bytes\n", path, len(body))
+	}
 }

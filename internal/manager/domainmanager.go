@@ -111,9 +111,9 @@ type fanout struct {
 	hotHost   string             // host manager address with the max cpu_load so far
 	hotLoad   float64
 	reports   int
-	ctx     telemetry.TraceContext
-	at      time.Duration
-	retried bool
+	ctx       telemetry.TraceContext
+	at        time.Duration
+	retried   bool
 }
 
 // DomainManager locates sources of problems spanning hosts and issues
@@ -136,13 +136,16 @@ type DomainManager struct {
 	// hostTimeout governs host-roster eviction (SetHostTimeout); zero
 	// falls back to livenessTimeout.
 	hostTimeout time.Duration
-	fanouts   map[string]*fanout // ref -> pending downward fan-out
-	tier      int                // trace tier depth (0 = flat, 2 = domain under a region)
-	lastHot   string             // most recently implicated host manager address
+	fanouts     map[string]*fanout // ref -> pending downward fan-out
+	tier        int                // trace tier depth (0 = flat, 2 = domain under a region)
+	lastHot     string             // most recently implicated host manager address
 
 	// uplink, when set, batches this domain's alarm traffic toward the
 	// parent tier instead of (or in addition to) diagnosing locally.
 	uplink *AlarmCoalescer
+	// summarySink, when set, receives inbound host telemetry summaries
+	// (SetSummarySink wires a SummaryAggregator's Ingest here).
+	summarySink func(msg.TelemetrySummary)
 	// SeverityFor, when set, grades an alarm for uplink escalation
 	// (default severity 1).
 	SeverityFor func(msg.Alarm) int
@@ -153,14 +156,14 @@ type DomainManager struct {
 	OnNetworkFault func(al msg.Alarm)
 
 	// Statistics.
-	Alarms          uint64
-	ServerFaults    uint64
-	MemoryFaults    uint64
-	NetworkFaults   uint64
-	Restarts        uint64
-	RuleErrors      uint64
-	QueryRetries    uint64
-	EpisodeTimeouts uint64
+	Alarms           uint64
+	ServerFaults     uint64
+	MemoryFaults     uint64
+	NetworkFaults    uint64
+	Restarts         uint64
+	RuleErrors       uint64
+	QueryRetries     uint64
+	EpisodeTimeouts  uint64
 	Fanouts          uint64 // downward fan-out queries answered
 	FanoutQueries    uint64 // per-host sub-queries those fanned out to
 	HostsEvicted     uint64
@@ -465,8 +468,27 @@ func (dm *DomainManager) HandleMessage(m msg.Message) {
 		dm.handleTierDirective(*body, m.Trace)
 	case msg.Directive:
 		dm.handleTierDirective(body, m.Trace)
+	case *msg.TelemetrySummary:
+		dm.handleSummary(*body)
+	case msg.TelemetrySummary:
+		dm.handleSummary(body)
 	case *msg.Ack, msg.Ack:
 		// Directive acknowledgements are informational.
+	}
+}
+
+// SetSummarySink routes inbound host telemetry summaries to fn —
+// typically a SummaryAggregator's Ingest, which merges them and ships
+// one domain-tier summary per window up to the region. Summaries
+// arriving with no sink set are dropped (a non-federated domain has
+// nothing to do with them).
+func (dm *DomainManager) SetSummarySink(fn func(msg.TelemetrySummary)) {
+	dm.summarySink = fn
+}
+
+func (dm *DomainManager) handleSummary(ts msg.TelemetrySummary) {
+	if dm.summarySink != nil {
+		dm.summarySink(ts)
 	}
 }
 

@@ -74,6 +74,10 @@ type RegionManager struct {
 	tracer  *telemetry.Tracer
 	metrics *rmMetrics
 
+	// summarySink, when set, receives inbound domain telemetry summaries
+	// (SetSummarySink wires a terminal SummaryAggregator's Ingest here).
+	summarySink func(msg.TelemetrySummary)
+
 	// Statistics.
 	Batches        uint64
 	BatchedAlarms  uint64
@@ -162,8 +166,25 @@ func (rm *RegionManager) HandleMessage(m msg.Message) {
 		rm.handleAlarm(*body, m.From, m.Trace)
 	case msg.Alarm:
 		rm.handleAlarm(body, m.From, m.Trace)
+	case *msg.TelemetrySummary:
+		rm.handleSummary(*body)
+	case msg.TelemetrySummary:
+		rm.handleSummary(body)
 	case *msg.Ack, msg.Ack:
 		// Directive acknowledgements are informational.
+	}
+}
+
+// SetSummarySink routes inbound domain telemetry summaries to fn —
+// typically a terminal SummaryAggregator's Ingest, which merges them
+// into the fleet-level aggregate the export surface serves.
+func (rm *RegionManager) SetSummarySink(fn func(msg.TelemetrySummary)) {
+	rm.summarySink = fn
+}
+
+func (rm *RegionManager) handleSummary(ts msg.TelemetrySummary) {
+	if rm.summarySink != nil {
+		rm.summarySink(ts)
 	}
 }
 

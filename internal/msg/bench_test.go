@@ -55,6 +55,68 @@ func benchMessages() []struct {
 	}
 }
 
+// benchSummary is a realistic host telemetry summary: a handful of
+// counters and maxima plus two sketches with a few dozen live buckets —
+// roughly what one host ships per flush window in a federated fleet.
+func benchSummary() Message {
+	sk := telemetry.NewSketch()
+	lat := telemetry.NewSketch()
+	for i := 0; i < 200; i++ {
+		sk.Observe(0.5 + float64(i%37)*0.21)
+		lat.Observe(float64(2_000_000 + i*40_000))
+	}
+	return Message{From: "/h042/QoSHostManager", Body: TelemetrySummary{
+		Tier: "host", Source: "/h042/QoSHostManager", Seq: 73, Hosts: 1,
+		Counters: map[string]float64{
+			"fleet.alarms_raised": 3, "fleet.adaptations": 2, "fleet.samples": 200},
+		Maxima: map[string]float64{"fleet.cpu_load_max": 8.4},
+		Sketches: []telemetry.NamedSketchSnapshot{
+			{Name: "fleet.load", Sketch: sk.Snapshot()},
+			{Name: "fleet.detect_adapt_ns", Sketch: lat.Snapshot()},
+		}}}
+}
+
+// BenchmarkSummaryEncode measures the telemetry-summary wire cost per
+// format — the per-host per-window overhead the federated collection
+// plane adds to the uplink.
+func BenchmarkSummaryEncode(b *testing.B) {
+	m := benchSummary()
+	for _, f := range []struct {
+		name   string
+		format WireFormat
+	}{{"json", WireJSON}, {"binary", WireBinary}} {
+		data, err := MarshalWire(f.format, RegionAddrForBench, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(f.name+"/marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				buf := getWireBuf()
+				out, err := appendWire(buf[:0], f.format, RegionAddrForBench, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				putWireBuf(out)
+			}
+		})
+		b.Run(f.name+"/unmarshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := UnmarshalWire(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// RegionAddrForBench mirrors scenario.RegionAddr without importing it
+// (internal/scenario imports msg; the reverse would cycle).
+const RegionAddrForBench = "/mgmt/QoSRegionManager"
+
 // BenchmarkCodecMarshal measures envelope encoding per message type and
 // wire format (the sender-side hot path of every transport).
 func BenchmarkCodecMarshal(b *testing.B) {

@@ -70,17 +70,18 @@ var (
 
 // Binary payload kind bytes, one per management message type.
 const (
-	kindRegister  = 1
-	kindPolicySet = 2
-	kindViolation = 3
-	kindQuery     = 4
-	kindReport    = 5
-	kindAlarm     = 6
-	kindDirective = 7
-	kindAck       = 8
-	kindNack      = 9
-	kindHeartbeat  = 10
-	kindAlarmBatch = 11
+	kindRegister         = 1
+	kindPolicySet        = 2
+	kindViolation        = 3
+	kindQuery            = 4
+	kindReport           = 5
+	kindAlarm            = 6
+	kindDirective        = 7
+	kindAck              = 8
+	kindNack             = 9
+	kindHeartbeat        = 10
+	kindAlarmBatch       = 11
+	kindTelemetrySummary = 12
 )
 
 func binKind(body any) (byte, error) {
@@ -107,6 +108,8 @@ func binKind(body any) (byte, error) {
 		return kindHeartbeat, nil
 	case AlarmBatch, *AlarmBatch:
 		return kindAlarmBatch, nil
+	case TelemetrySummary, *TelemetrySummary:
+		return kindTelemetrySummary, nil
 	default:
 		return 0, fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -294,6 +297,10 @@ func appendBinaryPayload(dst []byte, to string, m Message) ([]byte, error) {
 		return appendBinAlarmBatch(dst, &b), nil
 	case *AlarmBatch:
 		return appendBinAlarmBatch(dst, b), nil
+	case TelemetrySummary:
+		return appendBinTelemetrySummary(dst, &b), nil
+	case *TelemetrySummary:
+		return appendBinTelemetrySummary(dst, b), nil
 	}
 	return nil, fmt.Errorf("msg: unknown body type %T", m.Body)
 }
@@ -439,6 +446,31 @@ func appendBinAlarmBatch(dst []byte, b *AlarmBatch) []byte {
 		dst = binary.AppendVarint(dst, int64(e.Severity))
 	}
 	return appendBinMap(dst, b.Summary)
+}
+
+func appendBinTelemetrySummary(dst []byte, b *TelemetrySummary) []byte {
+	dst = appendBinString(dst, b.Tier)
+	dst = appendBinString(dst, b.Source)
+	dst = binary.AppendUvarint(dst, b.Seq)
+	dst = binary.AppendUvarint(dst, b.Hosts)
+	dst = appendBinMap(dst, b.Counters)
+	dst = appendBinMap(dst, b.Maxima)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Sketches)))
+	for i := range b.Sketches {
+		s := &b.Sketches[i]
+		dst = appendBinString(dst, s.Name)
+		dst = binary.AppendUvarint(dst, s.Sketch.Count)
+		dst = appendBinF64(dst, s.Sketch.Sum)
+		dst = appendBinF64(dst, s.Sketch.Min)
+		dst = appendBinF64(dst, s.Sketch.Max)
+		dst = binary.AppendUvarint(dst, s.Sketch.Zero)
+		dst = binary.AppendVarint(dst, int64(s.Sketch.Base))
+		dst = binary.AppendUvarint(dst, uint64(len(s.Sketch.Counts)))
+		for _, c := range s.Sketch.Counts {
+			dst = binary.AppendUvarint(dst, c)
+		}
+	}
+	return dst
 }
 
 // ---------------------------------------------------------------------------
@@ -687,6 +719,39 @@ func unmarshalBinaryPayload(payload []byte) (string, Message, error) {
 		}
 		ab.Summary = r.f64map()
 		body = ab
+	case kindTelemetrySummary:
+		ts := &TelemetrySummary{Tier: r.str(), Source: r.str(),
+			Seq: r.uvarint(), Hosts: r.uvarint(),
+			Counters: r.f64map(), Maxima: r.f64map()}
+		ns := r.uvarint()
+		// Each sketch costs at least a name length, a count, three f64s
+		// (sum/min/max), zero, base and a bucket count: 29 bytes.
+		if ns > uint64(len(r.buf)-r.pos)/29 {
+			r.fail(ErrTruncated)
+		} else {
+			for i := uint64(0); i < ns && r.err == nil; i++ {
+				s := telemetry.NamedSketchSnapshot{Name: r.str()}
+				s.Sketch.Count = r.uvarint()
+				s.Sketch.Sum = r.f64()
+				s.Sketch.Min = r.f64()
+				s.Sketch.Max = r.f64()
+				s.Sketch.Zero = r.uvarint()
+				s.Sketch.Base = int(r.varint())
+				nc := r.uvarint()
+				if nc > uint64(len(r.buf)-r.pos) { // each bucket costs >= 1 byte
+					r.fail(ErrTruncated)
+					break
+				}
+				if nc > 0 {
+					s.Sketch.Counts = make([]uint64, 0, nc)
+					for j := uint64(0); j < nc && r.err == nil; j++ {
+						s.Sketch.Counts = append(s.Sketch.Counts, r.uvarint())
+					}
+				}
+				ts.Sketches = append(ts.Sketches, s)
+			}
+		}
+		body = ts
 	default:
 		if r.err == nil {
 			r.fail(fmt.Errorf("%w: %d", ErrBadKind, kind))

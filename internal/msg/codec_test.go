@@ -48,6 +48,19 @@ func codecCorpus() []Message {
 			Summary: map[string]float64{"domain_saturation": 0.125, "hosts": 64}}},
 		{From: "/mgmt/dm-1", Body: AlarmBatch{Tier: "domain",
 			Summary: map[string]float64{"domain_saturation": 0}}},
+		{From: "/h/hm-3", Trace: telemetry.TraceContext{TraceID: "/h/app/x/1#9", Span: 2},
+			Body: TelemetrySummary{Tier: "host", Source: "/h/hm-3", Seq: 12, Hosts: 1,
+				Counters: map[string]float64{"fleet.alarms_raised": 3, "ünïcode": -0.5},
+				Maxima:   map[string]float64{"fleet.cpu_load_max": 7.25},
+				Sketches: []telemetry.NamedSketchSnapshot{
+					{Name: "fleet.load", Sketch: telemetry.SketchSnapshot{
+						Count: 7, Sum: 21.5, Min: 0, Max: 9.5, Zero: 2,
+						Base: -3, Counts: []uint64{1, 0, 3, 1}}},
+					{Name: "fleet.detect_adapt_ns", Sketch: telemetry.SketchSnapshot{
+						Count: 1, Sum: 5e6, Min: 5e6, Max: 5e6,
+						Base: 317, Counts: []uint64{1}}},
+				}}},
+		{From: "/mgmt/dm-0", Body: TelemetrySummary{Tier: "domain", Source: "/mgmt/dm-0", Seq: 1}},
 	}
 }
 

@@ -66,6 +66,8 @@ func oneOfEach() []Message {
 		{From: "/h/src", Body: Alarm{ID: id, Policy: "P"}},
 		{From: "/h/src", Body: Directive{Action: "actuate", Target: "frame_skip"}},
 		{From: "/h/src", Body: Ack{Ref: "register"}},
+		{From: "/h/src", Body: TelemetrySummary{Tier: "host", Source: "/h/src", Seq: 1,
+			Counters: map[string]float64{"fleet.alarms_raised": 1}}},
 	}
 }
 

@@ -159,6 +159,25 @@ type AlarmBatch struct {
 	Summary map[string]float64 `json:"summary,omitempty"`
 }
 
+// TelemetrySummary carries one flush window of telemetry up the
+// management hierarchy: counter deltas, window maxima and mergeable
+// sketch histograms. Hosts export one per window to their domain;
+// domains merge inbound host summaries and export the merged window to
+// the region — so the region reconstructs fleet-level distributions
+// without ever holding per-host state. Tier names the emitting tier
+// ("host", "domain"), Source the emitting management address, Seq the
+// sender's window sequence number, and Hosts how many hosts the
+// summary's window covers (1 for a host's own export).
+type TelemetrySummary struct {
+	Tier     string                          `json:"tier"`
+	Source   string                          `json:"source"`
+	Seq      uint64                          `json:"seq"`
+	Hosts    uint64                          `json:"hosts,omitempty"`
+	Counters map[string]float64              `json:"counters,omitempty"`
+	Maxima   map[string]float64              `json:"maxima,omitempty"`
+	Sketches []telemetry.NamedSketchSnapshot `json:"sketches,omitempty"`
+}
+
 // Message is the envelope union: exactly one well-known body type. Trace
 // is out-of-band observability metadata — the violation-trace context the
 // message extends, propagated identically by both transports and absent
@@ -211,6 +230,8 @@ func typeTag(body any) (string, error) {
 		return "heartbeat", nil
 	case AlarmBatch, *AlarmBatch:
 		return "alarmbatch", nil
+	case TelemetrySummary, *TelemetrySummary:
+		return "telemetrysummary", nil
 	default:
 		return "", fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -268,6 +289,8 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 		body = &Heartbeat{}
 	case "alarmbatch":
 		body = &AlarmBatch{}
+	case "telemetrysummary":
+		body = &TelemetrySummary{}
 	case "hello":
 		// Wire-format negotiation control frame (see wire.go), not a
 		// management message: transports intercept it, everyone else

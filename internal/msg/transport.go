@@ -688,4 +688,3 @@ func (t *NetTransport) Close() error {
 	<-t.dexit
 	return err
 }
-

@@ -37,6 +37,10 @@ func Validate(m Message) error {
 		return validateAlarmBatch(b)
 	case *AlarmBatch:
 		return validateAlarmBatch(*b)
+	case TelemetrySummary:
+		return validateTelemetrySummary(b)
+	case *TelemetrySummary:
+		return validateTelemetrySummary(*b)
 	default:
 		return fmt.Errorf("msg: unknown body type %T", m.Body)
 	}
@@ -93,6 +97,31 @@ func validateAlarmBatch(b AlarmBatch) error {
 		}
 		if e.Count < 1 {
 			return fmt.Errorf("msg: batch entry %d with count %d", i, e.Count)
+		}
+	}
+	return nil
+}
+
+func validateTelemetrySummary(t TelemetrySummary) error {
+	if t.Tier == "" {
+		return fmt.Errorf("msg: telemetry summary without a tier")
+	}
+	if t.Source == "" {
+		return fmt.Errorf("msg: telemetry summary without a source")
+	}
+	for i, s := range t.Sketches {
+		if s.Name == "" {
+			return fmt.Errorf("msg: summary sketch %d without a name", i)
+		}
+		// A sketch's total must equal its buckets, or merging it would
+		// corrupt the aggregate's count arithmetic.
+		total := s.Sketch.Zero
+		for _, c := range s.Sketch.Counts {
+			total += c
+		}
+		if total != s.Sketch.Count {
+			return fmt.Errorf("msg: summary sketch %q count %d != bucket total %d",
+				s.Name, s.Sketch.Count, total)
 		}
 	}
 	return nil

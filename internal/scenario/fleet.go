@@ -62,6 +62,15 @@ type FleetConfig struct {
 	// Trace attaches a tracer (small fleets only: traces are capped and
 	// 10k hosts would just churn the ring).
 	Trace bool
+	// Federate arms the federated telemetry plane: each host ships a
+	// per-window msg.TelemetrySummary to its domain, each domain merges
+	// and re-ships one per window to the region, and the region holds
+	// the fleet-level aggregate (counters, maxima, mergeable sketch
+	// histograms) with per-domain — never per-host — breakdowns. It also
+	// attaches a flight recorder with 5m/1h downsampling tiers.
+	Federate bool
+	// TelemetryWindow paces the federated flush cadence (default 10s).
+	TelemetryWindow time.Duration
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -104,6 +113,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.LivenessTimeout <= 0 {
 		c.LivenessTimeout = 10 * time.Second
 	}
+	if c.TelemetryWindow <= 0 {
+		c.TelemetryWindow = manager.DefaultTelemetryWindow
+	}
 	return c
 }
 
@@ -130,6 +142,12 @@ type fleetHost struct {
 	// procCPU is the per-process share of the host's load; procs exist
 	// only as reported statistics.
 	procCPU []float64
+
+	// Federated telemetry (nil unless Cfg.Federate): the host's summary
+	// exporter plus pre-resolved sketch handles into its accumulator.
+	tel        *manager.SummaryExporter
+	loadSketch *telemetry.Sketch
+	latSketch  *telemetry.Sketch
 
 	adaptations int
 	sheds       int
@@ -170,10 +188,18 @@ func (h *fleetHost) sample() {
 	for i := range h.procCPU {
 		h.procCPU[i] = h.load / float64(len(h.procCPU))
 	}
+	if h.tel != nil {
+		h.loadSketch.Observe(h.load)
+		h.tel.Summary().SetMax("fleet.cpu_load_max", h.load)
+		h.tel.Summary().AddCounter("fleet.samples", 1)
+	}
 	if h.spiked && !h.alarmed {
 		h.alarmed = true
 		h.detectAt = h.sys.Sim.Now().Duration()
 		h.sys.alarmsRaised++
+		if h.tel != nil {
+			h.tel.Summary().AddCounter("fleet.alarms_raised", 1)
+		}
 		var tc telemetry.TraceContext
 		if h.sys.Tracer != nil {
 			tc = h.sys.Tracer.Begin(h.id.Address(), "FleetLoadPolicy", "hostmanager",
@@ -234,8 +260,14 @@ func (h *fleetHost) directive(d msg.Directive) {
 	switch d.Action {
 	case "boost_cpu":
 		h.adaptations++
+		if h.tel != nil {
+			h.tel.Summary().AddCounter("fleet.adaptations", 1)
+		}
 	case "shed_load":
 		h.sheds++
+		if h.tel != nil {
+			h.tel.Summary().AddCounter("fleet.sheds", 1)
+		}
 	default:
 		return
 	}
@@ -244,7 +276,11 @@ func (h *fleetHost) directive(d msg.Directive) {
 		h.alarmed = false
 		h.load = h.baseline
 		if h.detectAt > 0 {
-			h.sys.DetectAdapt.ObserveDuration(h.sys.Sim.Now().Duration() - h.detectAt)
+			lat := h.sys.Sim.Now().Duration() - h.detectAt
+			h.sys.DetectAdapt.ObserveDuration(lat)
+			if h.tel != nil {
+				h.latSketch.ObserveDuration(lat)
+			}
 			h.detectAt = 0
 		}
 		if h.sys.Tracer != nil {
@@ -260,8 +296,20 @@ type fleetDomain struct {
 	addr    string
 	dm      *manager.DomainManager
 	uplink  *manager.AlarmCoalescer
+	agg     *manager.SummaryAggregator // federated runs only
 	hosts   int
 	flushed uint64 // dm.Alarms already summarized in earlier flushes
+}
+
+// LatencyRecorder is the slice of histogram behaviour the fleet needs
+// for its detect→adapt latency metric. Both telemetry.Histogram (flat
+// runs: exact windowed quantiles) and telemetry.Sketch (federated runs:
+// mergeable, bounded-error) satisfy it.
+type LatencyRecorder interface {
+	Observe(v float64)
+	ObserveDuration(d time.Duration)
+	Count() uint64
+	Quantile(q float64) (float64, bool)
 }
 
 // FleetSystem is a fully wired three-tier fleet.
@@ -277,9 +325,14 @@ type FleetSystem struct {
 	Metrics *telemetry.Registry
 	Tracer  *telemetry.Tracer
 
-	// DetectAdapt is the end-to-end detect→adapt latency histogram
-	// (fleet.detect_adapt_ns).
-	DetectAdapt *telemetry.Histogram
+	// DetectAdapt is the end-to-end detect→adapt latency metric
+	// (fleet.detect_adapt_ns): a windowless Histogram in flat runs, a
+	// mergeable Sketch in federated ones.
+	DetectAdapt LatencyRecorder
+
+	// Federated telemetry plane (nil unless Cfg.Federate).
+	RegionAgg *manager.SummaryAggregator
+	Flight    *telemetry.Timeline
 
 	alarmsRaised uint64
 }
@@ -302,6 +355,10 @@ type FleetResult struct {
 	DetectAdaptP99 time.Duration
 	Adapted        uint64 // histogram observation count
 
+	// Summaries counts telemetry summaries the region aggregator
+	// ingested (federated runs; zero otherwise).
+	Summaries uint64
+
 	BusMessages uint64
 	BusBytes    uint64
 	Events      uint64        // simulation events fired
@@ -321,7 +378,13 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 	}
 	sys.Bus = msg.NewBus(s, 100*time.Microsecond, 2*time.Millisecond)
 	sys.Bus.SetMetrics(sys.Metrics)
-	sys.DetectAdapt = sys.Metrics.Histogram("fleet.detect_adapt_ns", 0)
+	if cfg.Federate {
+		// Federated runs measure latency with a mergeable sketch, so the
+		// local aggregate and the region's federated one agree exactly.
+		sys.DetectAdapt = sys.Metrics.Sketch("fleet.detect_adapt_ns")
+	} else {
+		sys.DetectAdapt = sys.Metrics.Histogram("fleet.detect_adapt_ns", 0)
+	}
 
 	send := msg.SendFunc(sys.Bus.Send)
 
@@ -332,6 +395,19 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 	sys.Region.SetTelemetry(sys.Metrics, sys.Tracer)
 	sys.Region.EnableLiveness(sys.Metrics.Clock(), 2*cfg.HeartbeatEvery)
 	sys.Bus.Bind(RegionAddr, "mgmt", func(m msg.Message) { sys.Region.HandleMessage(m) })
+	if cfg.Federate {
+		// The region's terminal aggregator holds the fleet view with
+		// per-domain breakdowns; it never re-ships.
+		sys.RegionAgg = manager.NewSummaryAggregator("region", RegionAddr, "",
+			send, cfg.TelemetryWindow, func(d time.Duration, fn func()) { s.After(d, fn) })
+		sys.RegionAgg.SetKeepChildren(true)
+		sys.RegionAgg.SetTelemetry(sys.Metrics)
+		sys.Region.SetSummarySink(sys.RegionAgg.Ingest)
+		// Flight recorder with downsampling tiers: the raw ring plus
+		// 5m/1h roll-ups, all sampled from the same registry.
+		sys.Flight = telemetry.NewTimeline(sys.Metrics, 0)
+		sys.Flight.EnableRollup(0)
+	}
 
 	// Tier 2: domain managers with coalescing uplinks.
 	window := cfg.BatchWindow
@@ -372,6 +448,15 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 		}
 		fd.uplink = co
 		fd.dm.SetUplink(co)
+		if cfg.Federate {
+			// The domain's forwarding aggregator merges its hosts' window
+			// summaries and ships one domain-tier summary per window up —
+			// the region's telemetry fan-in is the domain count.
+			fd.agg = manager.NewSummaryAggregator("domain", addr, RegionAddr,
+				send, cfg.TelemetryWindow, func(d time.Duration, fn func()) { s.After(d, fn) })
+			fd.agg.SetTelemetry(sys.Metrics)
+			fd.dm.SetSummarySink(fd.agg.Ingest)
+		}
 		sys.Domains = append(sys.Domains, fd)
 		sys.Bus.Bind(addr, name, func(m msg.Message) { fd.dm.HandleMessage(m) })
 	}
@@ -393,6 +478,12 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 		h.id = msg.Identity{Host: name, PID: i + 1, Executable: h.exe(0),
 			Application: h.appName()}
 		h.load = h.baseline
+		if cfg.Federate {
+			h.tel = manager.NewSummaryExporter("host", h.addr, fd.addr,
+				send, cfg.TelemetryWindow, func(d time.Duration, fn func()) { s.After(d, fn) })
+			h.loadSketch = h.tel.Summary().Sketch("fleet.load")
+			h.latSketch = h.tel.Summary().Sketch("fleet.detect_adapt_ns")
+		}
 		fd.hosts++
 		// The host is the server of its own application, so the domain's
 		// episode machinery (query, report, rule diagnosis, boost
@@ -425,12 +516,18 @@ func (sys *FleetSystem) Start() {
 		})
 	}
 	s.Every(cfg.LivenessTimeout/2, func() { sys.Region.CheckLiveness() })
+	if sys.Flight != nil {
+		s.Every(cfg.SampleEvery, sys.Flight.Sample)
+	}
 	for _, h := range sys.hosts {
 		h := h
 		// Stagger per-host schedules across their periods.
 		regAt := 2*time.Millisecond + time.Duration(h.index%1000)*time.Millisecond
 		s.After(regAt, func() {
 			h.register()
+			if h.tel != nil {
+				h.tel.Start()
+			}
 			sampleOff := time.Duration(h.index*37) % cfg.SampleEvery
 			s.After(sampleOff, func() { s.Every(cfg.SampleEvery, h.sample) })
 			hbOff := time.Duration(h.index*53) % cfg.HeartbeatEvery
@@ -470,6 +567,9 @@ func (sys *FleetSystem) Result() FleetResult {
 	for _, fd := range sys.Domains {
 		res.FanoutQueries += fd.dm.FanoutQueries
 	}
+	if sys.RegionAgg != nil {
+		res.Summaries = sys.RegionAgg.Ingested
+	}
 	res.Adapted = sys.DetectAdapt.Count()
 	if p50, ok := sys.DetectAdapt.Quantile(0.50); ok {
 		res.DetectAdaptP50 = time.Duration(p50)
@@ -482,3 +582,12 @@ func (sys *FleetSystem) Result() FleetResult {
 
 // HostCount returns the number of simulated hosts.
 func (sys *FleetSystem) HostCount() int { return len(sys.hosts) }
+
+// FederatedView returns the region's fleet-level telemetry aggregate;
+// ok is false for non-federated runs.
+func (sys *FleetSystem) FederatedView() (telemetry.FederatedView, bool) {
+	if sys.RegionAgg == nil {
+		return telemetry.FederatedView{}, false
+	}
+	return sys.RegionAgg.FleetView(), true
+}

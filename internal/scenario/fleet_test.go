@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/export"
 )
 
 // fleetSnapshot runs a fleet config for d and renders the telemetry
@@ -71,6 +72,125 @@ func TestFleetDeterminismGolden(t *testing.T) {
 	}
 	if !strings.Contains(a, "[tier 2]") && !strings.Contains(a, "[tier 3]") {
 		t.Error("trace table carries no tier markers")
+	}
+}
+
+// federatedBlob runs a federated fleet for d and renders the federated
+// JSON payload plus the full timeline dump (raw ring and rolled-up
+// tiers) as one blob — the byte-exact surface the federated golden pins.
+func federatedBlob(t *testing.T, cfg FleetConfig, d time.Duration) (string, int, *FleetSystem, FleetResult) {
+	t.Helper()
+	sys := BuildFleet(cfg)
+	res := sys.Run(d)
+	v, ok := sys.FederatedView()
+	if !ok {
+		t.Fatal("federated run has no federated view")
+	}
+	var b strings.Builder
+	if err := export.WriteFederatedJSON(&b, export.BuildFederated(v)); err != nil {
+		t.Fatal(err)
+	}
+	payloadLen := b.Len()
+	if err := sys.Flight.Dump().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), payloadLen, sys, res
+}
+
+// TestFleetFederatedDeterminismGolden pins the federated telemetry
+// plane end to end: hosts ship sketch-bearing summaries, domains merge
+// and re-ship, the region reconstructs the fleet view, and the flight
+// recorder rolls raw samples into 5m buckets — all of it a pure
+// function of the seed, byte for byte. The 12-minute run guarantees
+// completed 5m roll-up buckets; the 1h tier stays (deterministically)
+// empty. Regenerate with GEN_GOLDEN=1 after intended behavior changes.
+func TestFleetFederatedDeterminismGolden(t *testing.T) {
+	cfg := FleetConfig{
+		Seed:         7,
+		Hosts:        60,
+		Domains:      3,
+		ProcsPerHost: 4,
+		SpikeProb:    0.10,
+		Trace:        true,
+		Federate:     true,
+	}
+	a, payloadLen, sysA, resA := federatedBlob(t, cfg, 12*time.Minute)
+	b, _, _, _ := federatedBlob(t, cfg, 12*time.Minute)
+	if a != b {
+		t.Fatal("same seed produced different federated telemetry")
+	}
+	const golden = "testdata/determinism_fleet_federated.golden"
+	if os.Getenv("GEN_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != string(want) {
+		t.Errorf("federated blob differs from %s (same seed, code change altered simulated behavior); rerun with GEN_GOLDEN=1 if intended", golden)
+	}
+
+	// The run must actually exercise federation end to end.
+	if resA.Summaries == 0 {
+		t.Fatal("region ingested no telemetry summaries")
+	}
+	v, _ := sysA.FederatedView()
+	if v.Hosts != uint64(cfg.Hosts) {
+		t.Errorf("federated view covers %d hosts, want %d", v.Hosts, cfg.Hosts)
+	}
+	if len(v.Children) != cfg.Domains {
+		t.Errorf("federated view has %d children, want %d domains", len(v.Children), cfg.Domains)
+	}
+	// The fleet sketch count must equal the per-host observation total:
+	// sketch merges are exact, not approximate, in count and sum.
+	var loadCount uint64
+	for _, h := range v.Fleet.Histograms {
+		if h.Name == "fleet.load" {
+			loadCount = h.Count
+		}
+	}
+	var sampled float64
+	for _, c := range v.Fleet.Counters {
+		if c.Name == "fleet.samples" {
+			sampled = c.Value
+		}
+	}
+	// Observations still sitting in an unflushed host window are not in
+	// the region aggregate yet, so compare counter vs sketch — both ride
+	// the same summaries and must agree exactly.
+	if sampled == 0 || loadCount != uint64(sampled) {
+		t.Errorf("fleet.load sketch count %d != fleet.samples counter %v", loadCount, sampled)
+	}
+	// Downsampling: the 5m tier has completed buckets, and each rolled-up
+	// series stays within the raw ring's value envelope.
+	dump := sysA.Flight.Dump()
+	if len(dump.Rollups) != 2 {
+		t.Fatalf("timeline has %d rollup tiers, want 2", len(dump.Rollups))
+	}
+	fiveMin := dump.Rollups[0]
+	if fiveMin.Resolution != 5*time.Minute || len(fiveMin.Series) == 0 {
+		t.Fatalf("5m tier: res=%v series=%d", fiveMin.Resolution, len(fiveMin.Series))
+	}
+	for _, ser := range fiveMin.Series {
+		for _, p := range ser.Points {
+			if p.At%(5*time.Minute) != 0 {
+				t.Fatalf("5m bucket start %v not aligned", p.At)
+			}
+		}
+	}
+	if hour := dump.Rollups[1]; hour.Resolution != time.Hour || len(hour.Series) != 0 {
+		t.Errorf("1h tier should be empty after 12m: res=%v series=%d", hour.Resolution, len(hour.Series))
+	}
+
+	// The federated payload is the bounded-size surface a 10k-host fleet
+	// serves from aggregates alone; its size is a function of metric
+	// names and domain count, so at any host count it stays far under
+	// the fleet payload cap.
+	if payloadLen > 256<<10 {
+		t.Errorf("federated payload is %d bytes, want < 256 KiB", payloadLen)
 	}
 }
 

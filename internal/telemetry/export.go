@@ -62,6 +62,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, h := range r.hists {
 		hists[n] = h
 	}
+	sketches := make(map[string]*Sketch, len(r.sketches))
+	for n, s := range r.sketches {
+		sketches[n] = s
+	}
 	r.mu.Unlock()
 
 	for n, c := range counters {
@@ -78,6 +82,14 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Histograms = append(snap.Histograms, HistogramValue{
 			Name: n, Count: h.Count(), Min: h.Min(), Mean: h.Mean(),
 			P50: p50, P95: p95, P99: p99, Max: h.Max(),
+		})
+	}
+	// Sketch-backed histograms export in the same shape as windowed ones.
+	for n, s := range sketches {
+		p50, p95, p99 := s.Quantiles()
+		snap.Histograms = append(snap.Histograms, HistogramValue{
+			Name: n, Count: s.Count(), Min: s.Min(), Mean: s.Mean(),
+			P50: p50, P95: p95, P99: p99, Max: s.Max(),
 		})
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

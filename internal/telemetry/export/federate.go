@@ -1,0 +1,123 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+
+	"softqos/internal/telemetry"
+)
+
+// FederatedPayload is the JSON document /debug/qos serves in federated
+// mode: the fleet-level view a terminal aggregator reconstructed from
+// domain summaries alone. Its size scales with the metric-name and
+// domain counts — never with the host count — which is what keeps a
+// 10k-host fleet's debug endpoint a bounded payload.
+type FederatedPayload struct {
+	Federated telemetry.FederatedView `json:"federated"`
+}
+
+// BuildFederated wraps a federated view as the served payload.
+func BuildFederated(v telemetry.FederatedView) FederatedPayload {
+	if v.Children == nil {
+		v.Children = []telemetry.ChildView{}
+	}
+	return FederatedPayload{Federated: v}
+}
+
+// WriteFederatedJSON renders the payload with stable indentation
+// (byte-identical across same-seed fleet runs).
+func WriteFederatedJSON(w io.Writer, p FederatedPayload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// FederatedSnapshot renders a federated view's fleet aggregate in the
+// registry-snapshot shape, so /metrics can serve a fleet through the
+// unmodified Prometheus writer: summary counters export as counters
+// (they are accumulated deltas), maxima as gauges, and sketch-backed
+// distributions as the usual histogram summaries. A synthetic
+// fleet.hosts gauge carries the coverage figure.
+func FederatedSnapshot(v telemetry.FederatedView) telemetry.Snapshot {
+	var s telemetry.Snapshot
+	for _, c := range v.Fleet.Counters {
+		s.Counters = append(s.Counters, telemetry.CounterValue{
+			Name: c.Name, Value: uint64(c.Value + 0.5)})
+	}
+	for _, m := range v.Fleet.Maxima {
+		s.Gauges = append(s.Gauges, telemetry.GaugeValue{Name: m.Name, Value: m.Value})
+	}
+	s.Gauges = append(s.Gauges, telemetry.GaugeValue{
+		Name: "fleet.hosts", Value: float64(v.Hosts)})
+	s.Histograms = append(s.Histograms, v.Fleet.Histograms...)
+	return s
+}
+
+// WriteFleetDashboard renders the federated view as a self-contained
+// HTML page (no scripts, no external assets): the fleet aggregate on
+// top, one row per domain below. Like the JSON payload its size is a
+// function of domains and metric names, not hosts.
+func WriteFleetDashboard(w io.Writer, v telemetry.FederatedView) error {
+	esc := html.EscapeString
+	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>softqos fleet</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2em;background:#fafafa;color:#222}
+table{border-collapse:collapse;margin:0 0 1.5em}
+th,td{border:1px solid #ccc;padding:.3em .7em;text-align:right}
+th{background:#eee}td:first-child,th:first-child{text-align:left}
+h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.4em}
+.meta{color:#666;margin-bottom:1em}
+</style></head><body>
+<h1>softqos fleet telemetry (federated)</h1>
+<p class="meta">tier %s &middot; %d hosts &middot; %d summaries ingested</p>
+`, esc(v.Tier), v.Hosts, v.Summaries); err != nil {
+		return err
+	}
+	if err := writeFleetSummaryTables(w, "fleet", v.Fleet); err != nil {
+		return err
+	}
+	if len(v.Children) > 0 {
+		fmt.Fprintf(w, "<h2>domains</h2>\n<table><tr><th>domain</th><th>hosts</th><th>summaries</th>")
+		for _, c := range v.Children[0].Summary.Counters {
+			fmt.Fprintf(w, "<th>%s</th>", esc(c.Name))
+		}
+		fmt.Fprintf(w, "</tr>\n")
+		for _, c := range v.Children {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td>", esc(c.Name), c.Hosts, c.Summaries)
+			for _, cv := range c.Summary.Counters {
+				fmt.Fprintf(w, "<td>%s</td>", promFloat(cv.Value))
+			}
+			fmt.Fprintf(w, "</tr>\n")
+		}
+		fmt.Fprintf(w, "</table>\n")
+	}
+	_, err := fmt.Fprintf(w, "</body></html>\n")
+	return err
+}
+
+func writeFleetSummaryTables(w io.Writer, title string, sv telemetry.SummaryView) error {
+	esc := html.EscapeString
+	if len(sv.Counters) > 0 || len(sv.Maxima) > 0 {
+		fmt.Fprintf(w, "<h2>%s scalars</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n", esc(title))
+		for _, c := range sv.Counters {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td></tr>\n", esc(c.Name), promFloat(c.Value))
+		}
+		for _, m := range sv.Maxima {
+			fmt.Fprintf(w, "<tr><td>%s (max)</td><td>%s</td></tr>\n", esc(m.Name), promFloat(m.Value))
+		}
+		fmt.Fprintf(w, "</table>\n")
+	}
+	if len(sv.Histograms) > 0 {
+		fmt.Fprintf(w, "<h2>%s distributions</h2>\n<table><tr><th>metric</th><th>count</th><th>min</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n", esc(title))
+		for _, h := range sv.Histograms {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(h.Name), h.Count, promFloat(h.Min), promFloat(h.Mean),
+				promFloat(h.P50), promFloat(h.P95), promFloat(h.P99), promFloat(h.Max))
+		}
+		fmt.Fprintf(w, "</table>\n")
+	}
+	return nil
+}

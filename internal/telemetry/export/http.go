@@ -14,6 +14,7 @@ type handlerConfig struct {
 	timeline *telemetry.Timeline
 	targets  []telemetry.SLOTarget
 	pprof    bool
+	federate func() telemetry.FederatedView
 }
 
 // Option customizes the observability Handler.
@@ -39,6 +40,15 @@ func WithPprof() Option {
 	return func(c *handlerConfig) { c.pprof = true }
 }
 
+// WithFederation switches the handler to fleet mode: /metrics,
+// /debug/qos and /debug/qos/dashboard render the federated view fn
+// returns — the fleet aggregate a terminal SummaryAggregator
+// reconstructed from domain summaries — instead of per-process state.
+// fn is called per request, so the view tracks the aggregator live.
+func WithFederation(fn func() telemetry.FederatedView) Option {
+	return func(c *handlerConfig) { c.federate = fn }
+}
+
 // Handler serves the observability surface for one management process:
 //
 //	/metrics             Prometheus text exposition of the registry
@@ -59,6 +69,10 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.federate != nil {
+			_ = WritePrometheus(w, FederatedSnapshot(cfg.federate()))
+			return
+		}
 		var s telemetry.Snapshot
 		if reg != nil {
 			s = reg.Snapshot()
@@ -67,6 +81,10 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 	})
 	mux.HandleFunc("/debug/qos", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if cfg.federate != nil {
+			_ = WriteFederatedJSON(w, BuildFederated(cfg.federate()))
+			return
+		}
 		_ = WriteJSON(w, BuildPayload(reg, tracer))
 	})
 	mux.HandleFunc("/debug/qos/chrome", func(w http.ResponseWriter, r *http.Request) {
@@ -87,6 +105,10 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 	})
 	mux.HandleFunc("/debug/qos/dashboard", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if cfg.federate != nil {
+			_ = WriteFleetDashboard(w, cfg.federate())
+			return
+		}
 		_ = WriteDashboard(w, BuildSLO(reg, tracer, cfg.targets), cfg.timeline.Dump())
 	})
 	if cfg.pprof {

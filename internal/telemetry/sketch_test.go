@@ -1,0 +1,334 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// randomValues draws n observations from a mix of distributions chosen
+// to stress the sketch: uniform loads around 1.0, log-normal latencies
+// spanning several decades, and occasional zeros.
+func randomValues(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = 0 // zero bucket
+		case 1, 2, 3:
+			vals[i] = math.Exp(rng.NormFloat64()*2 + 14) // ~latency ns
+		default:
+			vals[i] = rng.Float64() * 4 // ~cpu load
+		}
+	}
+	return vals
+}
+
+func sketchOf(vals []float64) *Sketch {
+	s := NewSketch()
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	return s
+}
+
+// equivalentSnapshots compares two snapshots for merge-equivalence:
+// every discrete field (counts, buckets, min, max) must match exactly —
+// that is the property the fleet quantiles rest on — while Sum, a
+// float64 accumulator, may differ by rounding since FP addition is not
+// associative.
+func equivalentSnapshots(a, b SketchSnapshot) bool {
+	sumsClose := math.Abs(a.Sum-b.Sum) <= math.Max(math.Abs(a.Sum), math.Abs(b.Sum))*1e-12
+	a.Sum, b.Sum = 0, 0
+	return sumsClose && reflect.DeepEqual(a, b)
+}
+
+// TestSketchMergeCommutative: a⊕b and b⊕a serialize identically — the
+// property that makes fleet aggregates independent of arrival order.
+func TestSketchMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		va := randomValues(rng, 1+rng.Intn(400))
+		vb := randomValues(rng, 1+rng.Intn(400))
+
+		ab := sketchOf(va)
+		ab.Merge(sketchOf(vb))
+		ba := sketchOf(vb)
+		ba.Merge(sketchOf(va))
+
+		if !equivalentSnapshots(ab.Snapshot(), ba.Snapshot()) {
+			t.Fatalf("trial %d: a⊕b != b⊕a\n a⊕b=%+v\n b⊕a=%+v",
+				trial, ab.Snapshot(), ba.Snapshot())
+		}
+	}
+}
+
+// TestSketchMergeAssociative: (a⊕b)⊕c and a⊕(b⊕c) serialize
+// identically — hosts can merge up through any domain grouping.
+func TestSketchMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		va := randomValues(rng, 1+rng.Intn(300))
+		vb := randomValues(rng, 1+rng.Intn(300))
+		vc := randomValues(rng, 1+rng.Intn(300))
+
+		left := sketchOf(va)
+		left.Merge(sketchOf(vb))
+		left.Merge(sketchOf(vc))
+
+		bc := sketchOf(vb)
+		bc.Merge(sketchOf(vc))
+		right := sketchOf(va)
+		right.Merge(bc)
+
+		if !equivalentSnapshots(left.Snapshot(), right.Snapshot()) {
+			t.Fatalf("trial %d: (a⊕b)⊕c != a⊕(b⊕c)", trial)
+		}
+	}
+}
+
+// TestSketchMergeEqualsDirectObservation: merging K per-host sketches
+// must be indistinguishable from one sketch that observed every value —
+// the exactness claim behind the federated quantiles.
+func TestSketchMergeEqualsDirectObservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var all []float64
+	merged := NewSketch()
+	for host := 0; host < 8; host++ {
+		vals := randomValues(rng, 200)
+		all = append(all, vals...)
+		merged.MergeSnapshot(sketchOf(vals).Snapshot())
+	}
+	direct := sketchOf(all)
+	if !equivalentSnapshots(merged.Snapshot(), direct.Snapshot()) {
+		t.Fatal("merged per-host sketches differ from direct observation")
+	}
+	if merged.Count() != uint64(len(all)) {
+		t.Fatalf("count %d, want %d", merged.Count(), len(all))
+	}
+}
+
+// TestSketchQuantileErrorBound: against randomized data, every reported
+// quantile stays within SketchRelativeError of the exact nearest-rank
+// value (zeros excluded from the relative comparison).
+func TestSketchQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	quantiles := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}
+	for trial := 0; trial < 20; trial++ {
+		vals := randomValues(rng, 500+rng.Intn(2000))
+		s := sketchOf(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, q := range quantiles {
+			got, ok := s.Quantile(q)
+			if !ok {
+				t.Fatalf("trial %d q=%v: no value", trial, q)
+			}
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := sorted[rank-1]
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("trial %d q=%v: exact 0, sketch %v", trial, q, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-exact) / exact; rel > SketchRelativeError+1e-9 {
+				t.Fatalf("trial %d q=%v: sketch %v vs exact %v, rel err %.4f > %.4f",
+					trial, q, got, exact, rel, SketchRelativeError)
+			}
+		}
+		// Exact aggregates stay exact regardless of bucketing.
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(s.Sum()-sum) > math.Abs(sum)*1e-12 {
+			t.Fatalf("trial %d: sum %v, want %v", trial, s.Sum(), sum)
+		}
+		if s.Min() != sorted[0] || s.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("trial %d: min/max %v/%v, want %v/%v",
+				trial, s.Min(), s.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+	}
+}
+
+// TestSketchQuantileClampedToObservedRange: bucket representatives can
+// overshoot the true extreme by the relative error; the report must not.
+func TestSketchQuantileClampedToObservedRange(t *testing.T) {
+	s := NewSketch()
+	s.Observe(100)
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		if v, _ := s.Quantile(q); v != 100 {
+			t.Fatalf("q=%v: got %v, want exactly 100 (clamped)", q, v)
+		}
+	}
+}
+
+// TestSketchEmptyAndReset covers the degenerate states: empty sketch
+// reports nothing, Reset keeps storage but drops every observation.
+func TestSketchEmptyAndReset(t *testing.T) {
+	s := NewSketch()
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("empty sketch reported a quantile")
+	}
+	if sn := s.Snapshot(); sn.Count != 0 || sn.Counts != nil {
+		t.Errorf("empty snapshot not empty: %+v", sn)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i))
+	}
+	buckets := s.Buckets()
+	s.Reset()
+	if s.Count() != 0 || s.Sum() != 0 {
+		t.Error("reset left observations behind")
+	}
+	if s.Buckets() != buckets {
+		t.Error("reset should keep bucket storage for reuse")
+	}
+	if sn := s.Snapshot(); sn.Counts != nil {
+		t.Errorf("post-reset snapshot still carries counts: %+v", sn)
+	}
+	s.Observe(3)
+	if s.Count() != 1 {
+		t.Error("sketch unusable after reset")
+	}
+}
+
+// TestSketchSnapshotTrims: the serialized form carries only the
+// populated bucket span, not the dense storage.
+func TestSketchSnapshotTrims(t *testing.T) {
+	s := NewSketch()
+	s.Observe(1000) // forces a wide dense range...
+	s.Observe(0.001)
+	s.Reset()
+	s.Observe(2) // ...but only one bucket is live now
+	sn := s.Snapshot()
+	if len(sn.Counts) != 1 || sn.Counts[0] != 1 {
+		t.Fatalf("snapshot not trimmed: %+v", sn)
+	}
+	if sn.Base != sketchIndex(2) {
+		t.Fatalf("base %d, want %d", sn.Base, sketchIndex(2))
+	}
+}
+
+// TestSummaryAbsorbMatchesDirect: absorbing exported windows from many
+// summaries equals accumulating everything into one — the correctness
+// of the domain-aggregation step itself.
+func TestSummaryAbsorbMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	agg := NewSummary()
+	direct := NewSummary()
+	for host := 0; host < 5; host++ {
+		s := NewSummary()
+		for i := 0; i < 50; i++ {
+			d := float64(rng.Intn(5))
+			s.AddCounter("alarms", d)
+			direct.AddCounter("alarms", d)
+			v := rng.Float64() * 3
+			s.SetMax("load_max", v)
+			direct.SetMax("load_max", v)
+			s.Sketch("load").Observe(v)
+			direct.Sketch("load").Observe(v)
+		}
+		c, m, sk := s.Export()
+		agg.Absorb(c, m, sk)
+	}
+	ac, am, ask := agg.Export()
+	dc, dm, dsk := direct.Export()
+	if !reflect.DeepEqual(ac, dc) || !reflect.DeepEqual(am, dm) {
+		t.Fatalf("scalars differ: %v/%v vs %v/%v", ac, am, dc, dm)
+	}
+	if len(ask) != 1 || len(dsk) != 1 || ask[0].Name != "load" ||
+		!equivalentSnapshots(ask[0].Sketch, dsk[0].Sketch) {
+		t.Fatal("absorbed sketch differs from direct accumulation")
+	}
+}
+
+// TestSummaryEmptyAndReset: freshly created and freshly reset summaries
+// ship nothing (the exporter's skip path), and sketch handles survive
+// the reset.
+func TestSummaryEmptyAndReset(t *testing.T) {
+	s := NewSummary()
+	if !s.Empty() {
+		t.Error("new summary not empty")
+	}
+	sk := s.Sketch("lat")
+	if !s.Empty() {
+		t.Error("registering an unused sketch should not make the summary shippable")
+	}
+	sk.Observe(1)
+	s.AddCounter("c", 1)
+	if s.Empty() {
+		t.Error("populated summary reports empty")
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Error("reset summary not empty")
+	}
+	sk.Observe(2) // handle resolved before Reset must still feed the summary
+	if s.Sketch("lat").Count() != 1 {
+		t.Error("sketch handle did not survive Reset")
+	}
+}
+
+// TestSummaryExportDeterministic: exported sketch slices are name-sorted
+// and exports are copies — mutating the summary afterwards cannot alter
+// an already-shipped window.
+func TestSummaryExportDeterministic(t *testing.T) {
+	s := NewSummary()
+	s.Sketch("zz").Observe(1)
+	s.Sketch("aa").Observe(2)
+	s.AddCounter("n", 1)
+	c, _, sk := s.Export()
+	if len(sk) != 2 || sk[0].Name != "aa" || sk[1].Name != "zz" {
+		t.Fatalf("sketches not name-sorted: %+v", sk)
+	}
+	s.AddCounter("n", 10)
+	if c["n"] != 1 {
+		t.Error("export aliases live counter map")
+	}
+}
+
+func BenchmarkSketchObserve(b *testing.B) {
+	s := NewSketch()
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i%1000) + 0.5)
+	}
+}
+
+// BenchmarkSketchMerge measures the domain-tier hot path: folding one
+// serialized per-host snapshot into a running aggregate.
+func BenchmarkSketchMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	sn := sketchOf(randomValues(rng, 1000)).Snapshot()
+	agg := NewSketch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.MergeSnapshot(sn)
+	}
+}
+
+func BenchmarkSketchQuantiles(b *testing.B) {
+	rng := rand.New(rand.NewSource(67))
+	s := sketchOf(randomValues(rng, 5000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantiles()
+	}
+}
+
+// TestSketchObserveDuration: durations land as nanosecond floats.
+func TestSketchObserveDuration(t *testing.T) {
+	s := NewSketch()
+	s.ObserveDuration(5 * time.Millisecond)
+	if s.Sum() != 5e6 {
+		t.Fatalf("sum %v, want 5e6", s.Sum())
+	}
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Summary is one tier's telemetry accumulator for the federated
+// collection plane: counters (deltas over the current flush window),
+// maxima (window-max gauges) and mergeable sketches. A host-side
+// exporter fills one, ships it as a msg.TelemetrySummary every flush
+// window and resets it; aggregators absorb inbound summaries into their
+// own. All merge operations are exact, so the fleet-level aggregate is
+// independent of arrival order. Safe for concurrent use.
+type Summary struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	maxima   map[string]float64
+	sketches map[string]*Sketch
+}
+
+// NewSummary creates an empty summary.
+func NewSummary() *Summary {
+	return &Summary{
+		counters: make(map[string]float64),
+		maxima:   make(map[string]float64),
+		sketches: make(map[string]*Sketch),
+	}
+}
+
+// AddCounter accumulates a counter delta for the current window.
+func (s *Summary) AddCounter(name string, delta float64) {
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// SetMax records a window-max gauge: the largest value observed since
+// the last Reset wins.
+func (s *Summary) SetMax(name string, v float64) {
+	s.mu.Lock()
+	if cur, ok := s.maxima[name]; !ok || v > cur {
+		s.maxima[name] = v
+	}
+	s.mu.Unlock()
+}
+
+// Sketch returns (registering on first use) the named sketch. The
+// handle stays valid across Reset, so observers resolve it once.
+func (s *Summary) Sketch(name string) *Sketch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sk, ok := s.sketches[name]
+	if !ok {
+		sk = NewSketch()
+		s.sketches[name] = sk
+	}
+	return sk
+}
+
+// Empty reports whether the summary holds nothing worth shipping.
+func (s *Summary) Empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.counters) > 0 || len(s.maxima) > 0 {
+		return false
+	}
+	for _, sk := range s.sketches {
+		if sk.Count() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the window: counters and maxima empty, sketches reset in
+// place (handles held by observers stay valid).
+func (s *Summary) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.counters {
+		delete(s.counters, k)
+	}
+	for k := range s.maxima {
+		delete(s.maxima, k)
+	}
+	for _, sk := range s.sketches {
+		sk.Reset()
+	}
+}
+
+// Absorb merges one exported window (counters add, maxima max-merge,
+// sketches merge exactly) into the summary — the aggregation step a
+// domain runs per inbound host summary.
+func (s *Summary) Absorb(counters, maxima map[string]float64, sketches []NamedSketchSnapshot) {
+	s.mu.Lock()
+	for k, v := range counters {
+		s.counters[k] += v
+	}
+	for k, v := range maxima {
+		if cur, ok := s.maxima[k]; !ok || v > cur {
+			s.maxima[k] = v
+		}
+	}
+	s.mu.Unlock()
+	for _, ns := range sketches {
+		s.Sketch(ns.Name).MergeSnapshot(ns.Sketch)
+	}
+}
+
+// Export returns deterministic copies of the window's contents: map
+// copies plus name-sorted snapshots of every non-empty sketch. The
+// summary itself is untouched (pair with Reset to close the window).
+func (s *Summary) Export() (counters, maxima map[string]float64, sketches []NamedSketchSnapshot) {
+	s.mu.Lock()
+	if len(s.counters) > 0 {
+		counters = make(map[string]float64, len(s.counters))
+		for k, v := range s.counters {
+			counters[k] = v
+		}
+	}
+	if len(s.maxima) > 0 {
+		maxima = make(map[string]float64, len(s.maxima))
+		for k, v := range s.maxima {
+			maxima[k] = v
+		}
+	}
+	names := make([]string, 0, len(s.sketches))
+	for n := range s.sketches {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		sn := s.Sketch(n).Snapshot()
+		if sn.Count == 0 {
+			continue
+		}
+		sketches = append(sketches, NamedSketchSnapshot{Name: n, Sketch: sn})
+	}
+	return counters, maxima, sketches
+}
+
+// NamedValue is one exported scalar of a SummaryView.
+type NamedValue struct {
+	Name  string
+	Value float64
+}
+
+// SummaryView is the render-ready form of a Summary: name-sorted
+// scalars plus the sketches rendered as histogram rows, exactly the
+// shape the export surface already knows how to draw.
+type SummaryView struct {
+	Hosts      uint64
+	Counters   []NamedValue
+	Maxima     []NamedValue
+	Histograms []HistogramValue
+}
+
+// View assembles the summary's render-ready form. Hosts is left zero;
+// the aggregator that knows its fan-in fills it.
+func (s *Summary) View() SummaryView {
+	counters, maxima, sketches := s.Export()
+	v := SummaryView{}
+	for _, k := range sortedNames(counters) {
+		v.Counters = append(v.Counters, NamedValue{Name: k, Value: counters[k]})
+	}
+	for _, k := range sortedNames(maxima) {
+		v.Maxima = append(v.Maxima, NamedValue{Name: k, Value: maxima[k]})
+	}
+	for _, ns := range sketches {
+		sk := NewSketch()
+		sk.MergeSnapshot(ns.Sketch)
+		p50, p95, p99 := sk.Quantiles()
+		v.Histograms = append(v.Histograms, HistogramValue{
+			Name: ns.Name, Count: sk.Count(), Min: sk.Min(), Mean: sk.Mean(),
+			P50: p50, P95: p95, P99: p99, Max: sk.Max(),
+		})
+	}
+	return v
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FederatedView is the fleet-level observability document a terminal
+// aggregator (the region) serves: the merged fleet summary plus one
+// entry per direct child (per DOMAIN — never per host; the view is
+// renderable for a 10k-host fleet precisely because its size scales
+// with the domain count).
+type FederatedView struct {
+	Tier      string
+	Hosts     uint64
+	Summaries uint64
+	Fleet     SummaryView
+	Children  []ChildView
+}
+
+// ChildView is one direct child's aggregate within a FederatedView.
+type ChildView struct {
+	Name      string
+	Hosts     uint64
+	Summaries uint64
+	Summary   SummaryView
+}

@@ -71,6 +71,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
 }
 
 // NewRegistry creates a registry on the given clock (virtual or wall).
@@ -84,6 +85,7 @@ func NewRegistry(clock Clock) *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*Sketch),
 	}
 }
 
@@ -153,4 +155,21 @@ func (r *Registry) Histogram(name string, window time.Duration) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Sketch returns (registering on first use) the named mergeable sketch
+// histogram. Sketches render in snapshots exactly like histograms, so a
+// metric can be backed by either without its consumers changing; only
+// federated runs register any, which keeps flat-topology snapshot name
+// sets untouched. Do not register a sketch and a histogram under the
+// same name.
+func (r *Registry) Sketch(name string) *Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sketches[name]
+	if !ok {
+		s = NewSketch()
+		r.sketches[name] = s
+	}
+	return s
 }

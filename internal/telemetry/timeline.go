@@ -61,6 +61,57 @@ func (s *tlSeries) points() []Point {
 	return out
 }
 
+// rollupSeries accumulates one metric's raw samples into fixed
+// time-resolution buckets: when a sample lands in a new bucket, the
+// previous bucket closes and its aggregate is pushed onto the tier's
+// ring. Counter series keep the bucket's last value (they are
+// cumulative); gauge and quantile series keep the bucket mean.
+type rollupSeries struct {
+	ring    tlSeries
+	bucket  time.Duration // start of the bucket being accumulated
+	started bool
+	n       int
+	sum     float64
+	last    float64
+}
+
+// rollupTier is one downsampling resolution (e.g. 5m) over every
+// recorded series.
+type rollupTier struct {
+	res    time.Duration
+	cap    int
+	series map[string]*rollupSeries
+}
+
+// roll feeds one raw sample into the tier.
+func (rt *rollupTier) roll(name, kind string, p Point) {
+	rs, ok := rt.series[name]
+	if !ok {
+		rs = &rollupSeries{ring: tlSeries{kind: kind, buf: make([]Point, rt.cap)}}
+		rt.series[name] = rs
+	}
+	b := p.At - (p.At % rt.res)
+	if rs.started && b != rs.bucket {
+		v := rs.last
+		if kind != "counter" {
+			v = rs.sum / float64(rs.n)
+		}
+		rs.ring.push(Point{At: rs.bucket, V: v})
+		rs.n, rs.sum = 0, 0
+	}
+	rs.started = true
+	rs.bucket = b
+	rs.n++
+	rs.sum += p.V
+	rs.last = p.V
+}
+
+// DefaultRollupResolutions are the downsampling tiers EnableRollup arms
+// when the caller names none: raw samples roll up into 5-minute
+// buckets, and those (independently, from the same raw stream) into
+// 1-hour buckets.
+var DefaultRollupResolutions = []time.Duration{5 * time.Minute, time.Hour}
+
 // Timeline is the flight recorder: a fixed-capacity ring-buffer
 // time-series store fed by periodically sampling a Registry on its own
 // clock. Each counter and gauge becomes one series; each histogram
@@ -74,11 +125,15 @@ func (s *tlSeries) points() []Point {
 // concurrent use (live mode samples from a ticker goroutine while HTTP
 // scrapes read).
 type Timeline struct {
-	mu      sync.Mutex
-	reg     *Registry
-	cap     int
-	series  map[string]*tlSeries
-	samples uint64
+	mu        sync.Mutex
+	reg       *Registry
+	cap       int
+	series    map[string]*tlSeries
+	samples   uint64
+	rollups   []*rollupTier
+	maxSeries int // 0 = unbounded
+	evicted   uint64
+	evictedC  *Counter // lazy: telemetry.timeline.evicted
 }
 
 // NewTimeline creates a flight recorder over reg retaining up to
@@ -93,6 +148,52 @@ func NewTimeline(reg *Registry, capacity int) *Timeline {
 // Capacity returns the per-series ring size.
 func (tl *Timeline) Capacity() int { return tl.cap }
 
+// EnableRollup arms time-based downsampling: every raw sample also
+// feeds one accumulator per resolution tier, and each completed bucket
+// (a sample landed past its end) pushes one aggregated point onto that
+// tier's own ring of up to capacity points (the raw ring's capacity
+// when <= 0). With no resolutions given the 5m/1h defaults apply.
+// Bucket boundaries are pure functions of the sample clock, so rolled-
+// up timelines are as deterministic as raw ones. Call before sampling
+// starts; the bucket still accumulating is not exported.
+func (tl *Timeline) EnableRollup(capacity int, resolutions ...time.Duration) {
+	if capacity <= 0 {
+		capacity = tl.cap
+	}
+	if len(resolutions) == 0 {
+		resolutions = DefaultRollupResolutions
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for _, res := range resolutions {
+		if res <= 0 {
+			continue
+		}
+		tl.rollups = append(tl.rollups, &rollupTier{
+			res: res, cap: capacity, series: make(map[string]*rollupSeries)})
+	}
+}
+
+// SetMaxSeries caps how many distinct series the recorder tracks (0 =
+// unbounded, the default). Samples for series beyond the cap are not
+// recorded and are counted — in the registry's
+// "telemetry.timeline.evicted" counter, registered lazily so capped-
+// but-quiet recorders leave metric name sets alone. Live mode sets a
+// cap by default; a runaway metric-name cardinality then costs a
+// counter, not the process.
+func (tl *Timeline) SetMaxSeries(n int) {
+	tl.mu.Lock()
+	tl.maxSeries = n
+	tl.mu.Unlock()
+}
+
+// Evicted returns how many samples were refused by the series cap.
+func (tl *Timeline) Evicted() uint64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.evicted
+}
+
 // Samples returns how many Sample passes have run.
 func (tl *Timeline) Samples() uint64 {
 	tl.mu.Lock()
@@ -103,10 +204,23 @@ func (tl *Timeline) Samples() uint64 {
 func (tl *Timeline) record(name, kind string, p Point) {
 	s, ok := tl.series[name]
 	if !ok {
+		if tl.maxSeries > 0 && len(tl.series) >= tl.maxSeries {
+			tl.evicted++
+			if tl.reg != nil {
+				if tl.evictedC == nil {
+					tl.evictedC = tl.reg.Counter("telemetry.timeline.evicted")
+				}
+				tl.evictedC.Inc()
+			}
+			return
+		}
 		s = &tlSeries{kind: kind, buf: make([]Point, tl.cap)}
 		tl.series[name] = s
 	}
 	s.push(p)
+	for _, rt := range tl.rollups {
+		rt.roll(name, s.kind, p)
+	}
 }
 
 // Sample takes one registry snapshot at the current clock instant and
@@ -161,6 +275,14 @@ func (tl *Timeline) SeriesByName(name string) (Series, bool) {
 	return Series{Name: name, Kind: s.kind, Points: s.points()}, true
 }
 
+// RollupDump is one downsampling tier's retained history: every series
+// that has at least one completed bucket at this resolution.
+type RollupDump struct {
+	Resolution time.Duration `json:"resolution_ns"`
+	Capacity   int           `json:"capacity"`
+	Series     []Series      `json:"series"`
+}
+
 // TimelineDump is the JSON document served at /debug/qos/timeline and
 // dumped by qosd -report: the recorder's full retained history.
 type TimelineDump struct {
@@ -171,6 +293,10 @@ type TimelineDump struct {
 	Samples  uint64   `json:"samples"`
 	Capacity int      `json:"capacity"`
 	Series   []Series `json:"series"`
+	// Rollups holds the downsampled tiers, coarsest last. Absent (and
+	// absent from the JSON) unless EnableRollup was called, so recorders
+	// without downsampling dump byte-identically to before it existed.
+	Rollups []RollupDump `json:"rollups,omitempty"`
 }
 
 // Dump assembles the exportable timeline document. A nil Timeline dumps
@@ -186,7 +312,32 @@ func (tl *Timeline) Dump() TimelineDump {
 	d.Samples = tl.Samples()
 	d.Capacity = tl.cap
 	d.Series = tl.Series()
+	d.Rollups = tl.rollupDumps()
 	return d
+}
+
+// rollupDumps exports every rollup tier name-sorted, completed buckets
+// only.
+func (tl *Timeline) rollupDumps() []RollupDump {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var out []RollupDump
+	for _, rt := range tl.rollups {
+		rd := RollupDump{Resolution: rt.res, Capacity: rt.cap, Series: []Series{}}
+		names := make([]string, 0, len(rt.series))
+		for n, rs := range rt.series {
+			if rs.ring.n > 0 {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rs := rt.series[n]
+			rd.Series = append(rd.Series, Series{Name: n, Kind: rs.ring.kind, Points: rs.ring.points()})
+		}
+		out = append(out, rd)
+	}
+	return out
 }
 
 // WriteJSON renders the dump with stable indentation (byte-identical

@@ -133,9 +133,12 @@ func (t *Trace) TimeToRecovery() (time.Duration, bool) {
 	return t.End - t.Start, true
 }
 
-// maxTraces bounds retained completed traces; older episodes are kept
-// (they are complete) and newer ones are dropped and counted.
-const maxTraces = 4096
+// DefaultMaxTraces bounds retained completed traces unless SetRetention
+// chooses otherwise. Past the cap the OLDEST completed episode is
+// evicted — a long-lived live process keeps its most recent history,
+// which is the history an operator debugging it needs — and the
+// eviction is counted.
+const DefaultMaxTraces = 4096
 
 // Tracer assembles violation traces. One violation per (subject, policy)
 // pair may be open at a time: a repeated violation report while open is
@@ -149,7 +152,24 @@ type Tracer struct {
 	active  map[string]*Trace // traceKey(subject, policy) -> open trace
 	byID    map[string]*Trace // trace ID -> open trace (same values)
 	done    []*Trace
-	dropped uint64
+	maxDone int // retention cap on done; 0 = unbounded
+	evicted uint64
+
+	// Tail-based sampling (off unless SetSampling arms it): recoveries
+	// faster than slowTTR are kept one in sampleEvery; abandoned episodes
+	// and slow recoveries are always kept.
+	sampleEvery     int
+	slowTTR         time.Duration
+	fastSeen        uint64
+	sampledOut      uint64 // traces dropped by sampling
+	sampledOutSpans uint64 // spans those traces carried
+
+	// Lazy counters (telemetry.traces.evicted / .sampled_out), registered
+	// on first eviction or sample-out so quiet tracers never alter a
+	// registry's metric name set.
+	reg      *Registry
+	evictedC *Counter
+	sampledC *Counter
 }
 
 // NewTracer creates a tracer on the given clock.
@@ -157,8 +177,86 @@ func NewTracer(clock Clock) *Tracer {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	return &Tracer{clock: clock,
+	return &Tracer{clock: clock, maxDone: DefaultMaxTraces,
 		active: make(map[string]*Trace), byID: make(map[string]*Trace)}
+}
+
+// SetRetention caps retained completed traces at n, evicting oldest
+// first; n <= 0 opts in to unbounded retention (every completed episode
+// kept for the life of the process).
+func (tr *Tracer) SetRetention(n int) {
+	tr.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	tr.maxDone = n
+	tr.mu.Unlock()
+}
+
+// SetSampling arms tail-based trace sampling: a recovery with
+// time-to-recovery under slow is kept one in every n completions (the
+// rest are dropped whole and their spans counted in
+// telemetry.traces.sampled_out). Episodes that end abandoned, and
+// recoveries at or above slow, are ALWAYS kept — the violations worth
+// debugging are never sampled away. n <= 1 keeps everything; slow <= 0
+// subjects every recovery to sampling.
+func (tr *Tracer) SetSampling(n int, slow time.Duration) {
+	tr.mu.Lock()
+	tr.sampleEvery = n
+	tr.slowTTR = slow
+	tr.mu.Unlock()
+}
+
+// SetMetrics attaches a registry for the tracer's retention counters
+// (telemetry.traces.evicted, telemetry.traces.sampled_out), registered
+// lazily on first use.
+func (tr *Tracer) SetMetrics(reg *Registry) {
+	tr.mu.Lock()
+	tr.reg = reg
+	tr.mu.Unlock()
+}
+
+// doneAppend retains a completed trace, evicting the oldest retained
+// episode when the cap is reached. Caller holds mu.
+func (tr *Tracer) doneAppend(t *Trace) {
+	if tr.maxDone > 0 && len(tr.done) >= tr.maxDone {
+		copy(tr.done, tr.done[1:])
+		tr.done[len(tr.done)-1] = t
+		tr.evicted++
+		if tr.reg != nil {
+			if tr.evictedC == nil {
+				tr.evictedC = tr.reg.Counter("telemetry.traces.evicted")
+			}
+			tr.evictedC.Inc()
+		}
+		return
+	}
+	tr.done = append(tr.done, t)
+}
+
+// sampleOut reports whether a just-recovered trace should be dropped by
+// the sampling policy, doing the bookkeeping when it is. Caller holds mu.
+func (tr *Tracer) sampleOut(t *Trace) bool {
+	if tr.sampleEvery <= 1 {
+		return false
+	}
+	if tr.slowTTR > 0 && t.End-t.Start >= tr.slowTTR {
+		return false // slow recovery: always kept
+	}
+	seq := tr.fastSeen
+	tr.fastSeen++
+	if seq%uint64(tr.sampleEvery) == 0 {
+		return false // the kept representative of this sampling stride
+	}
+	tr.sampledOut++
+	tr.sampledOutSpans += uint64(len(t.Spans))
+	if tr.reg != nil {
+		if tr.sampledC == nil {
+			tr.sampledC = tr.reg.Counter("telemetry.traces.sampled_out")
+		}
+		tr.sampledC.Add(uint64(len(t.Spans)))
+	}
+	return true
 }
 
 func traceKey(subject, policy string) string { return subject + "|" + policy }
@@ -314,11 +412,10 @@ func (tr *Tracer) Resolve(subject, policy string) {
 	tr.addSpan(t, 1, "", StageRecovered, "", now)
 	t.End = now
 	t.Recovered = true
-	if len(tr.done) >= maxTraces {
-		tr.dropped++
+	if tr.sampleOut(t) {
 		return
 	}
-	tr.done = append(tr.done, t)
+	tr.doneAppend(t)
 }
 
 // closeLocked moves an open trace to done with a terminal span. Caller
@@ -328,11 +425,7 @@ func (tr *Tracer) closeLocked(key string, t *Trace, stage, src, detail string, a
 	delete(tr.byID, t.ID)
 	tr.addSpan(t, 1, src, stage, detail, at)
 	t.End = at
-	if len(tr.done) >= maxTraces {
-		tr.dropped++
-		return
-	}
-	tr.done = append(tr.done, t)
+	tr.doneAppend(t)
 }
 
 // Abandon closes the open trace for (subject, policy) without recovery:
@@ -449,10 +542,21 @@ func (tr *Tracer) Open() int {
 	return len(tr.active)
 }
 
-// Dropped returns how many completed traces were discarded after the
-// retention cap was reached.
-func (tr *Tracer) Dropped() uint64 {
+// Evicted returns how many completed traces the retention cap pushed
+// out (oldest-first).
+func (tr *Tracer) Evicted() uint64 {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	return tr.dropped
+	return tr.evicted
+}
+
+// Dropped is a legacy alias for Evicted.
+func (tr *Tracer) Dropped() uint64 { return tr.Evicted() }
+
+// SampledOut returns how many completed traces the sampling policy
+// discarded.
+func (tr *Tracer) SampledOut() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.sampledOut
 }

@@ -30,7 +30,7 @@ func BenchmarkTraceExplain(b *testing.B) {
 	var now time.Duration
 	tr := NewTracer(func() time.Duration { now += time.Microsecond; return now })
 	e := Explanation{Engine: "hostmanager", Rule: "local-cpu-starvation",
-		Matched: []string{"(violation p1 P)", "(reading p1 buffer_size 12)"},
+		Matched:  []string{"(violation p1 P)", "(reading p1 buffer_size 12)"},
 		Asserted: []string{"(diagnosis p1 local-cpu)"}}
 	b.ReportAllocs()
 	b.ResetTimer()
