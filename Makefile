@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke fleet-smoke soak clean
+.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke fleet-smoke policy-smoke soak clean
 
 all: check
 
@@ -29,7 +29,7 @@ test: race
 race:
 	$(GO) test -race ./...
 
-check: build vet examples race trace-smoke fleet-smoke soak
+check: build vet examples race trace-smoke fleet-smoke policy-smoke soak
 
 # The resilience gate: seeded chaos soaks — hundreds of violation
 # episodes under a randomized fault schedule on the sim Bus, plus the
@@ -53,6 +53,16 @@ live-smoke:
 # the induced violation is open and climbing back after recovery.
 trace-smoke:
 	$(GO) test -race -timeout 120s -v -run 'TestLiveObservabilityEndpoints|TestLiveSLOCompliance' .
+
+# The policy-distribution gate: live TCP end to end — policyctl's wire
+# path pushes a policy that reaches the running coordinator without a
+# restart, a compliant canary bakes and promotes, an unattainable one
+# breaches its burn rate and auto-rolls back (status via policyctl,
+# state on /debug/qos) — plus the seeded policy-churn determinism tier
+# (generations pushed mid-run under randomized faults must converge
+# byte-identically) and the fleet simulator's hierarchical delta relay.
+policy-smoke:
+	$(GO) test -race -timeout 180s -v -run 'TestLivePolicyRollout|TestPolicyChurn|TestFleetPolicy' ./internal/scenario .
 
 # The fleet-scale gate: assemble the three-tier hierarchy at 1000
 # hosts, simulate two minutes of virtual time (sub-second wall), and
@@ -78,7 +88,8 @@ BENCHTIME ?= 200ms
 bench:
 	( $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
 	      ./internal/msg ./internal/rules ./internal/telemetry \
-	      ./internal/telemetry/export ./internal/netsim ; \
+	      ./internal/telemetry/export ./internal/netsim \
+	      ./internal/repository ./internal/agent ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark(PolicyEvaluate|InstrumentationPass)$$' \
 	      -benchmem -benchtime=$(BENCHTIME) . ; \
 	  $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . ) | $(GO) run ./cmd/benchfmt -dir .

@@ -10,6 +10,9 @@
 //	policyctl add    -file policy.pol -exe mpeg_play -app VideoApplication [-role physician] [-server host:port]
 //	policyctl remove -name NotifyQoSViolation -exe mpeg_play [-role r] [-server host:port]
 //	policyctl list   [-server host:port]
+//	policyctl push   -file policy.pol -exe mpeg_play -server host:port
+//	policyctl status -server host:port
+//	policyctl rollback [-reason why] -server host:port
 //	policyctl export [-server host:port]
 //	policyctl serve  -listen 127.0.0.1:7389
 //
@@ -42,6 +45,7 @@ func main() {
 		name   = fs.String("name", "", "policy name (remove)")
 		server = fs.String("server", "", "repository server address (empty = in-memory demo)")
 		listen = fs.String("listen", "127.0.0.1:7389", "listen address (serve)")
+		reason = fs.String("reason", "", "rollback reason")
 	)
 	_ = fs.Parse(os.Args[2:])
 
@@ -106,6 +110,33 @@ func main() {
 		for _, rs := range named {
 			fmt.Printf("; rule set %s\n%s\n", rs.Name, rs.Text)
 		}
+	case "push":
+		client := dialServer(*server)
+		requireFlag(*exe, "-exe")
+		st, err := client.Push(readFile(*file), repository.PolicyMeta{
+			Application: *app, Executable: *exe, UserRole: *role})
+		must(err)
+		printRollout(st)
+	case "status":
+		client := dialServer(*server)
+		cur, history, err := client.RolloutStatus()
+		must(err)
+		if cur == nil && len(history) == 0 {
+			fmt.Println("no rollout recorded")
+			return
+		}
+		if cur != nil {
+			printRollout(*cur)
+		}
+		for i, st := range history {
+			fmt.Printf("history[%d]: generation %d (%s@%s) %s: %s\n",
+				i, st.Generation, st.Policy, st.Executable, st.State, st.Reason)
+		}
+	case "rollback":
+		client := dialServer(*server)
+		st, err := client.Rollback(*reason)
+		must(err)
+		printRollout(st)
 	case "export":
 		_, store := openAdmin(*server)
 		entries, err := store.Search(repository.BaseDN, repository.ScopeSub, nil)
@@ -126,6 +157,30 @@ func list(admin *mgmt.Admin) {
 	fmt.Println("policy bindings:")
 	for _, n := range names {
 		fmt.Println(" -", n)
+	}
+}
+
+// dialServer connects to a live repository server; rollout verbs make
+// no sense against the throwaway in-memory demo, so -server is
+// mandatory for them.
+func dialServer(server string) *repository.Client {
+	requireFlag(server, "-server")
+	client, err := repository.DialDirectory(server)
+	must(err)
+	return client
+}
+
+func printRollout(st repository.RolloutStatus) {
+	fmt.Printf("rollout generation %d: policy %s@%s %s\n",
+		st.Generation, st.Policy, st.Executable, st.State)
+	if len(st.CanaryHosts) > 0 {
+		fmt.Printf("  canary hosts: %v\n", st.CanaryHosts)
+	}
+	if st.FleetGeneration != 0 {
+		fmt.Printf("  fleet generation: %d\n", st.FleetGeneration)
+	}
+	if st.Reason != "" {
+		fmt.Printf("  reason: %s\n", st.Reason)
 	}
 }
 
@@ -181,13 +236,16 @@ func must(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: policyctl <check|add|remove|list|add-rules|rules|export|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: policyctl <check|add|remove|list|add-rules|rules|push|status|rollback|export|serve> [flags]
   check     -file policy.pol -exe mpeg_play
   add       -file policy.pol -exe mpeg_play -app VideoApplication [-role r] [-server addr]
   remove    -name Policy -exe mpeg_play [-role r] [-server addr]
   list      [-server addr]
   add-rules -file rules.clp -name base -role host-manager [-server addr]
   rules     -role host-manager [-server addr]
+  push      -file policy.pol -exe mpeg_play [-app a] [-role r] -server addr
+  status    -server addr
+  rollback  [-reason why] -server addr
   export    [-server addr]
   serve     [-listen 127.0.0.1:7389]`)
 	os.Exit(2)

@@ -20,6 +20,13 @@
 //	     -manager-addr 127.0.0.1:7002 -duration 5s
 //
 // The agent and manager roles serve until interrupted.
+//
+// With -policy-server ADDR the agent and all roles additionally serve
+// the policy repository over TCP: policyctl push starts a canary
+// rollout whose deltas reach the running workload without a restart,
+// bake against live SLO compliance (single-process session), and
+// promote or roll back automatically; policyctl status/rollback
+// inspect and abort it.
 package main
 
 import (
@@ -47,6 +54,10 @@ var (
 	mgrTCP   = flag.String("manager-addr", "", "host manager TCP address (workload role)")
 	httpAddr = flag.String("http", "", "serve /metrics, /debug/qos and /debug/qos/chrome on this address (live mode)")
 
+	policyTCP = flag.String("policy-server", "",
+		"serve the policy repository on this address: policyctl push/status/rollback plus live delta distribution to the agent (agent and all roles)")
+	bake = flag.Duration("bake", 15*time.Second, "canary bake period for live policy rollouts (-policy-server)")
+
 	unboundedTel = flag.Bool("unbounded-telemetry", false,
 		"opt out of live-mode retention caps: keep every completed trace and every timeline series")
 	traceSample = flag.Int("trace-sample", 1,
@@ -65,7 +76,7 @@ const liveMaxTimelineSeries = 512
 // kit — Go runtime gauges, pprof, a wall-clock flight recorder and the
 // SLO endpoints; sim mode never reaches this path, so deterministic
 // snapshots see none of these metric names.
-func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
+func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer, extra ...export.Option) func() {
 	if *httpAddr == "" {
 		return func() {}
 	}
@@ -105,6 +116,7 @@ func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
 			Objective: "frame_rate = 25(+2)(-2) and jitter_rate < 1.25",
 		}}),
 	)
+	opts = append(opts, extra...)
 	srv, err := export.Serve(*httpAddr, reg, tracer, opts...)
 	checkLive(err)
 	fmt.Printf("observability endpoints on http://%s/metrics, /debug/qos[/slo|/timeline|/dashboard] and /debug/pprof/\n", srv.Addr())
@@ -115,9 +127,12 @@ func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer) func() {
 }
 
 // liveRepository builds the paper's video-application information model
-// with the Example 1 policy — the repository the live agent serves from.
-func liveRepository() *softqos.RepositoryService {
-	svc := softqos.NewRepositoryService(softqos.NewDirectory())
+// with the Example 1 policy — the repository the live agent serves
+// from. The directory is returned too so -policy-server can expose it
+// over TCP.
+func liveRepository() (*softqos.RepositoryService, *softqos.Directory) {
+	dir := softqos.NewDirectory()
+	svc := softqos.NewRepositoryService(dir)
 	checkLive(svc.DefineApplication("VideoApplication", "mpeg_play"))
 	checkLive(svc.DefineExecutable("mpeg_play", map[string][]string{
 		"fps_sensor":    {"frame_rate"},
@@ -126,23 +141,70 @@ func liveRepository() *softqos.RepositoryService {
 	}))
 	checkLive(softqos.NewAdmin(svc).AddPolicy(softqos.Example1Policy, softqos.PolicyMeta{
 		Application: "VideoApplication", Executable: "mpeg_play"}))
-	return svc
+	return svc, dir
+}
+
+// servePolicy starts the live policy-distribution server when
+// -policy-server is set: the repository TCP endpoint policyctl's
+// push/status/rollback verbs talk to, with accepted generations pushed
+// to the running agent over the watch/notify hub. The caller still
+// wires the rollout gate (GateOn) to whichever tracer observes the
+// canary's violations.
+func servePolicy(agentAddr string, dir *softqos.Directory, svc *softqos.RepositoryService,
+	reg *telemetry.Registry) *softqos.LivePolicyServer {
+	if *policyTCP == "" {
+		return nil
+	}
+	lps, err := softqos.ServeLivePolicy(*policyTCP, dir, svc, softqos.RolloutConfig{Bake: *bake})
+	checkLive(err)
+	lps.Watch(agentAddr)
+	lps.SetHosts("live-host")
+	lps.SetTelemetry(reg)
+	fmt.Printf("policy repository on %s (policyctl push/status/rollback -server %s)\n",
+		lps.Addr(), lps.Addr())
+	return lps
+}
+
+// rolloutOpts exposes a policy server's rollout state on /debug/qos.
+func rolloutOpts(lps *softqos.LivePolicyServer) []export.Option {
+	if lps == nil {
+		return nil
+	}
+	return []export.Option{export.WithRollout(lps.Rollout())}
 }
 
 func runLive() {
 	switch *role {
 	case "agent":
-		agent, err := softqos.ServeLiveAgent(*listen, liveRepository())
+		svc, dir := liveRepository()
+		agent, err := softqos.ServeLiveAgent(*listen, svc)
 		checkLive(err)
 		defer agent.Close()
 		start := time.Now()
-		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
+		now := func() time.Duration { return time.Since(start) }
+		reg := telemetry.NewRegistry(now)
 		agent.SetTelemetry(reg)
-		defer serveExport(reg, nil)()
+		lps := servePolicy(agent.Addr(), dir, svc, reg)
+		var tracer *telemetry.Tracer
+		if lps != nil {
+			// The standalone agent process observes no violations itself,
+			// so its bakes judge on an empty compliance feed (promote
+			// unless rolled back by hand); run -role all for SLO gating.
+			// The tracer still records every rollout decision.
+			tracer = telemetry.NewTracer(now)
+			lps.GateOn(tracer, now, nil)
+			defer lps.Close()
+		}
+		defer serveExport(reg, tracer, rolloutOpts(lps)...)()
 		fmt.Printf("policy agent listening on %s\n", agent.Addr())
 		waitForInterrupt()
 		regs, fails := agent.Stats()
 		fmt.Printf("registrations: %d ok, %d refused\n", regs, fails)
+		if lps != nil {
+			cs := agent.CacheStats()
+			fmt.Printf("policy generations: hub %d, agent cache %d (%d deltas applied, %d refreshes)\n",
+				lps.Generation("mpeg_play"), agent.Generation("mpeg_play"), cs.Applied, cs.Refreshes)
+		}
 
 	case "manager":
 		lm, err := softqos.NewLiveHostManager(*listen, manager.OverloadHostRules)
@@ -166,10 +228,11 @@ func runLive() {
 			fmt.Fprintln(os.Stderr, "qosd: -role workload needs -agent-addr and -manager-addr")
 			os.Exit(2)
 		}
-		liveWorkload(*agentTCP, *mgrTCP, nil, nil)
+		liveWorkload(*agentTCP, *mgrTCP, nil, nil, nil)
 
 	case "all":
-		agent, err := softqos.ServeLiveAgent("127.0.0.1:0", liveRepository())
+		svc, dir := liveRepository()
+		agent, err := softqos.ServeLiveAgent("127.0.0.1:0", svc)
 		checkLive(err)
 		defer agent.Close()
 		lm, err := softqos.NewLiveHostManager("127.0.0.1:0", manager.OverloadHostRules)
@@ -181,7 +244,11 @@ func runLive() {
 		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
 		agent.SetTelemetry(reg)
 		lm.SetTelemetry(reg, nil)
-		liveWorkload(agent.Addr(), lm.Addr(), lm, reg)
+		lps := servePolicy(agent.Addr(), dir, svc, reg)
+		if lps != nil {
+			defer lps.Close()
+		}
+		liveWorkload(agent.Addr(), lm.Addr(), lm, reg, lps)
 
 	default:
 		fmt.Fprintf(os.Stderr, "qosd: unknown live role %q\n", *role)
@@ -192,9 +259,10 @@ func runLive() {
 // liveWorkload runs the instrumented player: it registers, decodes at a
 // starved ~10 fps against the 25±2 policy, and lets the managers drive
 // it back into the band — first by CPU boosts, then (at saturation) by a
-// frame_skip adaptation directive its actuator applies. lm and reg are
-// non-nil only in the single-process session.
-func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, reg *telemetry.Registry) {
+// frame_skip adaptation directive its actuator applies. lm, reg and
+// lps are non-nil only in the single-process session.
+func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager,
+	reg *telemetry.Registry, lps *softqos.LivePolicyServer) {
 	// With -faults, the workload's outbound management traffic crosses
 	// a fault-injection transport: the same plan format as sim mode,
 	// applied to real TCP (severs cut live connections, crash windows
@@ -213,7 +281,13 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, re
 		// exports as one causal tree.
 		lm.SetTelemetry(reg, tracer)
 	}
-	defer serveExport(reg, tracer)()
+	if lps != nil {
+		// Canary bakes are judged on this process's own violation
+		// episodes: a pushed policy the workload cannot satisfy burns its
+		// error budget here and rolls back automatically.
+		lps.GateOn(tracer, coord.WallClock(), nil)
+	}
+	defer serveExport(reg, tracer, rolloutOpts(lps)...)()
 
 	fps := softqos.NewValueSensor("fps_sensor", "frame_rate", nil)
 	jit := softqos.NewValueSensor("jitter_sensor", "jitter_rate", nil)
@@ -276,6 +350,12 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager, re
 			lm.Violations(), len(lm.Adjustments()))
 		for _, a := range lm.Adjustments() {
 			fmt.Printf("  pid %d: %s -> %d\n", a.PID, a.What, a.Value)
+		}
+	}
+	if lps != nil {
+		for _, st := range lps.Rollout().History() {
+			fmt.Printf("rollout generation %d (%s@%s) %s: %s\n",
+				st.Generation, st.Policy, st.Executable, st.State, st.Reason)
 		}
 	}
 	if *metrics && reg != nil {

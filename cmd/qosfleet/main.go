@@ -7,6 +7,7 @@
 //	qosfleet [-hosts 10000] [-procs 10] [-domains 0 (auto)]
 //	         [-duration 2m] [-window 2s] [-nobatch] [-seed 1]
 //	         [-federate] [-telemetry-window 10s]
+//	         [-policy-gens 0] [-policy-every 30s]
 //	         [-http addr] [-host-budget 0 (auto)] [-payload-cap 262144]
 //	         [-check]
 //
@@ -16,7 +17,11 @@
 // additionally ships mergeable telemetry summaries up the hierarchy and
 // the region reconstructs the fleet view from aggregates alone; -http
 // then serves /metrics, /debug/qos and the dashboard from that view
-// after the run. With -check the run becomes a smoke gate: it exits
+// after the run. With -policy-gens N the run additionally pushes N
+// policy generations through the repository hub mid-run — relayed
+// region → domains → per-domain policy agents — and reports the delta
+// fan-out plus how many agent caches converged on the hub's final
+// generation. With -check the run becomes a smoke gate: it exits
 // non-zero unless the fleet assembled fully, the loop closed for ≥90%
 // of spikes, p99 detect→adapt stayed under 1s, heap per host stayed
 // within -host-budget, and (federated) the debug surface serves bounded
@@ -47,6 +52,9 @@ var (
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	check    = flag.Bool("check", false, "smoke-gate mode: exit non-zero on an unhealthy run")
 
+	policyGens  = flag.Int("policy-gens", 0, "announce this many policy generations mid-run through the repository hub (relayed region -> domains -> policy agents; 0 disables)")
+	policyEvery = flag.Duration("policy-every", 30*time.Second, "virtual-time spacing between policy generations")
+
 	federate  = flag.Bool("federate", false, "arm the federated telemetry plane (host summaries -> domain -> region)")
 	telWindow = flag.Duration("telemetry-window", 10*time.Second, "federated summary flush window")
 	httpAddr  = flag.String("http", "", "serve the post-run observability surface on this address and block (federated runs serve the fleet view)")
@@ -72,6 +80,8 @@ func main() {
 		NoBatching:      *nobatch,
 		Federate:        *federate,
 		TelemetryWindow: *telWindow,
+		PolicyGens:      *policyGens,
+		PolicyEvery:     *policyEvery,
 	}
 
 	before := heapBytes()
@@ -110,6 +120,12 @@ func main() {
 	fmt.Printf("%-28s %12d\n", "bus bytes", res.BusBytes)
 	if *federate {
 		fmt.Printf("%-28s %12d\n", "telemetry summaries", res.Summaries)
+	}
+	if *policyGens > 0 {
+		fmt.Printf("%-28s %12d\n", "policy generations", res.PolicyGeneration)
+		fmt.Printf("%-28s %12d\n", "policy deltas sent", res.PolicyDeltas)
+		fmt.Printf("%-28s %12d\n", "policy delta relays", res.PolicyRelays)
+		fmt.Printf("%-28s %6d of %d\n", "policy agents converged", res.PolicyConverged, len(sys.Domains))
 	}
 	fmt.Printf("%-28s %12.0f\n", "heap bytes per host", perHost)
 
@@ -189,6 +205,15 @@ func runCheck(cfg scenario.FleetConfig, sys *scenario.FleetSystem, res scenario.
 
 	if cfg.Federate {
 		checkFederated(sys, res, fail)
+	}
+	if cfg.PolicyGens > 0 {
+		if res.PolicyGeneration != uint64(cfg.PolicyGens) {
+			fail("policy plane: hub generation %d after %d pushes", res.PolicyGeneration, cfg.PolicyGens)
+		}
+		if res.PolicyConverged != len(sys.Domains) {
+			fail("policy plane: %d of %d domain agents converged on generation %d",
+				res.PolicyConverged, len(sys.Domains), res.PolicyGeneration)
+		}
 	}
 	fmt.Println("\nfleet-smoke: ok")
 }

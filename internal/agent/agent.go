@@ -2,9 +2,24 @@
 // register with it at start-up, and it maps their identity (process,
 // executable, application, user role) to the applicable policies from the
 // repository, delivering them to the process's coordinator.
+//
+// The agent also participates in live policy distribution: repository
+// hubs push msg.PolicyDelta notifications, which the agent folds into a
+// per-executable policy cache keyed by generation number. Registrations
+// are then answered from the cache (a hit) instead of a repository
+// lookup (a miss), stale deltas are ignored, and a gap in the
+// generation chain triggers a full re-pull from the repository. Canary
+// deltas overlay the cache for their host cohort only; fleet and
+// rollback deltas replace the baseline and clear any overlay. Every
+// delta is re-delivered to the already-registered processes it affects,
+// which is what makes a rollout *live* rather than
+// visible-at-next-restart.
 package agent
 
 import (
+	"sort"
+	"sync"
+
 	"softqos/internal/msg"
 	"softqos/internal/repository"
 	"softqos/internal/telemetry"
@@ -13,11 +28,44 @@ import (
 // Send transmits a management message.
 type Send = msg.SendFunc
 
+// exeCache is the cached policy state for one executable, maintained
+// purely by the delta stream (it does not exist until the first delta
+// arrives, so a deployment that never pushes deltas behaves exactly as
+// one built before the cache existed).
+type exeCache struct {
+	gen         uint64
+	baseline    []msg.PolicySpec // fleet-wide truth as of gen
+	canary      []msg.PolicySpec // overlay for the canary cohort; nil when none
+	canaryHosts map[string]bool
+}
+
+// specsFor returns the policy view a process on host should run.
+func (c *exeCache) specsFor(host string) []msg.PolicySpec {
+	if c.canary != nil && c.canaryHosts[host] {
+		return c.canary
+	}
+	return c.baseline
+}
+
+// CacheStats is a snapshot of the agent's policy-cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Refreshes uint64 `json:"refreshes"` // generation-gap full re-pulls
+	Stale     uint64 `json:"stale"`     // deltas ignored as not newer
+	Applied   uint64 `json:"applied"`   // deltas folded into the cache
+}
+
 // PolicyAgent answers process registrations with their policy sets.
 type PolicyAgent struct {
+	mu   sync.Mutex
 	addr string
 	svc  *repository.Service
 	send Send
+
+	roster map[string]msg.Register // registrant address -> registration
+	order  []string                // registrant addresses, sorted
+	cache  map[string]*exeCache    // executable -> cached policy view
 
 	// Registrations counts successful policy deliveries; Failures counts
 	// repository lookups that failed (the registrant then receives an
@@ -25,87 +73,239 @@ type PolicyAgent struct {
 	Registrations uint64
 	Failures      uint64
 
+	stats CacheStats
+
 	mRegistrations *telemetry.Counter
 	mFailures      *telemetry.Counter
+	mCacheHits     *telemetry.Counter
+	mCacheMisses   *telemetry.Counter
+	mCacheRefresh  *telemetry.Counter
+	mCacheStale    *telemetry.Counter
+	mDeltasApplied *telemetry.Counter
 }
 
 // New creates a policy agent bound to addr, resolving policies through
 // svc.
 func New(addr string, svc *repository.Service, send Send) *PolicyAgent {
-	return &PolicyAgent{addr: addr, svc: svc, send: send}
+	return &PolicyAgent{
+		addr:   addr,
+		svc:    svc,
+		send:   send,
+		roster: make(map[string]msg.Register),
+		cache:  make(map[string]*exeCache),
+	}
 }
 
 // Addr returns the agent's management address.
 func (a *PolicyAgent) Addr() string { return a.addr }
 
 // SetTelemetry attaches the agent to a metrics registry: counters
-// "agent.registrations" and "agent.failures" (failed repository lookups,
-// i.e. Nacks sent).
+// "agent.registrations", "agent.failures" (failed repository lookups,
+// i.e. Nacks sent), the policy-cache counters "agent.cache.hits",
+// "agent.cache.misses", "agent.cache.refreshes" (gap-triggered full
+// re-pulls), "agent.cache.stale_deltas", and "agent.deltas_applied".
 func (a *PolicyAgent) SetTelemetry(reg *telemetry.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if reg == nil {
 		a.mRegistrations, a.mFailures = nil, nil
+		a.mCacheHits, a.mCacheMisses, a.mCacheRefresh, a.mCacheStale, a.mDeltasApplied = nil, nil, nil, nil, nil
 		return
 	}
 	a.mRegistrations = reg.Counter("agent.registrations")
 	a.mFailures = reg.Counter("agent.failures")
+	a.mCacheHits = reg.Counter("agent.cache.hits")
+	a.mCacheMisses = reg.Counter("agent.cache.misses")
+	a.mCacheRefresh = reg.Counter("agent.cache.refreshes")
+	a.mCacheStale = reg.Counter("agent.cache.stale_deltas")
+	a.mDeltasApplied = reg.Counter("agent.deltas_applied")
 }
 
-// HandleMessage processes one inbound management message (Register).
+// CacheStats returns the policy-cache counters.
+func (a *PolicyAgent) CacheStats() CacheStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Generation returns the cached generation for an executable (0 when
+// the delta stream has not reached the agent for it).
+func (a *PolicyAgent) Generation(exe string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c := a.cache[exe]; c != nil {
+		return c.gen
+	}
+	return 0
+}
+
+// HandleMessage processes one inbound management message (Register or
+// PolicyDelta).
 func (a *PolicyAgent) HandleMessage(m msg.Message) {
-	var reg msg.Register
 	switch body := m.Body.(type) {
 	case *msg.Register:
-		reg = *body
+		a.handleRegister(m.From, *body)
 	case msg.Register:
-		reg = body
-	default:
-		return
+		a.handleRegister(m.From, body)
+	case *msg.PolicyDelta:
+		a.handleDelta(m.Trace, *body)
+	case msg.PolicyDelta:
+		a.handleDelta(m.Trace, body)
 	}
-	specs, err := a.svc.PoliciesFor(reg.ID)
-	if err != nil {
-		// A failed lookup must not masquerade as "no policies apply":
-		// reply with an explicit Nack so the coordinator knows it is
-		// unmanaged because of a fault, not by configuration.
-		a.Failures++
-		if a.mFailures != nil {
-			a.mFailures.Inc()
+}
+
+func (a *PolicyAgent) handleRegister(from string, reg msg.Register) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, known := a.roster[from]; !known {
+		a.order = append(a.order, from)
+		sort.Strings(a.order)
+	}
+	a.roster[from] = reg
+
+	var specs []msg.PolicySpec
+	if ce := a.cache[reg.ID.Executable]; ce != nil {
+		// Cache hit: answer from the delta-maintained view. The cache
+		// carries the any-role view; role-specific bindings still take
+		// the repository path on the next miss.
+		a.stats.Hits++
+		if a.mCacheHits != nil {
+			a.mCacheHits.Inc()
 		}
-		_ = a.send(m.From, msg.Message{
-			From: a.addr,
-			Body: msg.Nack{ID: reg.ID, Ref: "register", Reason: err.Error()},
-		})
-		return
+		specs = ce.specsFor(reg.ID.Host)
+	} else {
+		a.stats.Misses++
+		if a.mCacheMisses != nil {
+			a.mCacheMisses.Inc()
+		}
+		var err error
+		specs, err = a.svc.PoliciesFor(reg.ID)
+		if err != nil {
+			// A failed lookup must not masquerade as "no policies apply":
+			// reply with an explicit Nack so the coordinator knows it is
+			// unmanaged because of a fault, not by configuration.
+			a.Failures++
+			if a.mFailures != nil {
+				a.mFailures.Inc()
+			}
+			_ = a.send(from, msg.Message{
+				From: a.addr,
+				Body: msg.Nack{ID: reg.ID, Ref: "register", Reason: err.Error()},
+			})
+			return
+		}
 	}
 	a.Registrations++
 	if a.mRegistrations != nil {
 		a.mRegistrations.Inc()
 	}
-	// Policies referencing sensors the process did not report cannot be
-	// enforced there; filter them out rather than poisoning the
-	// coordinator (the management application normally prevents this
-	// through its integrity checks).
-	if len(reg.Sensors) > 0 {
-		have := make(map[string]bool, len(reg.Sensors))
-		for _, s := range reg.Sensors {
-			have[s] = true
-		}
-		kept := specs[:0]
-		for _, spec := range specs {
-			ok := true
-			for _, c := range spec.Conditions {
-				if !have[c.Sensor] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, spec)
-			}
-		}
-		specs = kept
-	}
-	_ = a.send(m.From, msg.Message{
+	_ = a.send(from, msg.Message{
 		From: a.addr,
-		Body: msg.PolicySet{ID: reg.ID, Policies: specs},
+		Body: msg.PolicySet{ID: reg.ID, Policies: filterBySensors(specs, reg.Sensors)},
 	})
+}
+
+// handleDelta folds one policy delta into the cache and re-delivers the
+// resulting policy view to every registered process of the executable.
+func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ce, known := a.cache[d.Executable]
+	if !known {
+		ce = &exeCache{}
+	}
+	if d.Generation <= ce.gen {
+		// Stale: duplicated or reordered in flight. The cache already
+		// reflects a newer generation; applying this one would roll the
+		// fleet backwards.
+		a.stats.Stale++
+		if a.mCacheStale != nil {
+			a.mCacheStale.Inc()
+		}
+		return
+	}
+	if !known || d.Prev != ce.gen {
+		// Gap (or a brand-new cache entry, which is the same situation:
+		// the baseline is unknown): the payload alone cannot reconstruct
+		// the missed state, so re-pull the repository's full truth; the
+		// delta's own payload is then applied on top as usual.
+		a.stats.Refreshes++
+		if a.mCacheRefresh != nil {
+			a.mCacheRefresh.Inc()
+		}
+		if specs, err := a.svc.PoliciesFor(msg.Identity{Executable: d.Executable}); err == nil {
+			ce.baseline = specs
+		}
+	}
+	switch d.Scope {
+	case "canary":
+		ce.canary = d.Policies
+		ce.canaryHosts = make(map[string]bool, len(d.Hosts))
+		for _, h := range d.Hosts {
+			ce.canaryHosts[h] = true
+		}
+	case "fleet", "rollback":
+		ce.baseline = d.Policies
+		ce.canary, ce.canaryHosts = nil, nil
+	default:
+		return // transports validate scopes; defense in depth
+	}
+	ce.gen = d.Generation
+	a.cache[d.Executable] = ce
+	a.stats.Applied++
+	if a.mDeltasApplied != nil {
+		a.mDeltasApplied.Inc()
+	}
+
+	// Re-deliver to affected registrants in sorted address order so the
+	// fan-out is deterministic. A canary delta changes nothing for hosts
+	// outside the cohort, so only cohort registrants are re-delivered;
+	// fleet and rollback deltas go to everyone running the executable.
+	// Each registrant gets its own sensor-filtered view, carrying the
+	// delta's trace context so rollout traces show the delivery fan-out.
+	for _, addr := range a.order {
+		reg := a.roster[addr]
+		if reg.ID.Executable != d.Executable {
+			continue
+		}
+		if d.Scope == "canary" && !ce.canaryHosts[reg.ID.Host] {
+			continue
+		}
+		_ = a.send(addr, msg.Message{
+			From:  a.addr,
+			Trace: trace,
+			Body: msg.PolicySet{ID: reg.ID,
+				Policies: filterBySensors(ce.specsFor(reg.ID.Host), reg.Sensors)},
+		})
+	}
+}
+
+// filterBySensors drops policies referencing sensors the process did
+// not report: they cannot be enforced there, and delivering them would
+// poison the coordinator (the management application normally prevents
+// the situation through its integrity checks). With no reported sensors
+// the specs pass through unfiltered. The input slice is never mutated —
+// it may be the agent's cache.
+func filterBySensors(specs []msg.PolicySpec, sensors []string) []msg.PolicySpec {
+	if len(sensors) == 0 {
+		return specs
+	}
+	have := make(map[string]bool, len(sensors))
+	for _, s := range sensors {
+		have[s] = true
+	}
+	kept := make([]msg.PolicySpec, 0, len(specs))
+	for _, spec := range specs {
+		ok := true
+		for _, c := range spec.Conditions {
+			if !have[c.Sensor] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, spec)
+		}
+	}
+	return kept
 }

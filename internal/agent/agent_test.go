@@ -166,6 +166,173 @@ func TestAgentIgnoresNonRegister(t *testing.T) {
 	}
 }
 
+// tightSpec is a canary payload differing from the stored policy in
+// its jitter bound.
+func tightSpec() msg.PolicySpec {
+	return msg.PolicySpec{
+		Name:       "NotifyQoSViolation",
+		Connective: "and",
+		Conditions: []msg.CondSpec{
+			{Attribute: "frame_rate", Sensor: "fps_sensor", Op: ">", Value: 23},
+			{Attribute: "frame_rate", Sensor: "fps_sensor", Op: "<", Value: 27},
+			{Attribute: "jitter_rate", Sensor: "jitter_sensor", Op: "<", Value: 1.5},
+		},
+		Actions: []msg.ActionSpec{{Target: "fps_sensor", Op: "read", Args: []string{"frame_rate"}}},
+	}
+}
+
+func delta(gen, prev uint64, scope string, hosts []string, specs ...msg.PolicySpec) msg.Message {
+	return msg.Message{From: "/repo/hub", Body: msg.PolicyDelta{
+		Generation: gen, Prev: prev, Executable: "mpeg_play",
+		Scope: scope, Hosts: hosts, Policies: specs, Reason: "test"}}
+}
+
+func jitterBoundOf(t *testing.T, m msg.Message) float64 {
+	t.Helper()
+	ps, ok := m.Body.(msg.PolicySet)
+	if !ok {
+		t.Fatalf("re-delivery = %T, want msg.PolicySet", m.Body)
+	}
+	for _, s := range ps.Policies {
+		for _, c := range s.Conditions {
+			if c.Attribute == "jitter_rate" {
+				return c.Value
+			}
+		}
+	}
+	t.Fatalf("no jitter_rate condition in %+v", ps.Policies)
+	return 0
+}
+
+func TestAgentCacheCanaryOverlayAndHits(t *testing.T) {
+	a, sent, to := newAgent(t)
+	sensors := []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}
+	canaryID := msg.Identity{Host: "h-canary", PID: 1, Executable: "mpeg_play", Application: "VideoApplication"}
+	otherID := msg.Identity{Host: "h-other", PID: 2, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(canaryID, sensors...))
+	a.HandleMessage(register(otherID, sensors...))
+	if st := a.CacheStats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("pre-delta stats = %+v", st)
+	}
+	*sent, *to = nil, nil
+
+	// Canary delta: only the cohort registrant is re-delivered, and it
+	// gets the canary view.
+	a.HandleMessage(delta(1, 0, "canary", []string{"h-canary"}, tightSpec()))
+	if len(*sent) != 1 || (*to)[0] != canaryID.Address()+"/qosl_coordinator" {
+		t.Fatalf("canary re-delivery went to %v", *to)
+	}
+	if got := jitterBoundOf(t, (*sent)[0]); got != 1.5 {
+		t.Fatalf("canary registrant got jitter bound %v", got)
+	}
+	if a.Generation("mpeg_play") != 1 {
+		t.Fatalf("generation = %d", a.Generation("mpeg_play"))
+	}
+	// The first delta seeds the baseline from the repository.
+	if st := a.CacheStats(); st.Applied != 1 || st.Refreshes != 1 {
+		t.Fatalf("post-canary stats = %+v", st)
+	}
+
+	// Registrations now hit the cache: cohort hosts get the overlay,
+	// everyone else the baseline.
+	*sent, *to = nil, nil
+	lateCanary := msg.Identity{Host: "h-canary", PID: 3, Executable: "mpeg_play", Application: "VideoApplication"}
+	lateOther := msg.Identity{Host: "h-other", PID: 4, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(lateCanary, sensors...))
+	a.HandleMessage(register(lateOther, sensors...))
+	if got := jitterBoundOf(t, (*sent)[0]); got != 1.5 {
+		t.Fatalf("late cohort registrant got jitter bound %v", got)
+	}
+	if got := jitterBoundOf(t, (*sent)[1]); got != 1.25 {
+		t.Fatalf("late non-cohort registrant got jitter bound %v", got)
+	}
+	if st := a.CacheStats(); st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("post-hit stats = %+v", st)
+	}
+
+	// Fleet delta: everyone re-delivered, overlay cleared.
+	*sent, *to = nil, nil
+	fleet := tightSpec()
+	fleet.Conditions[2].Value = 2.0
+	a.HandleMessage(delta(2, 1, "fleet", nil, fleet))
+	if len(*sent) != 4 {
+		t.Fatalf("fleet delta re-delivered %d of 4", len(*sent))
+	}
+	for i := range *sent {
+		if got := jitterBoundOf(t, (*sent)[i]); got != 2.0 {
+			t.Fatalf("re-delivery %d got jitter bound %v", i, got)
+		}
+	}
+}
+
+func TestAgentCacheStaleAndGapDeltas(t *testing.T) {
+	a, sent, _ := newAgent(t)
+	sensors := []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}
+	id := msg.Identity{Host: "h-other", PID: 1, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(id, sensors...))
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec()))
+	*sent = nil
+
+	// A duplicate (or reordered older) delta is ignored.
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec()))
+	if len(*sent) != 0 {
+		t.Fatalf("stale delta re-delivered %d messages", len(*sent))
+	}
+	if st := a.CacheStats(); st.Stale != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if a.Generation("mpeg_play") != 1 {
+		t.Fatalf("stale delta moved generation to %d", a.Generation("mpeg_play"))
+	}
+
+	// A gap (prev != cached generation) forces a full re-pull of the
+	// repository truth before applying the payload: a canary delta after
+	// a gap rebuilds the baseline from the repository (jitter 1.25, not
+	// the 1.5 the lost generations had installed).
+	*sent = nil
+	canary := tightSpec()
+	canary.Conditions[2].Value = 3.0
+	a.HandleMessage(delta(5, 4, "canary", []string{"h-canary"}, canary))
+	if st := a.CacheStats(); st.Refreshes != 2 { // initial seed + this gap
+		t.Fatalf("stats = %+v", st)
+	}
+	if a.Generation("mpeg_play") != 5 {
+		t.Fatalf("generation = %d", a.Generation("mpeg_play"))
+	}
+	// The non-cohort registrant's next lookup serves the re-pulled
+	// repository baseline, not the lost-generation state.
+	*sent = nil
+	late := msg.Identity{Host: "h-other", PID: 9, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(late, sensors...))
+	if got := jitterBoundOf(t, (*sent)[0]); got != 1.25 {
+		t.Fatalf("post-gap baseline jitter bound = %v", got)
+	}
+}
+
+func TestAgentCacheCountersInRegistry(t *testing.T) {
+	a, _, _ := newAgent(t)
+	reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+	a.SetTelemetry(reg)
+	sensors := []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}
+	id := msg.Identity{Host: "h", PID: 1, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(id, sensors...))               // miss
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec())) // applied + seed refresh
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec())) // stale
+	a.HandleMessage(register(id, sensors...))               // hit
+	for name, want := range map[string]uint64{
+		"agent.cache.misses":       1,
+		"agent.cache.hits":         1,
+		"agent.cache.refreshes":    1,
+		"agent.cache.stale_deltas": 1,
+		"agent.deltas_applied":     1,
+		"agent.registrations":      2,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
 func TestAgentPointerBody(t *testing.T) {
 	a, sent, _ := newAgent(t)
 	id := msg.Identity{Host: "h", PID: 9, Executable: "mpeg_play", Application: "VideoApplication"}

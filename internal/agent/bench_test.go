@@ -1,0 +1,98 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+
+	"softqos/internal/msg"
+	"softqos/internal/policy"
+	"softqos/internal/repository"
+	"softqos/internal/telemetry"
+)
+
+const benchPolicySrc = `
+oblig BenchPolicy {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.25)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`
+
+// benchAgent builds an agent over the demo model with n registered
+// processes and a warmed generation cache, returning the agent and the
+// specs each delta carries.
+func benchAgent(b *testing.B, n int) (*PolicyAgent, []msg.PolicySpec) {
+	b.Helper()
+	dir := repository.NewDirectory(repository.QoSSchema())
+	svc := repository.NewService(repository.LocalStore{Dir: dir})
+	for _, err := range []error{
+		svc.DefineApplication("VideoApplication", "mpeg_play"),
+		svc.DefineExecutable("mpeg_play", map[string][]string{
+			"fps_sensor":    {"frame_rate"},
+			"jitter_sensor": {"jitter_rate"},
+			"buffer_sensor": {"buffer_size"},
+		}),
+	} {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pol, err := policy.ParseOne(benchPolicySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.StorePolicy(pol, repository.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}); err != nil {
+		b.Fatal(err)
+	}
+	pa := New("/bench/PolicyAgent", svc, func(string, msg.Message) error { return nil })
+	for i := 0; i < n; i++ {
+		pa.HandleMessage(msg.Message{From: fmt.Sprintf("/proc/%d", i),
+			Body: msg.Register{ID: msg.Identity{Host: fmt.Sprintf("h-%d", i),
+				PID: i + 1, Executable: "mpeg_play", Application: "VideoApplication"}}})
+	}
+	specs, err := svc.PoliciesFor(msg.Identity{Executable: "mpeg_play"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache: one fleet delta so registrations hit it.
+	pa.HandleMessage(msg.Message{Body: msg.PolicyDelta{
+		Generation: 1, Prev: 0, Executable: "mpeg_play", Scope: "fleet",
+		Policies: specs}})
+	return pa, specs
+}
+
+// BenchmarkRegisterCacheHit is a registration answered from the
+// delta-maintained cache — no repository walk.
+func BenchmarkRegisterCacheHit(b *testing.B) {
+	pa, _ := benchAgent(b, 1)
+	reg := msg.Message{From: "/proc/0", Body: msg.Register{
+		ID: msg.Identity{Host: "h-0", PID: 1, Executable: "mpeg_play",
+			Application: "VideoApplication"}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa.HandleMessage(reg)
+	}
+}
+
+// BenchmarkDeltaFanout100 folds one chained fleet delta into the cache
+// and re-delivers the new view to 100 registered processes.
+func BenchmarkDeltaFanout100(b *testing.B) {
+	pa, specs := benchAgent(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := uint64(i + 2) // chained: Prev is always the cached generation
+		pa.HandleMessage(msg.Message{Trace: telemetry.TraceContext{},
+			Body: msg.PolicyDelta{Generation: gen, Prev: gen - 1,
+				Executable: "mpeg_play", Scope: "fleet", Policies: specs}})
+	}
+	if st := pa.CacheStats(); st.Refreshes != 1 || st.Stale != 0 {
+		b.Fatalf("cache did not stay chained: %+v", st)
+	}
+}

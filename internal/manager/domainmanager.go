@@ -146,6 +146,10 @@ type DomainManager struct {
 	// summarySink, when set, receives inbound host telemetry summaries
 	// (SetSummarySink wires a SummaryAggregator's Ingest here).
 	summarySink func(msg.TelemetrySummary)
+	// policyAgents, when set, receives relayed policy deltas
+	// (SetPolicyAgents names the per-domain policy agents the live
+	// distribution path terminates at).
+	policyAgents []string
 	// SeverityFor, when set, grades an alarm for uplink escalation
 	// (default severity 1).
 	SeverityFor func(msg.Alarm) int
@@ -168,6 +172,9 @@ type DomainManager struct {
 	FanoutQueries    uint64 // per-host sub-queries those fanned out to
 	HostsEvicted     uint64
 	DirectivesRouted uint64 // parent directives routed down to a host
+	// PolicyDeltasRelayed counts policy deltas forwarded to policy
+	// agents (fan-out included).
+	PolicyDeltasRelayed uint64
 
 	// Liveness tracking (EnableLiveness): episodes whose server report
 	// never arrives are retried once, then abandoned with a traced
@@ -201,6 +208,7 @@ type dmMetrics struct {
 	fanouts      *telemetry.Counter
 	fanoutSubs   *telemetry.Counter
 	hostsEvicted *telemetry.Counter
+	policyRelays *telemetry.Counter
 }
 
 func (m *dmMetrics) countQueryRetry() {
@@ -231,6 +239,13 @@ func (m *dmMetrics) countHostEvicted() {
 		m.hostsEvicted = m.reg.Counter("domain.hosts_evicted")
 	}
 	m.hostsEvicted.Inc()
+}
+
+func (m *dmMetrics) countPolicyRelay(fanout int) {
+	if m.policyRelays == nil {
+		m.policyRelays = m.reg.Counter("domain.policy_deltas_relayed")
+	}
+	m.policyRelays.Add(uint64(fanout))
 }
 
 // NewDomainManager creates a domain manager bound to addr, loading the
@@ -472,8 +487,32 @@ func (dm *DomainManager) HandleMessage(m msg.Message) {
 		dm.handleSummary(*body)
 	case msg.TelemetrySummary:
 		dm.handleSummary(body)
+	case *msg.PolicyDelta:
+		dm.relayDelta(m)
+	case msg.PolicyDelta:
+		dm.relayDelta(m)
 	case *msg.Ack, msg.Ack:
 		// Directive acknowledgements are informational.
+	}
+}
+
+// SetPolicyAgents names the policy agents this domain relays repository
+// policy deltas to — the terminal hop of the hub → region → domain →
+// agent distribution path. A domain with none configured drops deltas
+// (it is not part of a live-distribution deployment).
+func (dm *DomainManager) SetPolicyAgents(addrs ...string) {
+	dm.policyAgents = append([]string(nil), addrs...)
+}
+
+// relayDelta forwards a policy delta to this domain's policy agents,
+// trace context intact.
+func (dm *DomainManager) relayDelta(m msg.Message) {
+	for _, addr := range dm.policyAgents {
+		_ = dm.send(addr, msg.Message{From: dm.addr, Trace: m.Trace, Body: m.Body})
+	}
+	dm.PolicyDeltasRelayed += uint64(len(dm.policyAgents))
+	if dm.metrics != nil && len(dm.policyAgents) > 0 {
+		dm.metrics.countPolicyRelay(len(dm.policyAgents))
 	}
 }
 

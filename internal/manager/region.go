@@ -40,6 +40,19 @@ type rmMetrics struct {
 	rebalances *telemetry.Counter
 	evicted    *telemetry.Counter
 	domains    *telemetry.Gauge
+
+	// Lazy counters (policy-distribution runs only): registered on first
+	// use so runs that never see a delta keep their metric namespace —
+	// and therefore their determinism goldens — unchanged.
+	reg          *telemetry.Registry
+	policyRelays *telemetry.Counter
+}
+
+func (m *rmMetrics) countPolicyRelay(fanout int) {
+	if m.policyRelays == nil {
+		m.policyRelays = m.reg.Counter("region.policy_deltas_relayed")
+	}
+	m.policyRelays.Add(uint64(fanout))
 }
 
 // RegionManager is the third tier of the control plane: domain managers
@@ -86,6 +99,10 @@ type RegionManager struct {
 	ProbeTimeouts  uint64
 	Rebalances     uint64
 	DomainsEvicted uint64
+	// PolicyDeltasRelayed counts policy deltas forwarded down to
+	// domain managers (fan-out included: one delta to three domains
+	// counts three).
+	PolicyDeltasRelayed uint64
 }
 
 // NewRegionManager creates a region manager bound to addr.
@@ -117,6 +134,7 @@ func (rm *RegionManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry
 		return
 	}
 	rm.metrics = &rmMetrics{
+		reg:        reg,
 		batches:    reg.Counter("region.batches"),
 		alarms:     reg.Counter("region.alarms_batched"),
 		probes:     reg.Counter("region.probes"),
@@ -170,8 +188,27 @@ func (rm *RegionManager) HandleMessage(m msg.Message) {
 		rm.handleSummary(*body)
 	case msg.TelemetrySummary:
 		rm.handleSummary(body)
+	case *msg.PolicyDelta:
+		rm.relayDelta(m)
+	case msg.PolicyDelta:
+		rm.relayDelta(m)
 	case *msg.Ack, msg.Ack:
 		// Directive acknowledgements are informational.
+	}
+}
+
+// relayDelta forwards a repository policy delta to every registered
+// domain manager, in registration order. The region adds no policy
+// knowledge of its own — it is the distribution edge of the hierarchy,
+// so the delta (and its trace context) passes through unchanged apart
+// from the From address.
+func (rm *RegionManager) relayDelta(m msg.Message) {
+	for _, addr := range rm.order {
+		_ = rm.send(addr, msg.Message{From: rm.addr, Trace: m.Trace, Body: m.Body})
+	}
+	rm.PolicyDeltasRelayed += uint64(len(rm.order))
+	if rm.metrics != nil && len(rm.order) > 0 {
+		rm.metrics.countPolicyRelay(len(rm.order))
 	}
 }
 

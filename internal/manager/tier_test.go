@@ -408,3 +408,68 @@ func TestTierSpansCarryDepth(t *testing.T) {
 		t.Errorf("flat spans carry tier: %d/%d, want 0/0", spans[0].Tier, spans[2].Tier)
 	}
 }
+
+// TestPolicyDeltaRelay pins the distribution edge of live policy
+// rollout: a delta reaching the region fans out to every registered
+// domain, a delta reaching a domain fans out to its configured policy
+// agents, and the trace context survives both hops.
+func TestPolicyDeltaRelay(t *testing.T) {
+	var regionTo []string
+	var regionSent []msg.Message
+	rm := NewRegionManager("/region/QoSRegionManager", func(to string, m msg.Message) error {
+		regionTo = append(regionTo, to)
+		regionSent = append(regionSent, m)
+		return nil
+	})
+	reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+	rm.SetTelemetry(reg, nil)
+	for _, d := range []string{"d-1", "d-2"} {
+		rm.HandleMessage(msg.Message{From: "/" + d + "/QoSDomainManager",
+			Body: msg.Register{ID: msg.Identity{Host: d}}})
+	}
+	regionTo, regionSent = nil, nil
+
+	trace := telemetry.TraceContext{TraceID: "rollout#1", Span: 2}
+	delta := msg.PolicyDelta{Generation: 3, Prev: 2, Executable: "mpeg_play",
+		Scope: "fleet", Reason: "promoted"}
+	rm.HandleMessage(msg.Message{From: "/repo/hub", Trace: trace, Body: &delta})
+	if len(regionSent) != 2 ||
+		regionTo[0] != "/d-1/QoSDomainManager" || regionTo[1] != "/d-2/QoSDomainManager" {
+		t.Fatalf("region relayed to %v", regionTo)
+	}
+	for i, m := range regionSent {
+		if m.Trace != trace {
+			t.Errorf("relay %d lost trace context: %+v", i, m.Trace)
+		}
+		if d, ok := m.Body.(*msg.PolicyDelta); !ok || d.Generation != 3 {
+			t.Errorf("relay %d body = %+v", i, m.Body)
+		}
+		if m.From != "/region/QoSRegionManager" {
+			t.Errorf("relay %d from = %q", i, m.From)
+		}
+	}
+	if rm.PolicyDeltasRelayed != 2 {
+		t.Errorf("PolicyDeltasRelayed = %d", rm.PolicyDeltasRelayed)
+	}
+	if n := reg.Counter("region.policy_deltas_relayed").Value(); n != 2 {
+		t.Errorf("region.policy_deltas_relayed = %d", n)
+	}
+
+	// Domain hop: only configured policy agents receive the delta.
+	r := newTierRig(t)
+	r.dm.HandleMessage(msg.Message{From: "/region", Trace: trace, Body: delta})
+	if len(r.sent) != 0 {
+		t.Fatalf("domain with no policy agents relayed %d messages", len(r.sent))
+	}
+	r.dm.SetPolicyAgents("/mgmt/PolicyAgent", "/mgmt/PolicyAgent2")
+	r.dm.HandleMessage(msg.Message{From: "/region", Trace: trace, Body: delta})
+	if len(r.sent) != 2 || r.sentTo[0] != "/mgmt/PolicyAgent" || r.sentTo[1] != "/mgmt/PolicyAgent2" {
+		t.Fatalf("domain relayed to %v", r.sentTo)
+	}
+	if r.sent[0].Trace != trace {
+		t.Errorf("domain relay lost trace context: %+v", r.sent[0].Trace)
+	}
+	if r.dm.PolicyDeltasRelayed != 2 {
+		t.Errorf("domain PolicyDeltasRelayed = %d", r.dm.PolicyDeltasRelayed)
+	}
+}

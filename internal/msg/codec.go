@@ -82,6 +82,7 @@ const (
 	kindHeartbeat        = 10
 	kindAlarmBatch       = 11
 	kindTelemetrySummary = 12
+	kindPolicyDelta      = 13
 )
 
 func binKind(body any) (byte, error) {
@@ -110,6 +111,8 @@ func binKind(body any) (byte, error) {
 		return kindAlarmBatch, nil
 	case TelemetrySummary, *TelemetrySummary:
 		return kindTelemetrySummary, nil
+	case PolicyDelta, *PolicyDelta:
+		return kindPolicyDelta, nil
 	default:
 		return 0, fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -301,6 +304,10 @@ func appendBinaryPayload(dst []byte, to string, m Message) ([]byte, error) {
 		return appendBinTelemetrySummary(dst, &b), nil
 	case *TelemetrySummary:
 		return appendBinTelemetrySummary(dst, b), nil
+	case PolicyDelta:
+		return appendBinPolicyDelta(dst, &b), nil
+	case *PolicyDelta:
+		return appendBinPolicyDelta(dst, b), nil
 	}
 	return nil, fmt.Errorf("msg: unknown body type %T", m.Body)
 }
@@ -364,9 +371,15 @@ func appendBinRegister(dst []byte, b *Register) []byte {
 
 func appendBinPolicySet(dst []byte, b *PolicySet) []byte {
 	dst = appendBinIdentity(dst, &b.ID)
-	dst = binary.AppendUvarint(dst, uint64(len(b.Policies)))
-	for i := range b.Policies {
-		p := &b.Policies[i]
+	return appendBinPolicies(dst, b.Policies)
+}
+
+// appendBinPolicies encodes a PolicySpec list — the shared body of
+// PolicySet and PolicyDelta frames.
+func appendBinPolicies(dst []byte, policies []PolicySpec) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(policies)))
+	for i := range policies {
+		p := &policies[i]
 		dst = appendBinString(dst, p.Name)
 		dst = appendBinString(dst, p.Connective)
 		dst = binary.AppendUvarint(dst, uint64(len(p.Conditions)))
@@ -384,6 +397,16 @@ func appendBinPolicySet(dst []byte, b *PolicySet) []byte {
 		}
 	}
 	return dst
+}
+
+func appendBinPolicyDelta(dst []byte, b *PolicyDelta) []byte {
+	dst = binary.AppendUvarint(dst, b.Generation)
+	dst = binary.AppendUvarint(dst, b.Prev)
+	dst = appendBinString(dst, b.Executable)
+	dst = appendBinString(dst, b.Scope)
+	dst = appendBinStrings(dst, b.Hosts)
+	dst = appendBinPolicies(dst, b.Policies)
+	return appendBinString(dst, b.Reason)
 }
 
 func appendBinViolation(dst []byte, b *Violation) []byte {
@@ -630,6 +653,47 @@ func (r *binReader) strs() []string {
 	return ss
 }
 
+// policies decodes the PolicySpec list shared by PolicySet and
+// PolicyDelta payloads, with the same per-entry minimum-byte-cost
+// bounds checks as every other repeated structure.
+func (r *binReader) policies() []PolicySpec {
+	np := r.uvarint()
+	if r.err != nil || np == 0 {
+		return nil
+	}
+	if np > uint64(len(r.buf)-r.pos) { // each policy costs >= 1 byte
+		r.fail(ErrTruncated)
+		return nil
+	}
+	var policies []PolicySpec
+	for i := uint64(0); i < np && r.err == nil; i++ {
+		p := PolicySpec{Name: r.str(), Connective: r.str()}
+		nc := r.uvarint()
+		if nc > uint64(len(r.buf)-r.pos)/11 { // >= 3 len bytes + 8 value bytes
+			r.fail(ErrTruncated)
+			break
+		}
+		for j := uint64(0); j < nc && r.err == nil; j++ {
+			p.Conditions = append(p.Conditions, CondSpec{
+				Attribute: r.str(), Sensor: r.str(), Op: r.str(), Value: r.f64()})
+		}
+		na := r.uvarint()
+		if na > uint64(len(r.buf)-r.pos)/3 { // >= 3 len bytes
+			r.fail(ErrTruncated)
+			break
+		}
+		for j := uint64(0); j < na && r.err == nil; j++ {
+			p.Actions = append(p.Actions, ActionSpec{
+				Target: r.str(), Op: r.str(), Args: r.strs()})
+		}
+		policies = append(policies, p)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return policies
+}
+
 func (r *binReader) identity() Identity {
 	return Identity{
 		Host:        r.str(),
@@ -655,35 +719,11 @@ func unmarshalBinaryPayload(payload []byte) (string, Message, error) {
 	case kindRegister:
 		body = &Register{ID: r.identity(), Sensors: r.strs()}
 	case kindPolicySet:
-		ps := &PolicySet{ID: r.identity()}
-		np := r.uvarint()
-		if np > uint64(len(r.buf)-r.pos) { // each policy costs >= 1 byte
-			r.fail(ErrTruncated)
-		} else {
-			for i := uint64(0); i < np && r.err == nil; i++ {
-				p := PolicySpec{Name: r.str(), Connective: r.str()}
-				nc := r.uvarint()
-				if nc > uint64(len(r.buf)-r.pos)/11 { // >= 3 len bytes + 8 value bytes
-					r.fail(ErrTruncated)
-					break
-				}
-				for j := uint64(0); j < nc && r.err == nil; j++ {
-					p.Conditions = append(p.Conditions, CondSpec{
-						Attribute: r.str(), Sensor: r.str(), Op: r.str(), Value: r.f64()})
-				}
-				na := r.uvarint()
-				if na > uint64(len(r.buf)-r.pos)/3 { // >= 3 len bytes
-					r.fail(ErrTruncated)
-					break
-				}
-				for j := uint64(0); j < na && r.err == nil; j++ {
-					p.Actions = append(p.Actions, ActionSpec{
-						Target: r.str(), Op: r.str(), Args: r.strs()})
-				}
-				ps.Policies = append(ps.Policies, p)
-			}
-		}
-		body = ps
+		body = &PolicySet{ID: r.identity(), Policies: r.policies()}
+	case kindPolicyDelta:
+		body = &PolicyDelta{Generation: r.uvarint(), Prev: r.uvarint(),
+			Executable: r.str(), Scope: r.str(), Hosts: r.strs(),
+			Policies: r.policies(), Reason: r.str()}
 	case kindViolation:
 		body = &Violation{ID: r.identity(), Policy: r.str(), Readings: r.f64map(), Overshoot: r.boolean()}
 	case kindQuery:

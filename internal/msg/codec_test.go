@@ -61,6 +61,20 @@ func codecCorpus() []Message {
 						Base: 317, Counts: []uint64{1}}},
 				}}},
 		{From: "/mgmt/dm-0", Body: TelemetrySummary{Tier: "domain", Source: "/mgmt/dm-0", Seq: 1}},
+		{From: "/mgmt/repo", Body: PolicyDelta{Generation: 7, Prev: 6,
+			Executable: "mpeg_play", Scope: "canary",
+			Hosts: []string{"h-0", "h-3"},
+			Policies: []PolicySpec{{
+				Name: "P", Connective: "and",
+				Conditions: []CondSpec{{Attribute: "frame_rate", Sensor: "s", Op: ">=", Value: 24}},
+				Actions:    []ActionSpec{{Target: "s", Op: "read", Args: []string{"frame_rate"}}},
+			}},
+			Reason: "canary start <g7> \"bake\""}},
+		{From: "/mgmt/repo", Trace: telemetry.TraceContext{TraceID: "/mgmt/repo#4", Span: 1},
+			Body: PolicyDelta{Generation: 8, Prev: 7, Executable: "mpeg_play",
+				Scope: "rollback", Reason: "fast-burn breach"}},
+		{From: "/mgmt/repo", Body: PolicyDelta{Generation: 18446744073709551615,
+			Prev: 18446744073709551614, Executable: "ünïcode", Scope: "fleet"}},
 	}
 }
 

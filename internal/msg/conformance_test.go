@@ -68,6 +68,8 @@ func oneOfEach() []Message {
 		{From: "/h/src", Body: Ack{Ref: "register"}},
 		{From: "/h/src", Body: TelemetrySummary{Tier: "host", Source: "/h/src", Seq: 1,
 			Counters: map[string]float64{"fleet.alarms_raised": 1}}},
+		{From: "/h/src", Body: PolicyDelta{Generation: 2, Prev: 1,
+			Executable: "x", Scope: "fleet"}},
 	}
 }
 

@@ -99,6 +99,87 @@ func FuzzBinaryTruncation(f *testing.F) {
 	})
 }
 
+// FuzzPolicyDelta targets the newest wire kind specifically: arbitrary
+// bytes never panic the decoder, strict prefixes of a valid binary
+// delta frame fail with typed errors, and a delta built from fuzzed
+// fields round-trips equivalently through both codecs (canonical binary
+// re-encode comparison, same as FuzzCodecRoundTrip).
+func FuzzPolicyDelta(f *testing.F) {
+	f.Add(uint64(7), uint64(6), "mpeg_play", "canary", "h-0", "P", 24.0, []byte{})
+	f.Add(uint64(1), uint64(0), "x", "fleet", "", "", -0.5, []byte{binMagic})
+	f.Add(uint64(1<<63), uint64(0), "ünïcode", "rollback", "h \"q\" <>&", "Q", 1e300, []byte{binMagic, binVersion})
+	for _, m := range codecCorpus() {
+		if _, ok := m.Body.(PolicyDelta); !ok {
+			continue
+		}
+		data, err := MarshalWire(WireBinary, "/d", m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint64(2), uint64(1), "x", "fleet", "h", "P", 0.0, data)
+	}
+	f.Fuzz(func(t *testing.T, gen, prev uint64, exe, scope, host, policy string, val float64, raw []byte) {
+		// Leg 1: the raw bytes through the decoder — must not panic, and
+		// if they decode, truncation of every strict prefix must be loud
+		// and typed when the frame is binary.
+		if _, _, err := UnmarshalWire(raw); err == nil &&
+			len(raw) > 0 && raw[0] == binMagic {
+			for n := 1; n < len(raw); n++ {
+				_, _, err := UnmarshalWire(raw[:n])
+				if err == nil {
+					t.Fatalf("%d-byte prefix of a %d-byte frame decoded successfully", n, len(raw))
+				}
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFrameTooBig) &&
+					!errors.Is(err, ErrBadVersion) && !errors.Is(err, ErrBadKind) &&
+					!errors.Is(err, ErrTrailingBytes) {
+					t.Fatalf("prefix error is untyped: %v", err)
+				}
+			}
+		}
+
+		// Leg 2: a delta built from the fuzzed fields must round-trip
+		// equivalently through both wire formats.
+		if val != val || val > 1.7e308 || val < -1.7e308 {
+			return // JSON cannot carry NaN/Inf
+		}
+		exe = strings.ToValidUTF8(exe, "�")
+		scope = strings.ToValidUTF8(scope, "�")
+		host = strings.ToValidUTF8(host, "�")
+		policy = strings.ToValidUTF8(policy, "�")
+		m := Message{From: "/mgmt/repo", Body: PolicyDelta{
+			Generation: gen, Prev: prev, Executable: exe, Scope: scope,
+			Hosts: []string{host},
+			Policies: []PolicySpec{{Name: policy, Connective: "and",
+				Conditions: []CondSpec{{Attribute: policy, Sensor: exe, Op: ">=", Value: val}},
+				Actions:    []ActionSpec{{Target: exe, Op: "read", Args: []string{policy}}}}},
+			Reason: scope}}
+		canon, err := MarshalWire(WireBinary, "/dest", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wf := range []WireFormat{WireJSON, WireBinary} {
+			data, err := MarshalWire(wf, "/dest", m)
+			if err != nil {
+				t.Fatalf("format %d: marshal: %v", wf, err)
+			}
+			to, got, err := UnmarshalWire(data)
+			if err != nil {
+				t.Fatalf("format %d: unmarshal: %v", wf, err)
+			}
+			if to != "/dest" || got.From != m.From {
+				t.Fatalf("format %d: envelope changed: to=%q from=%q", wf, to, got.From)
+			}
+			again, err := MarshalWire(WireBinary, to, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, again) {
+				t.Fatalf("format %d: canonical encodings differ:\n%x\n%x", wf, canon, again)
+			}
+		}
+	})
+}
+
 // FuzzCodecRoundTrip builds a message from fuzzed field values and
 // requires both codecs to carry it losslessly (modulo the documented
 // nil/empty map normalization, checked via canonical re-encode).

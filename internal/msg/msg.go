@@ -178,6 +178,27 @@ type TelemetrySummary struct {
 	Sketches []telemetry.NamedSketchSnapshot `json:"sketches,omitempty"`
 }
 
+// PolicyDelta pushes one policy generation change from the repository
+// hub down the management hierarchy to subscribed agents (watch/notify:
+// the repository notifies instead of agents re-pulling). Generation is
+// the hub's monotonic counter after the change; Prev is the generation
+// this delta supersedes, so a receiver whose cache is not at Prev knows
+// it missed an update and must re-pull the full policy set. Scope
+// selects the rollout stage: "canary" applies only on the listed Hosts,
+// "fleet" promotes everywhere, "rollback" restores the prior policy set
+// everywhere. Policies is the complete post-change policy set for
+// Executable (deltas are state-carrying, so one frame suffices to
+// converge a gap-free cache).
+type PolicyDelta struct {
+	Generation uint64       `json:"generation"`
+	Prev       uint64       `json:"prev"`
+	Executable string       `json:"executable"`
+	Scope      string       `json:"scope"` // "canary" | "fleet" | "rollback"
+	Hosts      []string     `json:"hosts,omitempty"`
+	Policies   []PolicySpec `json:"policies,omitempty"`
+	Reason     string       `json:"reason,omitempty"`
+}
+
 // Message is the envelope union: exactly one well-known body type. Trace
 // is out-of-band observability metadata — the violation-trace context the
 // message extends, propagated identically by both transports and absent
@@ -232,6 +253,8 @@ func typeTag(body any) (string, error) {
 		return "alarmbatch", nil
 	case TelemetrySummary, *TelemetrySummary:
 		return "telemetrysummary", nil
+	case PolicyDelta, *PolicyDelta:
+		return "policydelta", nil
 	default:
 		return "", fmt.Errorf("msg: unknown body type %T", body)
 	}
@@ -291,6 +314,8 @@ func unmarshalRouted(data []byte) (string, Message, error) {
 		body = &AlarmBatch{}
 	case "telemetrysummary":
 		body = &TelemetrySummary{}
+	case "policydelta":
+		body = &PolicyDelta{}
 	case "hello":
 		// Wire-format negotiation control frame (see wire.go), not a
 		// management message: transports intercept it, everyone else

@@ -41,6 +41,10 @@ func Validate(m Message) error {
 		return validateTelemetrySummary(b)
 	case *TelemetrySummary:
 		return validateTelemetrySummary(*b)
+	case PolicyDelta:
+		return validatePolicyDelta(b)
+	case *PolicyDelta:
+		return validatePolicyDelta(*b)
 	default:
 		return fmt.Errorf("msg: unknown body type %T", m.Body)
 	}
@@ -98,6 +102,28 @@ func validateAlarmBatch(b AlarmBatch) error {
 		if e.Count < 1 {
 			return fmt.Errorf("msg: batch entry %d with count %d", i, e.Count)
 		}
+	}
+	return nil
+}
+
+func validatePolicyDelta(d PolicyDelta) error {
+	if d.Executable == "" {
+		return fmt.Errorf("msg: policy delta without an executable")
+	}
+	if d.Generation == 0 {
+		return fmt.Errorf("msg: policy delta with generation 0")
+	}
+	if d.Prev >= d.Generation {
+		return fmt.Errorf("msg: policy delta generation %d not after prev %d",
+			d.Generation, d.Prev)
+	}
+	switch d.Scope {
+	case "canary", "fleet", "rollback":
+	default:
+		return fmt.Errorf("msg: policy delta with unknown scope %q", d.Scope)
+	}
+	if d.Scope == "canary" && len(d.Hosts) == 0 {
+		return fmt.Errorf("msg: canary policy delta without hosts")
 	}
 	return nil
 }

@@ -45,9 +45,14 @@ func (d *Directory) Len() int {
 // entries with no parent), the DN must be free, and the entry must
 // satisfy the schema.
 func (d *Directory) Add(e *Entry) error {
-	dn := e.DN.Normalize()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.addLocked(e)
+}
+
+// addLocked is Add with d.mu already held.
+func (d *Directory) addLocked(e *Entry) error {
+	dn := e.DN.Normalize()
 	if _, dup := d.entries[dn]; dup {
 		return fmt.Errorf("repository: entry already exists: %s", dn)
 	}
@@ -163,15 +168,21 @@ func (d *Directory) Search(base DN, scope Scope, f Filter) []*Entry {
 
 // EnsureParents creates missing ancestor container entries (objectClass
 // organizationalUnit / organization) so callers can add deep entries
-// without boilerplate.
+// without boilerplate. The whole chain walk runs under one write lock:
+// checking existence and inserting in separate critical sections would
+// let two concurrent callers both find an ancestor missing and then
+// race to create it, surfacing a spurious "entry already exists" error
+// to one of them.
 func (d *Directory) EnsureParents(dn DN) error {
 	var chain []DN
 	for p := dn.Normalize().Parent(); p != ""; p = p.Parent() {
 		chain = append(chain, p)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := len(chain) - 1; i >= 0; i-- {
 		p := chain[i]
-		if d.Get(p) != nil {
+		if _, ok := d.entries[p]; ok {
 			continue
 		}
 		e := NewEntry(p)
@@ -185,7 +196,7 @@ func (d *Directory) EnsureParents(dn DN) error {
 		if len(kv) == 2 {
 			e.Set(kv[0], kv[1])
 		}
-		if err := d.Add(e); err != nil {
+		if err := d.addLocked(e); err != nil {
 			return err
 		}
 	}

@@ -37,20 +37,29 @@ type wireMod struct {
 }
 
 type request struct {
-	Op     string     `json:"op"` // add, modify, modattrs, delete, deltree, search, parents
+	Op     string     `json:"op"` // add, modify, modattrs, delete, deltree, search, parents, push, rollout, rollback
 	Entry  *wireEntry `json:"entry,omitempty"`
 	DNs    string     `json:"dn,omitempty"`
 	Base   string     `json:"base,omitempty"`
 	Scope  int        `json:"scope,omitempty"`
 	Filter string     `json:"filter,omitempty"`
 	Mods   []wireMod  `json:"mods,omitempty"`
+
+	// Rollout ops (push, rollback).
+	Text   string `json:"text,omitempty"` // policy source (push)
+	App    string `json:"app,omitempty"`
+	Exe    string `json:"exe,omitempty"`
+	Role   string `json:"role,omitempty"`
+	Reason string `json:"reason,omitempty"` // rollback cause
 }
 
 type response struct {
-	OK      bool        `json:"ok"`
-	Err     string      `json:"err,omitempty"`
-	Entries []wireEntry `json:"entries,omitempty"`
-	Count   int         `json:"count,omitempty"`
+	OK      bool            `json:"ok"`
+	Err     string          `json:"err,omitempty"`
+	Entries []wireEntry     `json:"entries,omitempty"`
+	Count   int             `json:"count,omitempty"`
+	Rollout *RolloutStatus  `json:"rollout,omitempty"`
+	History []RolloutStatus `json:"history,omitempty"`
 }
 
 // Server exposes a Directory over TCP with a JSON-lines protocol — the
@@ -60,8 +69,9 @@ type Server struct {
 	ln  net.Listener
 	wg  sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	closed  bool
+	rollout *Controller
 }
 
 // ServeDirectory starts serving dir on addr ("127.0.0.1:0" for an
@@ -79,6 +89,21 @@ func ServeDirectory(dir *Directory, addr string) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetRollout attaches a canary rollout controller, enabling the push,
+// rollout (status) and rollback ops. Without one those ops fail with an
+// explanatory error.
+func (s *Server) SetRollout(c *Controller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rollout = c
+}
+
+func (s *Server) rolloutController() *Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rollout
+}
 
 // Close stops the server and waits for connection goroutines.
 func (s *Server) Close() error {
@@ -184,6 +209,36 @@ func (s *Server) handle(req request) response {
 			out[i] = toWire(e)
 		}
 		return response{OK: true, Entries: out, Count: len(out)}
+	case "push":
+		ctl := s.rolloutController()
+		if ctl == nil {
+			return fail(fmt.Errorf("push: no rollout controller attached to this repository"))
+		}
+		st, err := ctl.Push(req.Text, PolicyMeta{Application: req.App, Executable: req.Exe, UserRole: req.Role})
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Rollout: &st}
+	case "rollout":
+		ctl := s.rolloutController()
+		if ctl == nil {
+			return fail(fmt.Errorf("rollout: no rollout controller attached to this repository"))
+		}
+		resp := response{OK: true, History: ctl.History()}
+		if st, ok := ctl.Status(); ok {
+			resp.Rollout = &st
+		}
+		return resp
+	case "rollback":
+		ctl := s.rolloutController()
+		if ctl == nil {
+			return fail(fmt.Errorf("rollback: no rollout controller attached to this repository"))
+		}
+		st, err := ctl.Rollback(req.Reason)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Rollout: &st}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -291,6 +346,42 @@ func (c *Client) Search(base DN, scope Scope, f Filter) ([]*Entry, error) {
 		out[i] = fromWire(w)
 	}
 	return out, nil
+}
+
+// Push starts a canary rollout of the policy source text on the remote
+// repository (requires the server to have a rollout controller).
+func (c *Client) Push(text string, meta PolicyMeta) (RolloutStatus, error) {
+	resp, err := c.roundTrip(request{Op: "push", Text: text,
+		App: meta.Application, Exe: meta.Executable, Role: meta.UserRole})
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	if resp.Rollout == nil {
+		return RolloutStatus{}, fmt.Errorf("repository: push returned no rollout status")
+	}
+	return *resp.Rollout, nil
+}
+
+// RolloutStatus returns the current (or most recently decided) rollout
+// and the decision history.
+func (c *Client) RolloutStatus() (*RolloutStatus, []RolloutStatus, error) {
+	resp, err := c.roundTrip(request{Op: "rollout"})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Rollout, resp.History, nil
+}
+
+// Rollback aborts the baking rollout on the remote repository.
+func (c *Client) Rollback(reason string) (RolloutStatus, error) {
+	resp, err := c.roundTrip(request{Op: "rollback", Reason: reason})
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	if resp.Rollout == nil {
+		return RolloutStatus{}, fmt.Errorf("repository: rollback returned no rollout status")
+	}
+	return *resp.Rollout, nil
 }
 
 var _ Store = (*Client)(nil)

@@ -1,0 +1,156 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"softqos/internal/msg"
+	"softqos/internal/telemetry"
+)
+
+// Hub is the watch/notify side of the repository: components that hold
+// cached policy state (domain managers, policy agents) subscribe, and
+// every policy change is pushed to them as a msg.PolicyDelta instead of
+// waiting for the next registration to observe it. The hub owns the
+// generation counter: deltas it announces carry strictly increasing
+// generation numbers, and per executable each delta's Prev field names
+// the previous generation announced for that executable, so a cache can
+// detect both stale deltas (Generation <= cached) and gaps (Prev !=
+// cached, meaning a delta was lost and a full re-pull is needed).
+//
+// The hub deliberately knows nothing about canary policy or rollout
+// state — that is the Controller's job. It is the ordered, counted
+// notification fan-out.
+type Hub struct {
+	mu   sync.Mutex
+	addr string
+	send msg.SendFunc
+
+	gen    uint64            // last generation announced, hub-wide
+	exeGen map[string]uint64 // executable -> last generation announced
+
+	subs  map[string]bool
+	order []string // subscriber addresses, sorted for deterministic fan-out
+
+	mSent   *telemetry.Counter // repo.hub.deltas_sent
+	mFailed *telemetry.Counter // repo.hub.notify_failures
+}
+
+// NewHub creates a hub announcing deltas from addr over send.
+func NewHub(addr string, send msg.SendFunc) *Hub {
+	return &Hub{addr: addr, send: send, exeGen: make(map[string]uint64), subs: make(map[string]bool)}
+}
+
+// SetTelemetry attaches counters "repo.hub.deltas_sent" and
+// "repo.hub.notify_failures" (sends the transport rejected).
+func (h *Hub) SetTelemetry(reg *telemetry.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if reg == nil {
+		h.mSent, h.mFailed = nil, nil
+		return
+	}
+	h.mSent = reg.Counter("repo.hub.deltas_sent")
+	h.mFailed = reg.Counter("repo.hub.notify_failures")
+}
+
+// Subscribe adds management addresses to the notification list.
+// Subscribing an address twice is a no-op.
+func (h *Hub) Subscribe(addrs ...string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, a := range addrs {
+		if a == "" || h.subs[a] {
+			continue
+		}
+		h.subs[a] = true
+		h.order = append(h.order, a)
+	}
+	sort.Strings(h.order)
+}
+
+// Unsubscribe removes an address from the notification list.
+func (h *Hub) Unsubscribe(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.subs[addr] {
+		return
+	}
+	delete(h.subs, addr)
+	for i, a := range h.order {
+		if a == addr {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Subscribers returns the sorted subscriber addresses.
+func (h *Hub) Subscribers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// Generation returns the last generation announced for an executable
+// (0 when none has been).
+func (h *Hub) Generation(exe string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.exeGen[exe]
+}
+
+// Announce allocates the next generation number and pushes a
+// PolicyDelta for the executable to every subscriber, in sorted address
+// order so fan-out is deterministic. The delta's Prev is the previous
+// generation announced for the executable, chaining the executable's
+// deltas so caches can detect losses. An invalid delta (e.g. a canary
+// scope without hosts) is rejected before any send and does not consume
+// a generation. Send failures are counted and reported but do not stop
+// the fan-out — the remaining subscribers still get the delta, and any
+// subscriber that missed it will detect the gap on the next one.
+func (h *Hub) Announce(exe, scope string, hosts []string, specs []msg.PolicySpec,
+	reason string, trace telemetry.TraceContext) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := &msg.PolicyDelta{
+		Generation: h.gen + 1,
+		Prev:       h.exeGen[exe],
+		Executable: exe,
+		Scope:      scope,
+		Hosts:      hosts,
+		Policies:   specs,
+		Reason:     reason,
+	}
+	if err := msg.Validate(msg.Message{Body: d}); err != nil {
+		return 0, err
+	}
+	h.gen++
+	h.exeGen[exe] = h.gen
+	var firstErr error
+	failed := 0
+	for _, sub := range h.order {
+		err := h.send(sub, msg.Message{From: h.addr, Trace: trace, Body: d})
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+			if h.mFailed != nil {
+				h.mFailed.Inc()
+			}
+			continue
+		}
+		if h.mSent != nil {
+			h.mSent.Inc()
+		}
+	}
+	if firstErr != nil {
+		return h.gen, fmt.Errorf("repository: %d of %d delta notifications failed: %w",
+			failed, len(h.order), firstErr)
+	}
+	return h.gen, nil
+}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"softqos/internal/faults"
+	"softqos/internal/msg"
+	"softqos/internal/telemetry"
+)
+
+// churnCfg is the pinned churn scenario: four policy generations pushed
+// mid-run (every second one unattainable) while faults.RandomPlan
+// drops, delays, duplicates and reorders management messages, severs
+// connections and crashes the client host manager. Deltas therefore
+// really do get lost in flight, exercising the agent cache's stale and
+// gap paths, not just the happy path.
+func churnCfg(seed int64) Config {
+	return Config{
+		Seed:    seed,
+		Managed: true,
+		Faults:  faults.RandomPlan(seed, 0.02, 4*time.Minute),
+		PolicyChurn: &ChurnConfig{
+			Generations: 4,
+			Start:       40 * time.Second,
+			Interval:    45 * time.Second,
+			Bake:        20 * time.Second,
+			BadEvery:    2,
+		},
+	}
+}
+
+// snapshotChurnRun renders the full observable state of a churn run:
+// telemetry snapshot, trace table, rollout history, and the
+// convergence facts (hub vs agent generation, cache counters).
+func snapshotChurnRun(t *testing.T, cfg Config, warmup, measure time.Duration) (string, *System) {
+	t.Helper()
+	sys := Build(cfg)
+	sys.Run(warmup, measure)
+	var b strings.Builder
+	if err := sys.Metrics.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteTraceTable(&b, sys.Tracer.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "# rollout history\n")
+	for i, st := range sys.Rollout.History() {
+		fmt.Fprintf(&b, "%d: gen=%d fleet=%d policy=%s state=%s started=%s decided=%s hosts=%v reason=%q\n",
+			i, st.Generation, st.FleetGeneration, st.Policy, st.State,
+			st.StartedNs, st.DecidedNs, st.CanaryHosts, st.Reason)
+	}
+	stats := sys.Agent.CacheStats()
+	fmt.Fprintf(&b, "# convergence\nhub=%d agent=%d hits=%d misses=%d refreshes=%d stale=%d applied=%d churn_errors=%d\n",
+		sys.Hub.Generation("mpeg_play"), sys.Agent.Generation("mpeg_play"),
+		stats.Hits, stats.Misses, stats.Refreshes, stats.Stale, stats.Applied, sys.ChurnErrors)
+	return b.String(), sys
+}
+
+// TestPolicyChurnGolden is the policy-churn test tier: policy
+// generations pushed mid-run under randomized faults must converge —
+// the surviving agent ends on the hub's winning generation, no
+// rolled-back generation stays installed after its bake — and the whole
+// run must be byte-identical across two same-seed executions and match
+// the checked-in golden. Regenerate with GEN_GOLDEN=1 after an
+// intentional behavior change.
+func TestPolicyChurnGolden(t *testing.T) {
+	const warmup, measure = 30 * time.Second, 3 * time.Minute
+	cfg := churnCfg(11)
+	a, sys := snapshotChurnRun(t, cfg, warmup, measure)
+	b, _ := snapshotChurnRun(t, cfg, warmup, measure)
+	if a != b {
+		t.Fatalf("same seed produced different churn telemetry:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	const golden = "testdata/determinism_policychurn.golden"
+	if os.Getenv("GEN_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != string(want) {
+		t.Errorf("churn telemetry differs from %s (same seed, code change altered simulated behavior); rerun with GEN_GOLDEN=1 if intended", golden)
+	}
+
+	// Every scheduled push was accepted and decided.
+	if sys.ChurnErrors != 0 {
+		t.Errorf("%d churn pushes rejected", sys.ChurnErrors)
+	}
+	history := sys.Rollout.History()
+	if len(history) != 4 {
+		t.Fatalf("decided %d rollouts, want 4:\n%+v", len(history), history)
+	}
+	promoted, rolledBack := 0, 0
+	for _, st := range history {
+		switch {
+		case st.Policy == "ChurnBreaker":
+			if st.State != "rolled-back" {
+				t.Errorf("unattainable generation %d ended %s, want rolled-back (reason %q)",
+					st.Generation, st.State, st.Reason)
+			}
+			rolledBack++
+		case st.Policy == "ChurnGoal" && st.State == "promoted":
+			promoted++
+		}
+	}
+	if promoted == 0 {
+		t.Error("no good generation promoted")
+	}
+	if rolledBack != 2 {
+		t.Errorf("rolled back %d generations, want the 2 unattainable ones", rolledBack)
+	}
+
+	// Convergence: the agent's cache ends on the hub's winning
+	// generation despite dropped and duplicated deltas along the way...
+	if hg, ag := sys.Hub.Generation("mpeg_play"), sys.Agent.Generation("mpeg_play"); hg != ag {
+		t.Errorf("agent converged to generation %d, hub is at %d", ag, hg)
+	}
+	// ...and the coordinator runs exactly the repository's promoted
+	// truth: the winning ChurnGoal, never the rolled-back ChurnBreaker.
+	truth, err := sys.Svc.PoliciesFor(msg.Identity{Executable: "mpeg_play"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed := sys.Coord.InstalledSpecs()
+	if !reflect.DeepEqual(installed, truth) {
+		t.Errorf("installed specs diverge from repository truth:\ninstalled: %+v\ntruth:     %+v", installed, truth)
+	}
+	for _, sp := range installed {
+		if sp.Name == "ChurnBreaker" {
+			t.Error("rolled-back generation still installed after bake")
+		}
+	}
+	stats := sys.Agent.CacheStats()
+	if stats.Applied == 0 || stats.Refreshes == 0 {
+		t.Errorf("cache never exercised: %+v", stats)
+	}
+}
+
+// TestPolicyChurnSeedSensitivity guards the golden against the trivial
+// pass: churn telemetry that never varies with the seed.
+func TestPolicyChurnSeedSensitivity(t *testing.T) {
+	a, _ := snapshotChurnRun(t, churnCfg(11), 30*time.Second, 3*time.Minute)
+	b, _ := snapshotChurnRun(t, churnCfg(12), 30*time.Second, 3*time.Minute)
+	if a == b {
+		t.Error("different seeds produced identical churn telemetry")
+	}
+}

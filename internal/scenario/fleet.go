@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"softqos/internal/agent"
 	"softqos/internal/manager"
 	"softqos/internal/msg"
+	"softqos/internal/policy"
+	"softqos/internal/repository"
 	"softqos/internal/sim"
 	"softqos/internal/telemetry"
 )
@@ -62,6 +65,16 @@ type FleetConfig struct {
 	// Trace attaches a tracer (small fleets only: traces are capped and
 	// 10k hosts would just churn the ring).
 	Trace bool
+	// PolicyGens arms the policy-distribution plane: a repository hub
+	// subscribed to the region announces this many fleet-scope policy
+	// generations during the run, each relayed region → domains →
+	// per-domain policy agents, whose generation caches must converge on
+	// the hub's counter. 0 (the default) wires nothing, so existing runs
+	// and goldens are untouched.
+	PolicyGens int
+	// PolicyEvery paces the generations (default 30s; the first fires
+	// at 10s).
+	PolicyEvery time.Duration
 	// Federate arms the federated telemetry plane: each host ships a
 	// per-window msg.TelemetrySummary to its domain, each domain merges
 	// and re-ships one per window to the region, and the region holds
@@ -115,6 +128,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	}
 	if c.TelemetryWindow <= 0 {
 		c.TelemetryWindow = manager.DefaultTelemetryWindow
+	}
+	if c.PolicyEvery <= 0 {
+		c.PolicyEvery = 30 * time.Second
 	}
 	return c
 }
@@ -334,6 +350,10 @@ type FleetSystem struct {
 	RegionAgg *manager.SummaryAggregator
 	Flight    *telemetry.Timeline
 
+	// Policy-distribution plane (nil/empty unless Cfg.PolicyGens > 0).
+	Hub          *repository.Hub
+	policyAgents []*agent.PolicyAgent
+
 	alarmsRaised uint64
 }
 
@@ -358,6 +378,15 @@ type FleetResult struct {
 	// Summaries counts telemetry summaries the region aggregator
 	// ingested (federated runs; zero otherwise).
 	Summaries uint64
+
+	// Policy-distribution plane (zero unless PolicyGens > 0): hub
+	// notifications sent, region+domain relays of them down the
+	// hierarchy, the hub's final generation, and how many per-domain
+	// policy agents ended the run converged on that generation.
+	PolicyDeltas     uint64
+	PolicyRelays     uint64
+	PolicyGeneration uint64
+	PolicyConverged  int
 
 	BusMessages uint64
 	BusBytes    uint64
@@ -492,6 +521,45 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 		sys.hosts = append(sys.hosts, h)
 		sys.Bus.Bind(h.addr, name, h.handle)
 	}
+
+	// Policy-distribution plane: a hub subscribed to the region pushes
+	// fleet-scope generations; the region relays each delta to every
+	// domain, each domain to its policy agent, and the agents' generation
+	// caches must converge on the hub counter by run end.
+	if cfg.PolicyGens > 0 {
+		dir := repository.NewDirectory(repository.QoSSchema())
+		svc := repository.NewService(repository.LocalStore{Dir: dir})
+		mustNil(svc.DefineApplication("VideoApplication", "mpeg_play"))
+		mustNil(svc.DefineExecutable("mpeg_play", map[string][]string{
+			"fps_sensor":    {"frame_rate"},
+			"jitter_sensor": {"jitter_rate"},
+			"buffer_sensor": {"buffer_size"},
+		}))
+		pol, err := policy.ParseOne(Example1Policy)
+		mustNil(err)
+		mustNil(svc.StorePolicy(pol, repository.PolicyMeta{
+			Application: "VideoApplication", Executable: "mpeg_play"}))
+		specs, err := svc.PoliciesFor(msg.Identity{Executable: "mpeg_play"})
+		mustNil(err)
+
+		sys.Hub = repository.NewHub("/repo/hub", send)
+		sys.Hub.SetTelemetry(sys.Metrics)
+		sys.Hub.Subscribe(RegionAddr)
+		for _, fd := range sys.Domains {
+			pa := agent.New(fmt.Sprintf("/%s/PolicyAgent", fd.name), svc, send)
+			pa.SetTelemetry(sys.Metrics)
+			sys.Bus.Bind(pa.Addr(), fd.name+"-agent", pa.HandleMessage)
+			fd.dm.SetPolicyAgents(pa.Addr())
+			sys.policyAgents = append(sys.policyAgents, pa)
+		}
+		for i := 0; i < cfg.PolicyGens; i++ {
+			gen := i + 1
+			s.After(10*time.Second+time.Duration(i)*cfg.PolicyEvery, func() {
+				_, _ = sys.Hub.Announce("mpeg_play", "fleet", nil, specs,
+					fmt.Sprintf("fleet push %d", gen), telemetry.TraceContext{})
+			})
+		}
+	}
 	return sys
 }
 
@@ -569,6 +637,19 @@ func (sys *FleetSystem) Result() FleetResult {
 	}
 	if sys.RegionAgg != nil {
 		res.Summaries = sys.RegionAgg.Ingested
+	}
+	if sys.Hub != nil {
+		res.PolicyDeltas = sys.Metrics.Counter("repo.hub.deltas_sent").Value()
+		res.PolicyGeneration = sys.Hub.Generation("mpeg_play")
+		res.PolicyRelays = sys.Region.PolicyDeltasRelayed
+		for _, fd := range sys.Domains {
+			res.PolicyRelays += fd.dm.PolicyDeltasRelayed
+		}
+		for _, pa := range sys.policyAgents {
+			if pa.Generation("mpeg_play") == res.PolicyGeneration {
+				res.PolicyConverged++
+			}
+		}
 	}
 	res.Adapted = sys.DetectAdapt.Count()
 	if p50, ok := sys.DetectAdapt.Quantile(0.50); ok {

@@ -287,3 +287,56 @@ func TestFleetRoundRobinPlacement(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetPolicyDistribution: with the policy plane armed, every hub
+// generation is relayed region → domains → per-domain policy agents,
+// every agent cache converges on the hub's final generation, and the
+// relay counts match the hierarchy's exact fan-out.
+func TestFleetPolicyDistribution(t *testing.T) {
+	cfg := FleetConfig{Seed: 5, Hosts: 300, Domains: 3, PolicyGens: 3,
+		PolicyEvery: 20 * time.Second}
+	sys := BuildFleet(cfg)
+	res := sys.Run(2 * time.Minute)
+
+	if res.PolicyGeneration != 3 {
+		t.Fatalf("hub generation = %d, want 3", res.PolicyGeneration)
+	}
+	if res.PolicyConverged != 3 {
+		t.Errorf("%d of 3 domain agents converged on generation %d",
+			res.PolicyConverged, res.PolicyGeneration)
+	}
+	// Fan-out accounting: the hub notifies one subscriber (the region)
+	// per generation; the region relays each to 3 domains; each domain
+	// to its one agent.
+	if res.PolicyDeltas != 3 {
+		t.Errorf("hub deltas sent = %d, want 3", res.PolicyDeltas)
+	}
+	if want := uint64(3*3 + 3*3); res.PolicyRelays != want {
+		t.Errorf("delta relays = %d, want %d (region 9 + domains 9)", res.PolicyRelays, want)
+	}
+	// Agents see generation 1 as a brand-new cache (one refresh pull),
+	// then chain 2 and 3 without gaps.
+	stats := sys.policyAgents[0].CacheStats()
+	if stats.Applied != 3 || stats.Refreshes != 1 || stats.Stale != 0 {
+		t.Errorf("agent cache stats = %+v, want 3 applied / 1 refresh / 0 stale", stats)
+	}
+	// The plane must not disturb the ordinary control loop.
+	if res.AlarmsRaised == 0 || res.Adapted < res.AlarmsRaised*9/10 {
+		t.Errorf("control loop degraded: %d adapted of %d raised", res.Adapted, res.AlarmsRaised)
+	}
+}
+
+// TestFleetPolicyPlaneOffByDefault: a zero PolicyGens wires nothing —
+// no hub, no agents, no repo.hub metric names in the snapshot.
+func TestFleetPolicyPlaneOffByDefault(t *testing.T) {
+	sys := BuildFleet(FleetConfig{Seed: 3, Hosts: 100})
+	sys.Run(30 * time.Second)
+	if sys.Hub != nil || len(sys.policyAgents) != 0 {
+		t.Fatal("policy plane wired without PolicyGens")
+	}
+	for _, c := range sys.Metrics.Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "repo.hub.") || strings.HasPrefix(c.Name, "agent.") {
+			t.Errorf("unexpected policy-plane metric %q in a plain run", c.Name)
+		}
+	}
+}

@@ -117,6 +117,53 @@ type Config struct {
 	// FlightCapacity bounds retained samples per series under Observe
 	// (default telemetry.DefaultTimelineCapacity).
 	FlightCapacity int
+	// PolicyChurn, when non-nil, arms live policy distribution: a
+	// repository hub notifies the domain manager of policy deltas, the
+	// domain manager relays them to the policy agent, the agent folds
+	// them into its generation cache and re-delivers to registered
+	// coordinators, and a rollout controller pushes new policy
+	// generations mid-run through SLO-gated canary bakes. Fully absent
+	// when nil, so churn-free runs (and their determinism goldens) are
+	// unchanged.
+	PolicyChurn *ChurnConfig
+}
+
+// ChurnConfig schedules mid-run policy pushes through the canary
+// rollout controller.
+type ChurnConfig struct {
+	// Generations is how many pushes are scheduled (default 4).
+	Generations int
+	// Start is the virtual time of the first push (default 30s).
+	Start time.Duration
+	// Interval separates consecutive pushes (default 45s; keep it above
+	// Bake — a push while the previous one is still baking is rejected
+	// and counted in ChurnErrors).
+	Interval time.Duration
+	// Bake is the canary bake period (default 20s).
+	Bake time.Duration
+	// BadEvery makes every BadEvery-th push an unattainable policy (the
+	// canary cohort violates it immediately, so the bake decision must
+	// roll it back). 0 = never.
+	BadEvery int
+	// CanaryFraction is the rollout cohort fraction (default 0.2 — one
+	// host in the two-host scenario, always the client host).
+	CanaryFraction float64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Generations <= 0 {
+		c.Generations = 4
+	}
+	if c.Start <= 0 {
+		c.Start = 30 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 45 * time.Second
+	}
+	if c.Bake <= 0 {
+		c.Bake = 20 * time.Second
+	}
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +227,14 @@ type System struct {
 
 	// Faults is the fault-injecting transport when Cfg.Faults is set.
 	Faults *faults.Transport
+
+	// Hub and Rollout exist only under Cfg.PolicyChurn: the repository's
+	// watch/notify hub and the canary rollout controller.
+	Hub     *repository.Hub
+	Rollout *repository.Controller
+	// ChurnErrors counts scheduled pushes the controller rejected (e.g.
+	// the previous rollout was still baking).
+	ChurnErrors int
 
 	// Rerouted counts network-fault reroutes performed.
 	Rerouted int
@@ -432,6 +487,41 @@ func Build(cfg Config) *System {
 		}
 	}
 
+	// Live policy distribution, armed only under PolicyChurn so churn-
+	// free runs schedule the same events and register the same metric
+	// names as before the hub existed.
+	if cfg.PolicyChurn != nil {
+		churn := cfg.PolicyChurn.withDefaults()
+		sys.Hub = repository.NewHub("/repo/hub", send)
+		sys.Hub.SetTelemetry(sys.Metrics)
+		// Deltas travel the management hierarchy: hub -> domain manager
+		// -> policy agent -> registered coordinators.
+		sys.Hub.Subscribe(DomainAddr)
+		sys.DM.SetPolicyAgents(AgentAddr)
+		sys.Agent.SetTelemetry(sys.Metrics)
+		ctl := repository.NewController(sys.Hub, sys.Svc, repository.RolloutConfig{
+			CanaryFraction: churn.CanaryFraction, Bake: churn.Bake})
+		ctl.SetClock(func() time.Duration { return s.Now().Duration() },
+			func(d time.Duration, fn func()) { s.After(d, fn) })
+		ctl.SetComplianceSource(func() []telemetry.PolicyCompliance {
+			return telemetry.ComputeCompliance(sys.Tracer.Traces(), s.Now().Duration(), sys.SLOTargets())
+		})
+		ctl.SetHosts(func() []string { return []string{"client-host", "server-host"} })
+		ctl.SetTracer(sys.Tracer)
+		ctl.SetTelemetry(sys.Metrics)
+		sys.Rollout = ctl
+		for i := 0; i < churn.Generations; i++ {
+			gen := i
+			s.After(churn.Start+time.Duration(i)*churn.Interval, func() {
+				src := churnPolicySrc(gen, churn)
+				if _, err := ctl.Push(src, repository.PolicyMeta{
+					Application: "VideoApplication", Executable: "mpeg_play"}); err != nil {
+					sys.ChurnErrors++
+				}
+			})
+		}
+	}
+
 	// Background load.
 	if cfg.ClientLoad > 0 {
 		loadgen.Offered(sys.ClientHost, cfg.ClientLoad)
@@ -464,6 +554,29 @@ func Build(cfg Config) *System {
 		})
 	}
 	return sys
+}
+
+// churnPolicySrc renders the policy text for churn push number i. Good
+// generations tune the jitter bound slightly (distinct text per
+// generation, so idempotency never kicks in); bad generations demand an
+// unattainable frame rate under the distinct name ChurnBreaker, keeping
+// their violation history out of the good generations' SLO windows.
+func churnPolicySrc(i int, churn ChurnConfig) string {
+	name, cond := "ChurnGoal", fmt.Sprintf("frame_rate = 25(+2)(-2) and jitter_rate < %.2f", 1.30+0.01*float64(i))
+	if churn.BadEvery > 0 && (i+1)%churn.BadEvery == 0 {
+		name, cond = "ChurnBreaker", "frame_rate = 100(+2)(-2)"
+	}
+	return fmt.Sprintf(`
+oblig %s {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (%s)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`, name, cond)
 }
 
 // SLOTargets derives one SLO declaration per installed policy, with the

@@ -107,6 +107,28 @@ func WriteDashboard(w io.Writer, p SLOPayload, tl telemetry.TimelineDump) error 
 	}
 	b.WriteString("</table>\n")
 
+	// Policy rollout state (only when a rollout controller is attached).
+	if p.Rollout != nil || len(p.RolloutHistory) > 0 {
+		b.WriteString("<h2>Policy rollout</h2>\n<table><tr><th>generation</th><th>policy</th><th>state</th><th>canary hosts</th><th>reason</th></tr>\n")
+		rows := p.RolloutHistory
+		if p.Rollout != nil && (len(rows) == 0 || rows[len(rows)-1].Generation != p.Rollout.Generation) {
+			rows = append(rows[:len(rows):len(rows)], *p.Rollout)
+		}
+		for _, r := range rows {
+			cls := "ok"
+			switch r.State {
+			case "baking":
+				cls = "warn"
+			case "rolled-back":
+				cls = "crit"
+			}
+			fmt.Fprintf(&b, `<tr class="%s"><td>%d</td><td>%s@%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+				cls, r.Generation, esc(r.Policy), esc(r.Executable), esc(r.State),
+				esc(strings.Join(r.CanaryHosts, " ")), esc(r.Reason))
+		}
+		b.WriteString("</table>\n")
+	}
+
 	// Control-loop latency.
 	b.WriteString("<h2>Control-loop latency</h2>\n<table><tr><th>stage</th><th>episodes</th><th>p50</th><th>p95</th><th>max</th></tr>\n")
 	for _, row := range []struct {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"softqos/internal/repository"
 	"softqos/internal/telemetry"
 )
 
@@ -15,6 +16,7 @@ type handlerConfig struct {
 	targets  []telemetry.SLOTarget
 	pprof    bool
 	federate func() telemetry.FederatedView
+	rollout  func() (*repository.RolloutStatus, []repository.RolloutStatus)
 }
 
 // Option customizes the observability Handler.
@@ -47,6 +49,21 @@ func WithPprof() Option {
 // fn is called per request, so the view tracks the aggregator live.
 func WithFederation(fn func() telemetry.FederatedView) Option {
 	return func(c *handlerConfig) { c.federate = fn }
+}
+
+// WithRollout attaches a canary rollout controller: /debug/qos and
+// /debug/qos/slo gain "rollout"/"rollout_history" sections and the
+// dashboard a policy-rollout table, all read live per request.
+func WithRollout(ctl *repository.Controller) Option {
+	return func(c *handlerConfig) {
+		c.rollout = func() (*repository.RolloutStatus, []repository.RolloutStatus) {
+			history := ctl.History()
+			if st, ok := ctl.Status(); ok {
+				return &st, history
+			}
+			return nil, history
+		}
+	}
 }
 
 // Handler serves the observability surface for one management process:
@@ -85,7 +102,11 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 			_ = WriteFederatedJSON(w, BuildFederated(cfg.federate()))
 			return
 		}
-		_ = WriteJSON(w, BuildPayload(reg, tracer))
+		p := BuildPayload(reg, tracer)
+		if cfg.rollout != nil {
+			p.Rollout, p.RolloutHistory = cfg.rollout()
+		}
+		_ = WriteJSON(w, p)
 	})
 	mux.HandleFunc("/debug/qos/chrome", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -101,7 +122,11 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 	})
 	mux.HandleFunc("/debug/qos/slo", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = WriteSLOJSON(w, BuildSLO(reg, tracer, cfg.targets))
+		p := BuildSLO(reg, tracer, cfg.targets)
+		if cfg.rollout != nil {
+			p.Rollout, p.RolloutHistory = cfg.rollout()
+		}
+		_ = WriteSLOJSON(w, p)
 	})
 	mux.HandleFunc("/debug/qos/dashboard", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -109,7 +134,11 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 			_ = WriteFleetDashboard(w, cfg.federate())
 			return
 		}
-		_ = WriteDashboard(w, BuildSLO(reg, tracer, cfg.targets), cfg.timeline.Dump())
+		p := BuildSLO(reg, tracer, cfg.targets)
+		if cfg.rollout != nil {
+			p.Rollout, p.RolloutHistory = cfg.rollout()
+		}
+		_ = WriteDashboard(w, p, cfg.timeline.Dump())
 	})
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

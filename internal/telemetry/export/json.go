@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"softqos/internal/repository"
 	"softqos/internal/telemetry"
 )
 
@@ -21,6 +22,11 @@ type Payload struct {
 	Completed int    `json:"completed"`
 	Open      int    `json:"open"`
 	Dropped   uint64 `json:"dropped"`
+	// Rollout is the current (or most recently decided) canary rollout
+	// and RolloutHistory the decided ones, present only when the process
+	// runs a rollout controller (see WithRollout).
+	Rollout        *repository.RolloutStatus  `json:"rollout,omitempty"`
+	RolloutHistory []repository.RolloutStatus `json:"rollout_history,omitempty"`
 }
 
 // BuildPayload assembles the debug payload from a registry and tracer,

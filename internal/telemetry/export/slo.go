@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"softqos/internal/repository"
 	"softqos/internal/telemetry"
 )
 
@@ -36,6 +37,10 @@ type SLOPayload struct {
 	SLOs         []telemetry.PolicyCompliance `json:"slos"`
 	Loop         LoopStats                    `json:"loop"`
 	OpenEpisodes []OpenEpisode                `json:"open_episodes"`
+	// Rollout mirrors the Payload rollout section when the process runs
+	// a rollout controller; the dashboard renders it as its own table.
+	Rollout        *repository.RolloutStatus  `json:"rollout,omitempty"`
+	RolloutHistory []repository.RolloutStatus `json:"rollout_history,omitempty"`
 }
 
 // payloadNow picks the clock instant compliance windows end at: the

@@ -151,9 +151,14 @@ type Tracer struct {
 	seq     uint64
 	active  map[string]*Trace // traceKey(subject, policy) -> open trace
 	byID    map[string]*Trace // trace ID -> open trace (same values)
-	done    []*Trace
-	maxDone int // retention cap on done; 0 = unbounded
-	evicted uint64
+	// done holds retained completed traces. Below the retention cap it
+	// is a plain oldest-first slice; at the cap it becomes a ring with
+	// doneStart indexing the oldest episode, so eviction is one pointer
+	// store instead of shifting the whole slice per completion.
+	done      []*Trace
+	doneStart int
+	maxDone   int // retention cap on done; 0 = unbounded
+	evicted   uint64
 
 	// Tail-based sampling (off unless SetSampling arms it): recoveries
 	// faster than slowTTR are kept one in sampleEvery; abandoned episodes
@@ -190,6 +195,7 @@ func (tr *Tracer) SetRetention(n int) {
 		n = 0
 	}
 	tr.maxDone = n
+	tr.unrollLocked() // future appends assume a flat oldest-first slice
 	tr.mu.Unlock()
 }
 
@@ -220,8 +226,13 @@ func (tr *Tracer) SetMetrics(reg *Registry) {
 // episode when the cap is reached. Caller holds mu.
 func (tr *Tracer) doneAppend(t *Trace) {
 	if tr.maxDone > 0 && len(tr.done) >= tr.maxDone {
-		copy(tr.done, tr.done[1:])
-		tr.done[len(tr.done)-1] = t
+		// Ring overwrite: done[doneStart] is the oldest retained
+		// episode; replace it and advance the start.
+		tr.done[tr.doneStart] = t
+		tr.doneStart++
+		if tr.doneStart == len(tr.done) {
+			tr.doneStart = 0
+		}
 		tr.evicted++
 		if tr.reg != nil {
 			if tr.evictedC == nil {
@@ -232,6 +243,21 @@ func (tr *Tracer) doneAppend(t *Trace) {
 		return
 	}
 	tr.done = append(tr.done, t)
+}
+
+// unrollLocked rotates the completed-trace ring back to a flat
+// oldest-first slice. Only a retention change needs it — the ring can
+// only be wrapped while pinned at the cap, and appends only happen
+// below it. Caller holds mu.
+func (tr *Tracer) unrollLocked() {
+	if tr.doneStart == 0 {
+		return
+	}
+	flat := make([]*Trace, 0, len(tr.done))
+	flat = append(flat, tr.done[tr.doneStart:]...)
+	flat = append(flat, tr.done[:tr.doneStart]...)
+	tr.done = flat
+	tr.doneStart = 0
 }
 
 // sampleOut reports whether a just-recovered trace should be dropped by
@@ -489,7 +515,8 @@ func (tr *Tracer) Traces() []*Trace {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	out := make([]*Trace, 0, len(tr.done)+len(tr.active))
-	out = append(out, tr.done...)
+	out = append(out, tr.done[tr.doneStart:]...)
+	out = append(out, tr.done[:tr.doneStart]...)
 	open := make([]*Trace, 0, len(tr.active))
 	for _, t := range tr.active {
 		open = append(open, t)
@@ -512,7 +539,10 @@ func (tr *Tracer) TracesSnapshot() []*Trace {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	out := make([]*Trace, 0, len(tr.done)+len(tr.active))
-	for _, t := range tr.done {
+	for _, t := range tr.done[tr.doneStart:] {
+		out = append(out, t.Clone())
+	}
+	for _, t := range tr.done[:tr.doneStart] {
 		out = append(out, t.Clone())
 	}
 	open := make([]*Trace, 0, len(tr.active))

@@ -46,6 +46,35 @@ func TestTracerRetentionEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestTracerRetentionRaiseAfterWrap: raising the cap after the
+// retained window has wrapped its ring keeps oldest-first order intact
+// across the transition back to plain appends, and eviction resumes
+// correctly at the new cap.
+func TestTracerRetentionRaiseAfterWrap(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetRetention(3)
+	resolveN(tr, 5) // retained: 2, 3, 4 in a wrapped ring
+	tr.SetRetention(5)
+	for i := 5; i < 8; i++ { // 5, 6 grow to the new cap; 7 evicts 2
+		subj := fmt.Sprintf("/h/app/exe/%d", i)
+		tr.Begin(subj, "P", "coordinator", "")
+		tr.Resolve(subj, "P")
+	}
+	traces := tr.Traces()
+	if len(traces) != 5 {
+		t.Fatalf("retained %d traces, want 5", len(traces))
+	}
+	for i, tc := range traces {
+		want := fmt.Sprintf("/h/app/exe/%d", i+3)
+		if tc.Subject != want {
+			t.Errorf("retained[%d] = %s, want %s", i, tc.Subject, want)
+		}
+	}
+	if tr.Evicted() != 3 {
+		t.Errorf("evicted = %d, want 3", tr.Evicted())
+	}
+}
+
 // TestTracerRetentionDefaultCap: a fresh tracer is bounded at
 // DefaultMaxTraces — unbounded growth is the opt-in, not the default.
 func TestTracerRetentionDefaultCap(t *testing.T) {

@@ -91,6 +91,20 @@ func (a *LiveAgent) Stats() (registrations, failures uint64) {
 	return
 }
 
+// CacheStats returns the agent's generation-cache counters (hits,
+// misses, gap-triggered refreshes, stale deltas, deltas applied).
+func (a *LiveAgent) CacheStats() (s agent.CacheStats) {
+	a.nt.Sync(func() { s = a.pa.CacheStats() })
+	return
+}
+
+// Generation returns the agent's cached policy generation for an
+// executable (0 until the delta stream reaches it).
+func (a *LiveAgent) Generation(exe string) (g uint64) {
+	a.nt.Sync(func() { g = a.pa.Generation(exe) })
+	return
+}
+
 // Close stops the agent.
 func (a *LiveAgent) Close() error { return a.nt.Close() }
 
