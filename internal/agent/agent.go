@@ -8,7 +8,11 @@
 // per-executable policy cache keyed by generation number. Registrations
 // are then answered from the cache (a hit) instead of a repository
 // lookup (a miss), stale deltas are ignored, and a gap in the
-// generation chain triggers a full re-pull from the repository. Canary
+// generation chain triggers a full re-pull from the repository. The
+// cache holds the any-role policy view; for identities registered with
+// a user role the agent overlays their role-specific bindings (which
+// live only in the repository) on top of it, shadowing same-name specs
+// exactly as Service.PoliciesFor does. Canary
 // deltas overlay the cache for their host cohort only; fleet and
 // rollback deltas replace the baseline and clear any overlay. Every
 // delta is re-delivered to the already-registered processes it affects,
@@ -52,8 +56,12 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Refreshes uint64 `json:"refreshes"` // generation-gap full re-pulls
-	Stale     uint64 `json:"stale"`     // deltas ignored as not newer
-	Applied   uint64 `json:"applied"`   // deltas folded into the cache
+	// RefreshFailures counts gap re-pulls the repository refused; the
+	// delta that triggered one is dropped without advancing the cached
+	// generation, so the next delta re-detects the gap and retries.
+	RefreshFailures uint64 `json:"refresh_failures"`
+	Stale           uint64 `json:"stale"`   // deltas ignored as not newer
+	Applied         uint64 `json:"applied"` // deltas folded into the cache
 }
 
 // PolicyAgent answers process registrations with their policy sets.
@@ -75,6 +83,7 @@ type PolicyAgent struct {
 
 	stats CacheStats
 
+	reg            *telemetry.Registry
 	mRegistrations *telemetry.Counter
 	mFailures      *telemetry.Counter
 	mCacheHits     *telemetry.Counter
@@ -82,6 +91,9 @@ type PolicyAgent struct {
 	mCacheRefresh  *telemetry.Counter
 	mCacheStale    *telemetry.Counter
 	mDeltasApplied *telemetry.Counter
+	// Registered lazily on the first failed re-pull, so deployments that
+	// never lose the repository keep their metric name set unchanged.
+	mRefreshFail *telemetry.Counter
 }
 
 // New creates a policy agent bound to addr, resolving policies through
@@ -104,9 +116,13 @@ func (a *PolicyAgent) Addr() string { return a.addr }
 // i.e. Nacks sent), the policy-cache counters "agent.cache.hits",
 // "agent.cache.misses", "agent.cache.refreshes" (gap-triggered full
 // re-pulls), "agent.cache.stale_deltas", and "agent.deltas_applied".
+// "agent.cache.refresh_failures" (re-pulls the repository refused) is
+// registered lazily on the first failure.
 func (a *PolicyAgent) SetTelemetry(reg *telemetry.Registry) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.reg = reg
+	a.mRefreshFail = nil
 	if reg == nil {
 		a.mRegistrations, a.mFailures = nil, nil
 		a.mCacheHits, a.mCacheMisses, a.mCacheRefresh, a.mCacheStale, a.mDeltasApplied = nil, nil, nil, nil, nil
@@ -165,14 +181,38 @@ func (a *PolicyAgent) handleRegister(from string, reg msg.Register) {
 
 	var specs []msg.PolicySpec
 	if ce := a.cache[reg.ID.Executable]; ce != nil {
-		// Cache hit: answer from the delta-maintained view. The cache
-		// carries the any-role view; role-specific bindings still take
-		// the repository path on the next miss.
-		a.stats.Hits++
-		if a.mCacheHits != nil {
-			a.mCacheHits.Inc()
+		if reg.ID.UserRole == "" {
+			// Cache hit: the delta-maintained view answers outright.
+			a.stats.Hits++
+			if a.mCacheHits != nil {
+				a.mCacheHits.Inc()
+			}
+			specs = ce.specsFor(reg.ID.Host)
+		} else {
+			// The cache carries the any-role view only; a role-bound
+			// identity needs its role-specific bindings overlaid on top,
+			// and those exist solely in the repository — serving the raw
+			// cache would silently drop them. The repository walk makes
+			// this a miss, but the cache still contributes: an active
+			// canary overlay reaches role-bound cohort processes too.
+			a.stats.Misses++
+			if a.mCacheMisses != nil {
+				a.mCacheMisses.Inc()
+			}
+			var err error
+			specs, err = a.viewFor(ce, reg.ID)
+			if err != nil {
+				a.Failures++
+				if a.mFailures != nil {
+					a.mFailures.Inc()
+				}
+				_ = a.send(from, msg.Message{
+					From: a.addr,
+					Body: msg.Nack{ID: reg.ID, Ref: "register", Reason: err.Error()},
+				})
+				return
+			}
 		}
-		specs = ce.specsFor(reg.ID.Host)
 	} else {
 		a.stats.Misses++
 		if a.mCacheMisses != nil {
@@ -233,9 +273,23 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 		if a.mCacheRefresh != nil {
 			a.mCacheRefresh.Inc()
 		}
-		if specs, err := a.svc.PoliciesFor(msg.Identity{Executable: d.Executable}); err == nil {
-			ce.baseline = specs
+		specs, err := a.svc.PoliciesFor(msg.Identity{Executable: d.Executable})
+		if err != nil {
+			// Without repository truth the gap cannot be healed. Drop the
+			// delta WITHOUT advancing the cached generation: the next
+			// delta's Prev then mismatches again, re-detecting the gap and
+			// retrying the re-pull. Advancing would make the chain look
+			// converged on a stale baseline forever.
+			a.stats.RefreshFailures++
+			if a.reg != nil {
+				if a.mRefreshFail == nil {
+					a.mRefreshFail = a.reg.Counter("agent.cache.refresh_failures")
+				}
+				a.mRefreshFail.Inc()
+			}
+			return
 		}
+		ce.baseline = specs
 	}
 	switch d.Scope {
 	case "canary":
@@ -263,6 +317,13 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 	// fleet and rollback deltas go to everyone running the executable.
 	// Each registrant gets its own sensor-filtered view, carrying the
 	// delta's trace context so rollout traces show the delivery fan-out.
+	//
+	// The delta stream carries the any-role view; registrants with a
+	// user role get their role-specific repository bindings overlaid on
+	// it (shadowing same-name specs), so a canary reaches role-bound
+	// cohort processes too — unless a role binding shadows the pushed
+	// policy itself, in which case the shadow wins, exactly as it would
+	// after promotion.
 	for _, addr := range a.order {
 		reg := a.roster[addr]
 		if reg.ID.Executable != d.Executable {
@@ -271,13 +332,65 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 		if d.Scope == "canary" && !ce.canaryHosts[reg.ID.Host] {
 			continue
 		}
+		specs, err := a.viewFor(ce, reg.ID)
+		if err != nil {
+			// The registrant keeps its current policy set; the failure
+			// is counted like a failed registration lookup.
+			a.Failures++
+			if a.mFailures != nil {
+				a.mFailures.Inc()
+			}
+			continue
+		}
 		_ = a.send(addr, msg.Message{
 			From:  a.addr,
 			Trace: trace,
 			Body: msg.PolicySet{ID: reg.ID,
-				Policies: filterBySensors(ce.specsFor(reg.ID.Host), reg.Sensors)},
+				Policies: filterBySensors(specs, reg.Sensors)},
 		})
 	}
+}
+
+// viewFor computes the effective policy view for one identity from a
+// cache entry: the cached any-role view (canary overlay for cohort
+// hosts, baseline otherwise), with the identity's role-specific
+// repository bindings overlaid on top. For identities without a role
+// this is the cache view itself and cannot fail.
+func (a *PolicyAgent) viewFor(ce *exeCache, id msg.Identity) ([]msg.PolicySpec, error) {
+	base := ce.specsFor(id.Host)
+	if id.UserRole == "" {
+		return base, nil
+	}
+	roleSpecs, err := a.svc.RolePoliciesFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return overlayRole(base, roleSpecs), nil
+}
+
+// overlayRole merges role-specific bindings over the any-role view:
+// a role binding replaces the same-name spec or is added, and the
+// result is name-sorted so it matches Service.PoliciesFor for the same
+// identity. With no role bindings the base is returned untouched.
+func overlayRole(base, roleSpecs []msg.PolicySpec) []msg.PolicySpec {
+	if len(roleSpecs) == 0 {
+		return base
+	}
+	byName := make(map[string]int, len(base))
+	merged := make([]msg.PolicySpec, len(base))
+	copy(merged, base)
+	for i, s := range merged {
+		byName[s.Name] = i
+	}
+	for _, rs := range roleSpecs {
+		if i, ok := byName[rs.Name]; ok {
+			merged[i] = rs
+		} else {
+			merged = append(merged, rs)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	return merged
 }
 
 // filterBySensors drops policies referencing sensors the process did

@@ -26,8 +26,20 @@ oblig NotifyQoSViolation {
 
 func newAgent(t *testing.T) (*PolicyAgent, *[]msg.Message, *[]string) {
 	t.Helper()
+	a, _, sent, to := newAgentSvc(t, nil)
+	return a, sent, to
+}
+
+// newAgentSvc is newAgent exposing the backing repository service; wrap,
+// when non-nil, interposes on the directory store.
+func newAgentSvc(t *testing.T, wrap func(repository.Store) repository.Store) (*PolicyAgent, *repository.Service, *[]msg.Message, *[]string) {
+	t.Helper()
 	dir := repository.NewDirectory(repository.QoSSchema())
-	svc := repository.NewService(repository.LocalStore{Dir: dir})
+	var store repository.Store = repository.LocalStore{Dir: dir}
+	if wrap != nil {
+		store = wrap(store)
+	}
+	svc := repository.NewService(store)
 	if err := svc.DefineApplication("VideoApplication", "mpeg_play"); err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +65,7 @@ func newAgent(t *testing.T) (*PolicyAgent, *[]msg.Message, *[]string) {
 		sent = append(sent, m)
 		return nil
 	})
-	return a, &sent, &to
+	return a, svc, &sent, &to
 }
 
 func register(id msg.Identity, sensors ...string) msg.Message {
@@ -306,6 +318,171 @@ func TestAgentCacheStaleAndGapDeltas(t *testing.T) {
 	a.HandleMessage(register(late, sensors...))
 	if got := jitterBoundOf(t, (*sent)[0]); got != 1.25 {
 		t.Fatalf("post-gap baseline jitter bound = %v", got)
+	}
+}
+
+// rolePolicy is videoPolicy with a tighter jitter bound, stored as a
+// role-specific binding of the same policy name.
+const rolePolicy = `
+oblig NotifyQoSViolation {
+  subject (...)/VideoApplication/qosl_coordinator
+  target  fps_sensor, jitter_sensor, buffer_sensor, (...)/QoSHostManager
+  on      not (frame_rate = 25(+2)(-2) and jitter_rate < 1.1)
+  do      fps_sensor->read(out frame_rate);
+          jitter_sensor->read(out jitter_rate);
+          buffer_sensor->read(out buffer_size);
+          (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+}
+`
+
+// TestAgentRoleBindingOverlaysCache pins the role semantics of the
+// delta cache: the cache carries the any-role view only, and an
+// identity with a user role gets its role-specific repository bindings
+// overlaid on top — a role binding must never be shadowed by a cache
+// answer, yet roles without bindings of their own ride the delta
+// stream (canary included) exactly like any-role processes.
+func TestAgentRoleBindingOverlaysCache(t *testing.T) {
+	a, svc, sent, to := newAgentSvc(t, nil)
+	p, err := policy.ParseOne(rolePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.StorePolicy(p, repository.PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play", UserRole: "physician"}); err != nil {
+		t.Fatal(err)
+	}
+	sensors := []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}
+	plainID := msg.Identity{Host: "h-canary", PID: 1, Executable: "mpeg_play", Application: "VideoApplication"}
+	roleID := msg.Identity{Host: "h-canary", PID: 2, Executable: "mpeg_play", Application: "VideoApplication",
+		UserRole: "physician"}
+	// A role with no bindings of its own: its view is the any-role view.
+	viewerID := msg.Identity{Host: "h-canary", PID: 3, Executable: "mpeg_play", Application: "VideoApplication",
+		UserRole: "viewer"}
+
+	// A fleet delta seeds the cache before anyone registers.
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec()))
+
+	a.HandleMessage(register(plainID, sensors...))
+	if got := jitterBoundOf(t, (*sent)[0]); got != 1.5 {
+		t.Fatalf("any-role registrant got jitter bound %v, want the cached 1.5", got)
+	}
+	a.HandleMessage(register(roleID, sensors...))
+	if got := jitterBoundOf(t, (*sent)[1]); got != 1.1 {
+		t.Fatalf("role-bound registrant got jitter bound %v, want the shadowing 1.1", got)
+	}
+	a.HandleMessage(register(viewerID, sensors...))
+	if got := jitterBoundOf(t, (*sent)[2]); got != 1.5 {
+		t.Fatalf("binding-less role got jitter bound %v, want the cached 1.5", got)
+	}
+	if st := a.CacheStats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want both role registrations counted as misses", st)
+	}
+
+	// A canary delta covering the shared host re-delivers to all three:
+	// the binding-less role sees the canary exactly like the any-role
+	// process, while the physician's same-name binding shadows it — the
+	// view each would hold after promotion.
+	*sent, *to = nil, nil
+	canary := tightSpec()
+	canary.Conditions[2].Value = 2.5
+	a.HandleMessage(delta(2, 1, "canary", []string{"h-canary"}, canary))
+	if len(*sent) != 3 {
+		t.Fatalf("canary re-delivered %d of 3 (to %v)", len(*sent), *to)
+	}
+	for i := range *sent {
+		want := 2.5
+		if (*to)[i] == roleID.Address()+"/qosl_coordinator" {
+			want = 1.1
+		}
+		if got := jitterBoundOf(t, (*sent)[i]); got != want {
+			t.Fatalf("canary re-delivery to %s got jitter bound %v, want %v", (*to)[i], got, want)
+		}
+	}
+
+	// A fleet delta re-delivers all three, the role overlay intact.
+	*sent, *to = nil, nil
+	fleet := tightSpec()
+	fleet.Conditions[2].Value = 2.0
+	a.HandleMessage(delta(3, 2, "fleet", nil, fleet))
+	if len(*sent) != 3 {
+		t.Fatalf("fleet delta re-delivered %d of 3", len(*sent))
+	}
+	for i := range *sent {
+		want := 2.0
+		if (*to)[i] == roleID.Address()+"/qosl_coordinator" {
+			want = 1.1
+		}
+		if got := jitterBoundOf(t, (*sent)[i]); got != want {
+			t.Fatalf("re-delivery to %s got jitter bound %v, want %v", (*to)[i], got, want)
+		}
+	}
+}
+
+// toggleStore fails every Search while *fail is set — the repository
+// becoming unreachable mid-run.
+type toggleStore struct {
+	repository.Store
+	fail *bool
+}
+
+func (s toggleStore) Search(base repository.DN, sc repository.Scope, f repository.Filter) ([]*repository.Entry, error) {
+	if *s.fail {
+		return nil, errors.New("repository unreachable")
+	}
+	return s.Store.Search(base, sc, f)
+}
+
+// TestAgentGapRefreshFailureRetries: when the gap-triggered full
+// re-pull fails, the delta is dropped WITHOUT advancing the cached
+// generation, so the next delta re-detects the gap and retries — the
+// agent must not present a converged chain over a stale baseline.
+func TestAgentGapRefreshFailureRetries(t *testing.T) {
+	fail := false
+	a, _, sent, _ := newAgentSvc(t, func(s repository.Store) repository.Store {
+		return toggleStore{Store: s, fail: &fail}
+	})
+	reg := telemetry.NewRegistry(func() time.Duration { return 0 })
+	a.SetTelemetry(reg)
+	sensors := []string{"fps_sensor", "jitter_sensor", "buffer_sensor"}
+	id := msg.Identity{Host: "h", PID: 1, Executable: "mpeg_play", Application: "VideoApplication"}
+	a.HandleMessage(register(id, sensors...))
+	*sent = nil
+
+	// The repository goes dark; the first delta's seed re-pull fails.
+	fail = true
+	a.HandleMessage(delta(1, 0, "fleet", nil, tightSpec()))
+	if len(*sent) != 0 {
+		t.Fatalf("failed refresh still re-delivered %d messages", len(*sent))
+	}
+	if g := a.Generation("mpeg_play"); g != 0 {
+		t.Fatalf("failed refresh advanced generation to %d", g)
+	}
+	st := a.CacheStats()
+	if st.RefreshFailures != 1 || st.Applied != 0 {
+		t.Fatalf("stats = %+v, want 1 refresh failure and nothing applied", st)
+	}
+	if v := reg.Counter("agent.cache.refresh_failures").Value(); v != 1 {
+		t.Fatalf("agent.cache.refresh_failures = %d", v)
+	}
+
+	// The repository comes back: the next delta re-detects the gap
+	// (Prev=1 against cached 0) and heals it.
+	fail = false
+	next := tightSpec()
+	next.Conditions[2].Value = 2.0
+	a.HandleMessage(delta(2, 1, "fleet", nil, next))
+	if g := a.Generation("mpeg_play"); g != 2 {
+		t.Fatalf("generation = %d, want 2", g)
+	}
+	if len(*sent) != 1 {
+		t.Fatalf("healed delta re-delivered %d messages", len(*sent))
+	}
+	if got := jitterBoundOf(t, (*sent)[0]); got != 2.0 {
+		t.Fatalf("post-heal view jitter bound = %v", got)
+	}
+	st = a.CacheStats()
+	if st.Refreshes != 2 || st.RefreshFailures != 1 || st.Applied != 1 {
+		t.Fatalf("stats after heal = %+v", st)
 	}
 }
 

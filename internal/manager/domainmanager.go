@@ -159,6 +159,12 @@ type DomainManager struct {
 	// traffic around a congested network switch").
 	OnNetworkFault func(al msg.Alarm)
 
+	// OnHostEvicted, if set, is invoked with each host name the liveness
+	// sweep evicts from the roster. Live policy distribution wires the
+	// rollout controller's HostEvicted here so a canary whose cohort
+	// host dies mid-bake is rolled back rather than judged on silence.
+	OnHostEvicted func(host string)
+
 	// Statistics.
 	Alarms           uint64
 	ServerFaults     uint64

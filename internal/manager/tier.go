@@ -274,6 +274,9 @@ func (dm *DomainManager) checkHosts(now time.Duration) int {
 		if dm.metrics != nil {
 			dm.metrics.countHostEvicted()
 		}
+		if dm.OnHostEvicted != nil {
+			dm.OnHostEvicted(name)
+		}
 		evicted++
 	}
 	return evicted

@@ -195,9 +195,13 @@ func TestFanOutRetryScopedToNonResponders(t *testing.T) {
 
 // TestDomainManagerEvictsSilentHost: a registered host silent past the
 // liveness timeout is evicted from the roster; heartbeats keep it, and
-// a heartbeat from an evicted host re-adopts it.
+// a heartbeat from an evicted host re-adopts it. Each eviction fires
+// the OnHostEvicted hook (the rollout controller's mid-bake-eviction
+// rollback hangs off it).
 func TestDomainManagerEvictsSilentHost(t *testing.T) {
 	r := newTierRig(t)
+	var hookEvicted []string
+	r.dm.OnHostEvicted = func(h string) { hookEvicted = append(hookEvicted, h) }
 	r.clk.now = time.Second
 	r.dm.HandleMessage(msg.Message{From: "/host-a/QoSHostManager",
 		Body: msg.Heartbeat{ID: msg.Identity{Host: "host-a"}, Seq: 1}})
@@ -206,6 +210,9 @@ func TestDomainManagerEvictsSilentHost(t *testing.T) {
 	if r.dm.HostCount() != 1 || r.dm.HostsEvicted != 2 {
 		t.Fatalf("HostCount=%d HostsEvicted=%d, want 1/2 (b and c silent)",
 			r.dm.HostCount(), r.dm.HostsEvicted)
+	}
+	if len(hookEvicted) != 2 || hookEvicted[0] != "host-b" || hookEvicted[1] != "host-c" {
+		t.Fatalf("OnHostEvicted saw %v, want [host-b host-c]", hookEvicted)
 	}
 	// The evicted host's next heartbeat re-adopts it.
 	r.dm.HandleMessage(msg.Message{From: "/host-b/QoSHostManager",

@@ -375,10 +375,11 @@ func (c *Controller) Rollback(reason string) (RolloutStatus, error) {
 
 // promoteLocked persists the canary policy into the repository service
 // and announces the new repository truth fleet-wide. Caller holds mu.
+// ReplacePolicy restores the prior binding if the store fails, so the
+// rollback announced on failure carries unchanged repository truth.
 func (c *Controller) promoteLocked(reason string) {
 	r := c.cur
-	_ = c.svc.RemovePolicy(r.pol.Name, r.meta) // replace an existing binding
-	if err := c.svc.StorePolicy(r.pol, r.meta); err != nil {
+	if err := c.svc.ReplacePolicy(r.pol, r.meta); err != nil {
 		c.rollbackLocked("promote failed: "+err.Error(), "rollback-on-store-failure")
 		return
 	}

@@ -1,6 +1,8 @@
 package repository
 
 import (
+	"errors"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -44,10 +46,20 @@ type timer struct {
 }
 
 func newRolloutHarness(t *testing.T) *rolloutHarness {
+	return newRolloutHarnessStore(t, nil)
+}
+
+// newRolloutHarnessStore lets a test interpose on the directory store
+// (wrap receives the LocalStore and returns what the service uses).
+func newRolloutHarnessStore(t *testing.T, wrap func(Store) Store) *rolloutHarness {
 	t.Helper()
 	h := &rolloutHarness{t: t, hosts: []string{"h-b", "h-a", "h-c", "h-d", "h-e"}}
 	dir := NewDirectory(QoSSchema())
-	h.svc = newTestService(t, LocalStore{dir})
+	var store Store = LocalStore{dir}
+	if wrap != nil {
+		store = wrap(store)
+	}
+	h.svc = newTestService(t, store)
 	storeExample1(t, h.svc, "")
 	h.hub = NewHub("/repo/hub", func(to string, m msg.Message) error {
 		if d, ok := m.Body.(*msg.PolicyDelta); ok {
@@ -323,6 +335,85 @@ func TestRolloutIdempotentRepush(t *testing.T) {
 		!strings.Contains(err.Error(), "still baking") {
 		t.Fatalf("conflicting push error = %v", err)
 	}
+}
+
+// faultyStore fails the next N Add calls — a transient directory-write
+// failure hitting mid-promote.
+type faultyStore struct {
+	Store
+	failNextAdds int
+}
+
+func (f *faultyStore) Add(e *Entry) error {
+	if f.failNextAdds > 0 {
+		f.failNextAdds--
+		return errors.New("directory write refused")
+	}
+	return f.Store.Add(e)
+}
+
+// TestRolloutStoreFailureRollsBackUnchanged: a promote whose StorePolicy
+// fails must leave the repository byte-identical to its pre-push state,
+// so the rollback delta it announces really does carry unchanged truth
+// (not a repository that silently lost the previous policy version).
+func TestRolloutStoreFailureRollsBackUnchanged(t *testing.T) {
+	var fs *faultyStore
+	h := newRolloutHarnessStore(t, func(s Store) Store {
+		fs = &faultyStore{Store: s}
+		return fs
+	})
+	snapshot := func() string {
+		entries, err := h.svc.store.Search(BaseDN, ScopeSub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := make([]string, 0, len(entries))
+		for _, e := range entries {
+			lines = append(lines, e.String())
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	before := snapshot()
+
+	if _, err := h.ctl.Push(tighterJitterSrc, PolicyMeta{
+		Application: "VideoApplication", Executable: "mpeg_play"}); err != nil {
+		t.Fatal(err)
+	}
+	h.comps = []telemetry.PolicyCompliance{{Policy: "NotifyQoSViolation",
+		FastCompliance: 1, SlowCompliance: 1}}
+	// The compliant bake tries to promote, but the policy entry's write
+	// is refused; the restore writes then succeed again.
+	fs.failNextAdds = 1
+	h.advance(30 * time.Second)
+
+	st, _ := h.ctl.Status()
+	if st.State != RolloutRolledBack {
+		t.Fatalf("status = %+v", st)
+	}
+	if !strings.Contains(st.Reason, "promote failed") {
+		t.Fatalf("rollback reason = %q", st.Reason)
+	}
+	if after := snapshot(); after != before {
+		t.Fatalf("failed promote changed repository truth:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+	if got := h.jitterBound(); got != 1.25 {
+		t.Fatalf("jitter bound after failed promote = %v, want 1.25", got)
+	}
+	// The rollback delta re-announces the restored (pre-push) truth.
+	if len(h.deltas) != 2 {
+		t.Fatalf("got %d deltas", len(h.deltas))
+	}
+	rd := h.deltas[1]
+	if rd.Scope != "rollback" {
+		t.Fatalf("second delta = %+v", rd)
+	}
+	for _, c := range rd.Policies[0].Conditions {
+		if c.Attribute == "jitter_rate" && c.Value != 1.25 {
+			t.Fatalf("rollback payload carries canary value %v", c.Value)
+		}
+	}
+	h.assertExplained("rollback-on-store-failure")
 }
 
 func TestRolloutPushValidation(t *testing.T) {

@@ -227,6 +227,60 @@ func (s *Service) StorePolicy(p *policy.Policy, meta PolicyMeta) error {
 	return nil
 }
 
+// ReplacePolicy stores a policy binding, replacing any existing binding
+// under the same cn. If storing the new version fails, the previous
+// entries are restored, so a failed replace leaves the repository
+// byte-identical to its prior state — the invariant the rollout
+// controller's "rollback re-announces unchanged truth" rests on.
+func (s *Service) ReplacePolicy(p *policy.Policy, meta PolicyMeta) error {
+	// Validate before touching the store: the common failures (unknown
+	// executable, compile error) then leave it untouched without ever
+	// needing the restore path below.
+	sensors, err := s.SensorsFor(meta.Executable)
+	if err != nil {
+		return err
+	}
+	attrSensor := make(map[string]string)
+	for sensor, attrs := range sensors {
+		for _, a := range attrs {
+			attrSensor[a] = sensor
+		}
+	}
+	if _, err := policy.Compile(p, attrSensor); err != nil {
+		return err
+	}
+
+	dn := childDN(dnPolicies(), "cn", policyCN(p.Name, meta))
+	prev, err := s.store.Search(dn, ScopeSub, nil)
+	if err != nil {
+		return err
+	}
+	if len(prev) > 0 {
+		if _, err := s.store.DeleteTree(dn); err != nil {
+			return err
+		}
+	}
+	if err := s.StorePolicy(p, meta); err != nil {
+		// Clear whatever partially landed, then re-add the snapshot
+		// parents-first (Search clones entries, so the snapshot survived
+		// the DeleteTree).
+		_, _ = s.store.DeleteTree(dn)
+		sort.Slice(prev, func(i, j int) bool {
+			di := strings.Count(string(prev[i].DN), ",")
+			dj := strings.Count(string(prev[j].DN), ",")
+			if di != dj {
+				return di < dj
+			}
+			return prev[i].DN < prev[j].DN
+		})
+		for _, e := range prev {
+			_ = s.store.Add(e)
+		}
+		return err
+	}
+	return nil
+}
+
 // RemovePolicy deletes a stored policy binding and its condition/action
 // children.
 func (s *Service) RemovePolicy(name string, meta PolicyMeta) error {
@@ -290,6 +344,40 @@ func (s *Service) PoliciesFor(id msg.Identity) ([]msg.PolicySpec, error) {
 			}
 		}
 	}
+	return specs, nil
+}
+
+// RolePoliciesFor returns only the specs bound specifically to the
+// identity's user role — the bindings that shadow or extend the
+// any-role view for that role. An identity without a role has none.
+// Callers holding a copy of the any-role view (the policy agent's
+// delta-maintained cache) overlay these on top of it to reconstruct
+// exactly what PoliciesFor would return.
+func (s *Service) RolePoliciesFor(id msg.Identity) ([]msg.PolicySpec, error) {
+	if id.UserRole == "" {
+		return nil, nil
+	}
+	f := All(
+		Eq("objectClass", "qosPolicy"),
+		Eq("qosExecutableRef", id.Executable),
+	)
+	entries, err := s.store.Search(dnPolicies(), ScopeOne, f)
+	if err != nil {
+		return nil, err
+	}
+	var specs []msg.PolicySpec
+	for _, e := range entries {
+		role := e.Get("qosUserRole")
+		if role == "" || !strings.EqualFold(role, id.UserRole) {
+			continue
+		}
+		spec, err := s.specFromEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
 	return specs, nil
 }
 

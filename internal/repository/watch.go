@@ -112,10 +112,16 @@ func (h *Hub) Generation(exe string) uint64 {
 // a generation. Send failures are counted and reported but do not stop
 // the fan-out — the remaining subscribers still get the delta, and any
 // subscriber that missed it will detect the gap on the next one.
+//
+// Generation allocation happens under the hub lock, but the sends do
+// not: a slow or hung subscriber (a stalled TCP peer, say) must not
+// block Subscribe, Generation or concurrent announcements. A subscriber
+// that consequently observes two concurrent deltas out of order sees a
+// stale generation (ignored) or a gap (full re-pull) — the same cases
+// the cache protocol already handles for in-flight reordering.
 func (h *Hub) Announce(exe, scope string, hosts []string, specs []msg.PolicySpec,
 	reason string, trace telemetry.TraceContext) (uint64, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	d := &msg.PolicyDelta{
 		Generation: h.gen + 1,
 		Prev:       h.exeGen[exe],
@@ -126,31 +132,38 @@ func (h *Hub) Announce(exe, scope string, hosts []string, specs []msg.PolicySpec
 		Reason:     reason,
 	}
 	if err := msg.Validate(msg.Message{Body: d}); err != nil {
+		h.mu.Unlock()
 		return 0, err
 	}
 	h.gen++
 	h.exeGen[exe] = h.gen
+	gen := h.gen
+	subs := make([]string, len(h.order))
+	copy(subs, h.order)
+	mSent, mFailed := h.mSent, h.mFailed // counters are atomic
+	h.mu.Unlock()
+
 	var firstErr error
 	failed := 0
-	for _, sub := range h.order {
+	for _, sub := range subs {
 		err := h.send(sub, msg.Message{From: h.addr, Trace: trace, Body: d})
 		if err != nil {
 			failed++
 			if firstErr == nil {
 				firstErr = err
 			}
-			if h.mFailed != nil {
-				h.mFailed.Inc()
+			if mFailed != nil {
+				mFailed.Inc()
 			}
 			continue
 		}
-		if h.mSent != nil {
-			h.mSent.Inc()
+		if mSent != nil {
+			mSent.Inc()
 		}
 	}
 	if firstErr != nil {
-		return h.gen, fmt.Errorf("repository: %d of %d delta notifications failed: %w",
-			failed, len(h.order), firstErr)
+		return gen, fmt.Errorf("repository: %d of %d delta notifications failed: %w",
+			failed, len(subs), firstErr)
 	}
-	return h.gen, nil
+	return gen, nil
 }

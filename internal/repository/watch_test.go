@@ -110,6 +110,49 @@ func TestHubCountsNotifyFailures(t *testing.T) {
 	}
 }
 
+// TestHubAnnounceSendsOutsideLock pins the fan-out locking contract:
+// one hung subscriber (a stalled TCP peer) must not block Generation,
+// Subscribe, or anything else reading hub state — the generation is
+// allocated under the lock, the sends happen outside it.
+func TestHubAnnounceSendsOutsideLock(t *testing.T) {
+	started := make(chan struct{})
+	block := make(chan struct{})
+	hub := NewHub("/repo/hub", func(to string, m msg.Message) error {
+		close(started)
+		<-block
+		return nil
+	})
+	hub.Subscribe("/slow/sub")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = hub.Announce("mpeg_play", "fleet", nil, nil, "r", telemetry.TraceContext{})
+	}()
+	<-started // the send is now in flight, hung on the subscriber
+
+	got := make(chan uint64, 1)
+	go func() { got <- hub.Generation("mpeg_play") }()
+	select {
+	case g := <-got:
+		if g != 1 {
+			t.Fatalf("generation = %d, want 1 (allocated before the send)", g)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Generation blocked behind a hung subscriber send")
+	}
+
+	subscribed := make(chan struct{})
+	go func() { hub.Subscribe("/other/sub"); close(subscribed) }()
+	select {
+	case <-subscribed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe blocked behind a hung subscriber send")
+	}
+
+	close(block)
+	<-done
+}
+
 // TestConcurrentEnsureParents pins the fix for the check-then-add race:
 // EnsureParents used to probe each ancestor and insert it in separate
 // critical sections, so two concurrent callers could both see it

@@ -509,6 +509,9 @@ func Build(cfg Config) *System {
 		ctl.SetHosts(func() []string { return []string{"client-host", "server-host"} })
 		ctl.SetTracer(sys.Tracer)
 		ctl.SetTelemetry(sys.Metrics)
+		// A cohort host evicted from the domain roster mid-bake makes the
+		// canary unjudgeable: roll back instead of promoting on silence.
+		sys.DM.OnHostEvicted = ctl.HostEvicted
 		sys.Rollout = ctl
 		for i := 0; i < churn.Generations; i++ {
 			gen := i
