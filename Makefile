@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff examples live-smoke trace-smoke fleet-smoke policy-smoke soak clean
+.PHONY: all build vet test race check bench bench-diff examples lint-log live-smoke trace-smoke fleet-smoke policy-smoke soak clean
 
 all: check
 
@@ -29,7 +29,20 @@ test: race
 race:
 	$(GO) test -race ./...
 
-check: build vet examples race trace-smoke fleet-smoke policy-smoke soak
+check: build vet lint-log examples race trace-smoke fleet-smoke policy-smoke soak
+
+# Library code must never print: diagnostics go through the structured
+# event log (internal/telemetry/eventlog) or the telemetry registry, so
+# they stay bounded, leveled and trace-correlated. Commands and tests
+# may print; internal/ packages may not.
+lint-log:
+	@bad=$$(grep -rnE '\b(log\.(Print|Printf|Println|Fatal|Fatalf|Fatalln|Panic|Panicf|Panicln)|fmt\.(Print|Printf|Println))\(' internal/ --include='*.go' | grep -v '_test\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-log: stray stdlib printing in internal/ — route through eventlog or telemetry:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-log: ok"
 
 # The resilience gate: seeded chaos soaks — hundreds of violation
 # episodes under a randomized fault schedule on the sim Bus, plus the
@@ -76,7 +89,7 @@ policy-smoke:
 # real-time.
 fleet-smoke:
 	$(GO) run ./cmd/qosfleet -hosts 1000 -duration 2m -check
-	$(GO) run ./cmd/qosfleet -hosts 10000 -procs 10 -duration 2m -federate -check
+	$(GO) run ./cmd/qosfleet -hosts 10000 -procs 10 -duration 2m -federate -eventlog -check
 
 # Perf trajectory: `make bench` runs the micro-benchmarks (hot-path
 # packages at a stable benchtime, macro scenario benchmarks once) and
@@ -88,6 +101,7 @@ BENCHTIME ?= 200ms
 bench:
 	( $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
 	      ./internal/msg ./internal/rules ./internal/telemetry \
+	      ./internal/telemetry/eventlog \
 	      ./internal/telemetry/export ./internal/netsim \
 	      ./internal/repository ./internal/agent ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark(PolicyEvaluate|InstrumentationPass)$$' \

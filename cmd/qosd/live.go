@@ -126,6 +126,19 @@ func serveExport(reg *telemetry.Registry, tracer *telemetry.Tracer, extra ...exp
 	}
 }
 
+// liveEventLog creates the wall-clock structured event log a live role
+// records on and serves at /debug/qos/logs. Nil when -http is unset:
+// nothing would expose the ring, and a nil logger makes every record
+// site a no-op, so the disabled path costs nothing.
+func liveEventLog(now func() time.Duration, reg *telemetry.Registry) *softqos.EventLogger {
+	if *httpAddr == "" {
+		return nil
+	}
+	lg := softqos.NewEventLogger(telemetry.Clock(now), 0)
+	lg.SetMetrics(reg)
+	return lg
+}
+
 // liveRepository builds the paper's video-application information model
 // with the Example 1 policy — the repository the live agent serves
 // from. The directory is returned too so -policy-server can expose it
@@ -184,9 +197,12 @@ func runLive() {
 		now := func() time.Duration { return time.Since(start) }
 		reg := telemetry.NewRegistry(now)
 		agent.SetTelemetry(reg)
+		evlog := liveEventLog(now, reg)
+		agent.SetEventLog(evlog)
 		lps := servePolicy(agent.Addr(), dir, svc, reg)
 		var tracer *telemetry.Tracer
 		if lps != nil {
+			lps.SetEventLog(evlog)
 			// The standalone agent process observes no violations itself,
 			// so its bakes judge on an empty compliance feed (promote
 			// unless rolled back by hand); run -role all for SLO gating.
@@ -195,7 +211,8 @@ func runLive() {
 			lps.GateOn(tracer, now, nil)
 			defer lps.Close()
 		}
-		defer serveExport(reg, tracer, rolloutOpts(lps)...)()
+		defer serveExport(reg, tracer,
+			append(rolloutOpts(lps), export.WithEventLog(evlog))...)()
 		fmt.Printf("policy agent listening on %s\n", agent.Addr())
 		waitForInterrupt()
 		regs, fails := agent.Stats()
@@ -214,7 +231,9 @@ func runLive() {
 		reg := telemetry.NewRegistry(func() time.Duration { return time.Since(start) })
 		tracer := telemetry.NewTracer(func() time.Duration { return time.Since(start) })
 		lm.SetTelemetry(reg, tracer)
-		defer serveExport(reg, tracer)()
+		evlog := liveEventLog(func() time.Duration { return time.Since(start) }, reg)
+		lm.SetEventLog(evlog)
+		defer serveExport(reg, tracer, export.WithEventLog(evlog))()
 		lm.SetOnAdjust(func(a runtime.Adjustment) {
 			fmt.Printf("adjust pid %d: %s -> %d\n", a.PID, a.What, a.Value)
 		})
@@ -228,7 +247,7 @@ func runLive() {
 			fmt.Fprintln(os.Stderr, "qosd: -role workload needs -agent-addr and -manager-addr")
 			os.Exit(2)
 		}
-		liveWorkload(*agentTCP, *mgrTCP, nil, nil, nil)
+		liveWorkload(*agentTCP, *mgrTCP, nil, nil, nil, nil)
 
 	case "all":
 		svc, dir := liveRepository()
@@ -248,7 +267,12 @@ func runLive() {
 		if lps != nil {
 			defer lps.Close()
 		}
-		liveWorkload(agent.Addr(), lm.Addr(), lm, reg, lps)
+		evlog := liveEventLog(func() time.Duration { return time.Since(start) }, reg)
+		agent.SetEventLog(evlog)
+		if lps != nil {
+			lps.SetEventLog(evlog)
+		}
+		liveWorkload(agent.Addr(), lm.Addr(), lm, reg, lps, evlog)
 
 	default:
 		fmt.Fprintf(os.Stderr, "qosd: unknown live role %q\n", *role)
@@ -259,10 +283,11 @@ func runLive() {
 // liveWorkload runs the instrumented player: it registers, decodes at a
 // starved ~10 fps against the 25±2 policy, and lets the managers drive
 // it back into the band — first by CPU boosts, then (at saturation) by a
-// frame_skip adaptation directive its actuator applies. lm, reg and
-// lps are non-nil only in the single-process session.
+// frame_skip adaptation directive its actuator applies. lm, reg, lps
+// and evlog are non-nil only in the single-process session (the
+// standalone workload role builds its own event log on its own clock).
 func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager,
-	reg *telemetry.Registry, lps *softqos.LivePolicyServer) {
+	reg *telemetry.Registry, lps *softqos.LivePolicyServer, evlog *softqos.EventLogger) {
 	// With -faults, the workload's outbound management traffic crosses
 	// a fault-injection transport: the same plan format as sim mode,
 	// applied to real TCP (severs cut live connections, crash windows
@@ -275,11 +300,16 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager,
 	defer coord.Close()
 	tracer := telemetry.NewTracer(coord.WallClock())
 	coord.SetTelemetry(reg, tracer)
+	if evlog == nil {
+		evlog = liveEventLog(coord.WallClock(), reg)
+	}
+	coord.SetEventLog(evlog)
 	if lm != nil {
 		// Single-process session: the host manager records its diagnosis
 		// spans and rule explanations on the same tracer, so each episode
 		// exports as one causal tree.
 		lm.SetTelemetry(reg, tracer)
+		lm.SetEventLog(evlog)
 	}
 	if lps != nil {
 		// Canary bakes are judged on this process's own violation
@@ -287,7 +317,8 @@ func liveWorkload(agentAddr, managerAddr string, lm *softqos.LiveHostManager,
 		// error budget here and rolls back automatically.
 		lps.GateOn(tracer, coord.WallClock(), nil)
 	}
-	defer serveExport(reg, tracer, rolloutOpts(lps)...)()
+	defer serveExport(reg, tracer,
+		append(rolloutOpts(lps), export.WithEventLog(evlog))...)()
 
 	fps := softqos.NewValueSensor("fps_sensor", "frame_rate", nil)
 	jit := softqos.NewValueSensor("jitter_sensor", "jitter_rate", nil)

@@ -23,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"softqos/internal/faults"
 	"softqos/internal/scenario"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 	"softqos/internal/telemetry/export"
 	"softqos/internal/video"
 )
@@ -70,17 +72,18 @@ func main() {
 	case "videostream", "single":
 		run(scenario.Build(scenario.Config{
 			Seed: *seed, ClientLoad: *load, Managed: *managed,
-			Observe: *reportTo != "", Faults: loadFaults()}), 30*time.Second)
+			Observe: *reportTo != "", EventLog: *reportTo != "",
+			Faults:  loadFaults()}), 30*time.Second)
 	case "server-fault":
 		run(scenario.Build(scenario.Config{
 			Seed: *seed, Managed: *managed, ServerLoad: 4, Faults: loadFaults(),
-			Observe: *reportTo != "",
+			Observe: *reportTo != "", EventLog: *reportTo != "",
 			Stream: video.StreamConfig{ServerCost: 34 * time.Millisecond,
 				DecodeCost: 10 * time.Millisecond}}), 30*time.Second)
 	case "network-fault":
 		sys := scenario.Build(scenario.Config{
 			Seed: *seed, Managed: *managed, BackupRoute: true, Faults: loadFaults(),
-			Observe: *reportTo != "",
+			Observe: *reportTo != "", EventLog: *reportTo != "",
 			Stream:  video.StreamConfig{DecodeCost: 10 * time.Millisecond}})
 		sys.Sim.RunFor(30 * time.Second)
 		sys.CongestNetwork(6.0)
@@ -166,6 +169,27 @@ func run(sys *scenario.System, warmup time.Duration) {
 			fmt.Fprintln(os.Stderr, "qosd:", err)
 			os.Exit(1)
 		}
+		if sys.Log != nil {
+			if err := dumpEventLog(*reportTo, sys.Log); err != nil {
+				fmt.Fprintln(os.Stderr, "qosd:", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("compliance report written to %s\n", *reportTo)
 	}
+}
+
+// dumpEventLog writes the run's structured event log as events.ndjson
+// next to the compliance report: one JSON record per line, oldest
+// first, ready for jq/grep forensics.
+func dumpEventLog(dir string, lg *eventlog.Logger) error {
+	f, err := os.Create(filepath.Join(dir, "events.ndjson"))
+	if err != nil {
+		return err
+	}
+	if err := lg.WriteNDJSON(f, eventlog.Query{}); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

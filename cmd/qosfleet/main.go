@@ -55,6 +55,8 @@ var (
 	policyGens  = flag.Int("policy-gens", 0, "announce this many policy generations mid-run through the repository hub (relayed region -> domains -> policy agents; 0 disables)")
 	policyEvery = flag.Duration("policy-every", 30*time.Second, "virtual-time spacing between policy generations")
 
+	eventLog = flag.Bool("eventlog", false, "arm the structured event log: one bounded ring shared fleet-wide, host records folded into the federated summaries as per-component error-class counters")
+
 	federate  = flag.Bool("federate", false, "arm the federated telemetry plane (host summaries -> domain -> region)")
 	telWindow = flag.Duration("telemetry-window", 10*time.Second, "federated summary flush window")
 	httpAddr  = flag.String("http", "", "serve the post-run observability surface on this address and block (federated runs serve the fleet view)")
@@ -80,6 +82,7 @@ func main() {
 		NoBatching:      *nobatch,
 		Federate:        *federate,
 		TelemetryWindow: *telWindow,
+		EventLog:        *eventLog,
 		PolicyGens:      *policyGens,
 		PolicyEvery:     *policyEvery,
 	}
@@ -154,6 +157,9 @@ func serveForever(sys *scenario.FleetSystem) {
 	}
 	if sys.Flight != nil {
 		opts = append(opts, export.WithTimeline(sys.Flight))
+	}
+	if sys.Log != nil {
+		opts = append(opts, export.WithEventLog(sys.Log))
 	}
 	srv, err := export.Serve(*httpAddr, sys.Metrics, sys.Tracer, opts...)
 	if err != nil {
@@ -233,14 +239,21 @@ func checkFederated(sys *scenario.FleetSystem, res scenario.FleetResult, fail fu
 	if v.Hosts != uint64(sys.HostCount()) {
 		fail("fleet view covers %d hosts, want %d", v.Hosts, sys.HostCount())
 	}
-	srv, err := export.Serve("127.0.0.1:0", sys.Metrics, sys.Tracer,
-		export.WithFederation(fleetView(sys)))
+	opts := []export.Option{export.WithFederation(fleetView(sys))}
+	paths := []string{"/metrics", "/debug/qos", "/debug/qos/dashboard"}
+	if sys.Log != nil {
+		// The event-log surface must stay bounded too: the handler caps
+		// the record count, so the body size holds at any fleet size.
+		opts = append(opts, export.WithEventLog(sys.Log))
+		paths = append(paths, "/debug/qos/logs")
+	}
+	srv, err := export.Serve("127.0.0.1:0", sys.Metrics, sys.Tracer, opts...)
 	if err != nil {
 		fail("serve: %v", err)
 	}
 	defer srv.Close()
 	client := &http.Client{Timeout: 10 * time.Second}
-	for _, path := range []string{"/metrics", "/debug/qos", "/debug/qos/dashboard"} {
+	for _, path := range paths {
 		resp, err := client.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
 		if err != nil {
 			fail("GET %s: %v", path, err)

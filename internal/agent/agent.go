@@ -27,6 +27,7 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/repository"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // Send transmits a management message.
@@ -94,6 +95,10 @@ type PolicyAgent struct {
 	// Registered lazily on the first failed re-pull, so deployments that
 	// never lose the repository keep their metric name set unchanged.
 	mRefreshFail *telemetry.Counter
+
+	// evlog, when set, records cache anomalies (stale deltas, generation
+	// gaps, failed re-pulls) as structured events (component "agent").
+	evlog *eventlog.Logger
 }
 
 // New creates a policy agent bound to addr, resolving policies through
@@ -135,6 +140,14 @@ func (a *PolicyAgent) SetTelemetry(reg *telemetry.Registry) {
 	a.mCacheRefresh = reg.Counter("agent.cache.refreshes")
 	a.mCacheStale = reg.Counter("agent.cache.stale_deltas")
 	a.mDeltasApplied = reg.Counter("agent.deltas_applied")
+}
+
+// SetEventLog attaches the structured event log cache anomalies are
+// recorded on (component "agent"). Nil detaches.
+func (a *PolicyAgent) SetEventLog(lg *eventlog.Logger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evlog = lg
 }
 
 // CacheStats returns the policy-cache counters.
@@ -262,6 +275,10 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 		if a.mCacheStale != nil {
 			a.mCacheStale.Inc()
 		}
+		a.evlog.EventCtx(trace, eventlog.Debug, "agent", "delta_stale",
+			eventlog.Str("executable", d.Executable),
+			eventlog.Int("generation", int(d.Generation)),
+			eventlog.Int("cached", int(ce.gen)))
 		return
 	}
 	if !known || d.Prev != ce.gen {
@@ -273,6 +290,11 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 		if a.mCacheRefresh != nil {
 			a.mCacheRefresh.Inc()
 		}
+		a.evlog.EventCtx(trace, eventlog.Info, "agent", "cache_gap",
+			eventlog.Str("executable", d.Executable),
+			eventlog.Int("generation", int(d.Generation)),
+			eventlog.Int("prev", int(d.Prev)),
+			eventlog.Int("cached", int(ce.gen)))
 		specs, err := a.svc.PoliciesFor(msg.Identity{Executable: d.Executable})
 		if err != nil {
 			// Without repository truth the gap cannot be healed. Drop the
@@ -287,6 +309,10 @@ func (a *PolicyAgent) handleDelta(trace telemetry.TraceContext, d msg.PolicyDelt
 				}
 				a.mRefreshFail.Inc()
 			}
+			a.evlog.EventCtx(trace, eventlog.Error, "agent", "refresh_failure",
+				eventlog.Str("executable", d.Executable),
+				eventlog.Int("generation", int(d.Generation)),
+				eventlog.Str("error", err.Error()))
 			return
 		}
 		ce.baseline = specs

@@ -11,6 +11,7 @@ import (
 
 	"softqos/internal/msg"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // ErrCrashed is the cause inside the *msg.SendError returned for sends
@@ -49,6 +50,7 @@ type Transport struct {
 	reg      *telemetry.Registry
 	counters map[string]*telemetry.Counter
 	tracer   *telemetry.Tracer
+	evlog    *eventlog.Logger
 }
 
 type heldSend struct {
@@ -93,6 +95,14 @@ func (f *Transport) SetMetrics(reg *telemetry.Registry) {
 func (f *Transport) SetTracer(tr *telemetry.Tracer) {
 	f.mu.Lock()
 	f.tracer = tr
+	f.mu.Unlock()
+}
+
+// SetEventLog attaches the structured event log injections are recorded
+// on (component "faults"). Nil detaches.
+func (f *Transport) SetEventLog(lg *eventlog.Logger) {
+	f.mu.Lock()
+	f.evlog = lg
 	f.mu.Unlock()
 }
 
@@ -171,10 +181,15 @@ func (f *Transport) count(kind string) {
 	c.Inc()
 }
 
-// annotate records a fault span on the episode the message belongs to,
-// when tracing is on and the message identifies one. Caller holds mu;
-// the tracer takes its own lock, which is safe — it never calls back.
-func (f *Transport) annotate(m msg.Message, detail string) {
+// annotate records one injection on the observability sinks: a
+// structured event-log record (code = fault kind, carrying the rule's
+// name and the message's trace context), and a fault span on the
+// episode the message belongs to, when tracing is on and the message
+// identifies one. Caller holds mu; both sinks take their own locks,
+// which is safe — neither calls back.
+func (f *Transport) annotate(r *Rule, kind string, m msg.Message, detail string) {
+	f.evlog.EventCtx(m.Trace, eventlog.Info, "faults", kind,
+		eventlog.Str("rule", r.Name), eventlog.Str("detail", detail))
 	if f.tracer == nil {
 		return
 	}
@@ -234,13 +249,13 @@ func (f *Transport) Send(to string, m msg.Message) error {
 		case KindCrash:
 			if strings.HasPrefix(to, r.Target) {
 				f.count(KindCrash)
-				f.annotate(m, "crash: "+r.Target+" down, send to it failed")
+				f.annotate(r, KindCrash, m, "crash: "+r.Target+" down, send to it failed")
 				f.mu.Unlock()
 				return &msg.SendError{To: to, Kind: msg.ErrDialFailed, Err: ErrCrashed}
 			}
 			if strings.HasPrefix(m.From, r.Target) {
 				f.count(KindCrash)
-				f.annotate(m, "crash: "+r.Target+" down, its send lost")
+				f.annotate(r, KindCrash, m, "crash: "+r.Target+" down, its send lost")
 				f.mu.Unlock()
 				return nil
 			}
@@ -249,7 +264,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 			fromIn := m.From != "" && hostOf(m.From) == r.Target
 			if toIn != fromIn { // message crosses the partition
 				f.count(KindPartition)
-				f.annotate(m, "partition: "+r.Target+" unreachable, message lost")
+				f.annotate(r, KindPartition, m, "partition: "+r.Target+" unreachable, message lost")
 				f.mu.Unlock()
 				return nil
 			}
@@ -258,7 +273,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 				continue
 			}
 			f.count(KindDrop)
-			f.annotate(m, "drop: "+tag+" to "+to+" lost")
+			f.annotate(r, KindDrop, m, "drop: "+tag+" to "+to+" lost")
 			f.mu.Unlock()
 			return nil
 		case KindDelay:
@@ -270,7 +285,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 				d += time.Duration(f.rng.Int63n(int64(r.Jitter)))
 			}
 			f.count(KindDelay)
-			f.annotate(m, "delay: "+tag+" to "+to+" held "+d.String())
+			f.annotate(r, KindDelay, m, "delay: "+tag+" to "+to+" held "+d.String())
 			f.mu.Unlock()
 			f.after(d, func() { _ = f.inner.Send(to, m) })
 			return nil
@@ -286,7 +301,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 				d += time.Duration(f.rng.Int63n(int64(r.Jitter)))
 			}
 			f.count(KindDuplicate)
-			f.annotate(m, "duplicate: "+tag+" to "+to+" sent twice")
+			f.annotate(r, KindDuplicate, m, "duplicate: "+tag+" to "+to+" sent twice")
 			f.mu.Unlock()
 			f.after(d, func() { _ = f.inner.Send(to, m) })
 			return f.inner.Send(to, m)
@@ -295,7 +310,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 				continue
 			}
 			f.count(KindReorder)
-			f.annotate(m, "reorder: "+tag+" to "+to+" overtaken")
+			f.annotate(r, KindReorder, m, "reorder: "+tag+" to "+to+" overtaken")
 			h := &heldSend{to: to, m: m}
 			f.held = h
 			f.mu.Unlock()
@@ -307,6 +322,7 @@ func (f *Transport) Send(to string, m msg.Message) error {
 				continue
 			}
 			f.count(KindSever)
+			f.annotate(r, KindSever, m, "sever: "+tag+" to "+to+" triggered reconnect")
 			hook := f.OnSever
 			f.mu.Unlock()
 			if hook != nil {

@@ -6,6 +6,7 @@ import (
 
 	"softqos/internal/msg"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // AlarmCoalescer batches a tier's upward alarm traffic: instead of
@@ -58,6 +59,9 @@ type AlarmCoalescer struct {
 	flushes  *telemetry.Counter
 	batched  *telemetry.Counter
 	escFlush *telemetry.Counter
+
+	// evlog, when set, records flush decisions (component "batch").
+	evlog *eventlog.Logger
 }
 
 // NewAlarmCoalescer creates a coalescer that batches alarms from tier
@@ -85,6 +89,10 @@ func (c *AlarmCoalescer) SetTelemetry(reg *telemetry.Registry) { c.reg = reg }
 // SetEscalation arms flush-on-severity: an Add with severity >= sev
 // flushes the pending batch immediately. Zero disables escalation.
 func (c *AlarmCoalescer) SetEscalation(sev int) { c.escalate = sev }
+
+// SetEventLog attaches the structured event log flush decisions are
+// recorded on (component "batch"). Nil detaches.
+func (c *AlarmCoalescer) SetEventLog(lg *eventlog.Logger) { c.evlog = lg }
 
 // Pending returns how many coalesced entries await the next flush.
 func (c *AlarmCoalescer) Pending() int { return len(c.entries) }
@@ -130,6 +138,9 @@ func (c *AlarmCoalescer) AddCtx(a msg.Alarm, severity int, tc telemetry.TraceCon
 			}
 			c.escFlush.Inc()
 		}
+		c.evlog.EventCtx(tc, eventlog.Warn, "batch", "escalation_flush",
+			eventlog.Str("tier", c.tier), eventlog.Str("subject", a.ID.Address()),
+			eventlog.Int("severity", severity), eventlog.Int("pending", len(c.entries)))
 		return c.Flush()
 	}
 	if !c.armed {
@@ -181,6 +192,9 @@ func (c *AlarmCoalescer) Flush() error {
 			c.batched.Add(uint64(e.Count))
 		}
 	}
+	c.evlog.Event(eventlog.Debug, "batch", "flush",
+		eventlog.Str("tier", c.tier), eventlog.Int("alarms", len(b.Alarms)),
+		eventlog.Int("summary", len(b.Summary)))
 	return c.send(c.parent, msg.Message{From: c.addr, Body: b})
 }
 

@@ -9,6 +9,7 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/rules"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // DefaultDomainRules is the QoS Domain Manager rule set of Section 5.3,
@@ -192,6 +193,10 @@ type DomainManager struct {
 	metrics *dmMetrics
 	tracer  *telemetry.Tracer
 	epCur   *episode // episode being diagnosed (explanation attribution)
+	// evlog, when set, records the decisions this manager otherwise makes
+	// silently (evictions, retries, timeouts) as structured events. Nil —
+	// the default — is free (eventlog methods are nil-safe).
+	evlog *eventlog.Logger
 }
 
 // dmMetrics holds the domain manager's pre-resolved metric handles.
@@ -302,6 +307,10 @@ func (dm *DomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry
 		wall:          reg.WallClock(),
 	}
 }
+
+// SetEventLog attaches the structured event log this manager records
+// its silent decisions on (component "domainmanager"). Nil detaches.
+func (dm *DomainManager) SetEventLog(lg *eventlog.Logger) { dm.evlog = lg }
 
 // traceEvent records a span on the trace of the client violation that
 // opened the episode, chained under the episode's current context, which
@@ -520,6 +529,10 @@ func (dm *DomainManager) relayDelta(m msg.Message) {
 	if dm.metrics != nil && len(dm.policyAgents) > 0 {
 		dm.metrics.countPolicyRelay(len(dm.policyAgents))
 	}
+	if len(dm.policyAgents) > 0 {
+		dm.evlog.EventCtx(m.Trace, eventlog.Debug, "domainmanager", "policy_relay",
+			eventlog.Int("agents", len(dm.policyAgents)))
+	}
 }
 
 // SetSummarySink routes inbound host telemetry summaries to fn —
@@ -562,6 +575,9 @@ func (dm *DomainManager) handleAlarm(al msg.Alarm, tc telemetry.TraceContext) {
 		if dm.metrics != nil {
 			dm.metrics.ruleErrors.Inc()
 		}
+		dm.evlog.EventCtx(tc, eventlog.Warn, "domainmanager", "unknown_application",
+			eventlog.Str("application", al.ID.Application),
+			eventlog.Str("subject", al.ID.Address()))
 		return
 	}
 	dm.nextRef++
@@ -634,6 +650,8 @@ func (dm *DomainManager) CheckLiveness() (retried, abandoned int) {
 			}
 			dm.traceEvent(ep, telemetry.StageEscalate,
 				"re-query "+ep.server.hostMgrAddr+" (report timed out)")
+			dm.evlog.EventCtx(ep.ctx, eventlog.Info, "domainmanager", "episode_retry",
+				eventlog.Str("ref", ref), eventlog.Str("server", ep.server.hostMgrAddr))
 			_ = dm.send(ep.server.hostMgrAddr, msg.Message{
 				From:  dm.addr,
 				Trace: dm.propagated(ep, ep.ctx),
@@ -648,6 +666,8 @@ func (dm *DomainManager) CheckLiveness() (retried, abandoned int) {
 		}
 		dm.traceEvent(ep, telemetry.StageAbandoned,
 			"localization abandoned: no report from "+ep.server.hostMgrAddr+" after retry")
+		dm.evlog.EventCtx(ep.ctx, eventlog.Warn, "domainmanager", "episode_timeout",
+			eventlog.Str("ref", ref), eventlog.Str("server", ep.server.hostMgrAddr))
 		delete(dm.episodes, ref)
 		abandoned++
 	}

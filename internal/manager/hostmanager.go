@@ -11,6 +11,7 @@ import (
 	"softqos/internal/rules"
 	"softqos/internal/runtime"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // Send transmits a management message (bus or TCP transport).
@@ -266,6 +267,9 @@ type HostManager struct {
 	epSubject string
 	epPolicy  string
 	epCtx     telemetry.TraceContext
+	// evlog, when set, records evictions and re-adoptions as structured
+	// events (component "hostmanager"). Nil is free.
+	evlog *eventlog.Logger
 }
 
 // hmMetrics holds the host manager's pre-resolved metric handles.
@@ -355,6 +359,10 @@ func (hm *HostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 		wall:        reg.WallClock(),
 	}
 }
+
+// SetEventLog attaches the structured event log this manager records
+// its silent decisions on (component "hostmanager"). Nil detaches.
+func (hm *HostManager) SetEventLog(lg *eventlog.Logger) { hm.evlog = lg }
 
 // traceEvent records a span emitted by src on the trace of the violation
 // currently being diagnosed, parented under the episode's diagnosis span;
@@ -465,6 +473,8 @@ func (hm *HostManager) handleHeartbeat(hb msg.Heartbeat) {
 	hm.HeartbeatsSeen++
 	if _, known := hm.procsByPID[hb.ID.PID]; !known && hm.OnUnknownProc != nil {
 		if p, ok := hm.OnUnknownProc(hb.ID); ok {
+			hm.evlog.Event(eventlog.Info, "hostmanager", "proc_readopted",
+				eventlog.Str("subject", hb.ID.Address()))
 			hm.Track(p, hb.ID)
 		}
 	}
@@ -507,6 +517,9 @@ func (hm *HostManager) CheckLiveness() int {
 		if hm.metrics != nil {
 			hm.metrics.countEvicted()
 		}
+		hm.evlog.Event(eventlog.Warn, "hostmanager", "agent_evicted",
+			eventlog.Str("subject", mp.id.Address()),
+			eventlog.Str("executable", mp.id.Executable))
 		if hm.tracer != nil {
 			hm.tracer.AbandonSubject(mp.id.Address(), "hostmanager",
 				"component_down: no contact from "+mp.id.Executable+" within liveness timeout")
@@ -720,6 +733,8 @@ func (hm *HostManager) handleViolation(v msg.Violation, tc telemetry.TraceContex
 		if hm.metrics != nil {
 			hm.metrics.ruleErrors.Inc()
 		}
+		hm.evlog.EventCtx(tc, eventlog.Warn, "hostmanager", "untracked_violation",
+			eventlog.Str("subject", v.ID.Address()))
 		return
 	}
 	if v.Overshoot {

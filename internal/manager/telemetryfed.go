@@ -202,6 +202,32 @@ func (g *SummaryAggregator) Ingest(ts msg.TelemetrySummary) {
 	}
 }
 
+// AddLocal merges one locally produced counter increment into the
+// aggregator's own state — the path a domain tier's event-log counters
+// ride so they federate upward inside the existing window flush instead
+// of as extra messages. Forwarding aggregators also fold the increment
+// into the current window and arm the flush timer; the local tier does
+// not inflate the window's host coverage.
+func (g *SummaryAggregator) AddLocal(name string, delta float64) {
+	g.total.AddCounter(name, delta)
+	if g.keepChildren {
+		c, ok := g.children[g.addr]
+		if !ok {
+			c = &childAgg{sum: telemetry.NewSummary()}
+			g.children[g.addr] = c
+		}
+		c.sum.AddCounter(name, delta)
+	}
+	if g.parent == "" {
+		return
+	}
+	g.win.AddCounter(name, delta)
+	if !g.armed {
+		g.armed = true
+		g.after(g.window, g.timerFlush)
+	}
+}
+
 func (g *SummaryAggregator) timerFlush() {
 	g.armed = false
 	if !g.win.Empty() {

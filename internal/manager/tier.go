@@ -6,6 +6,7 @@ import (
 
 	"softqos/internal/msg"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // The hierarchical control plane: host managers register with a domain
@@ -82,6 +83,8 @@ func (dm *DomainManager) handleHostRegister(b msg.Register, from string) {
 	}
 	if _, known := dm.hosts[name]; !known {
 		dm.hostOrder = append(dm.hostOrder, name)
+		dm.evlog.Event(eventlog.Debug, "domainmanager", "host_adopted",
+			eventlog.Str("host", name))
 	}
 	dm.hosts[name] = from
 	dm.hostSeen[name] = dm.nowOr0()
@@ -99,6 +102,8 @@ func (dm *DomainManager) handleHostHeartbeat(hb msg.Heartbeat, from string) {
 		if from == "" {
 			return
 		}
+		dm.evlog.Event(eventlog.Info, "domainmanager", "host_readopted",
+			eventlog.Str("host", name))
 		dm.handleHostRegister(msg.Register{ID: hb.ID}, from)
 		return
 	}
@@ -230,6 +235,8 @@ func (dm *DomainManager) checkFanouts(now time.Duration) (retried, abandoned int
 			if dm.metrics != nil {
 				dm.metrics.countQueryRetry()
 			}
+			dm.evlog.EventCtx(f.ctx, eventlog.Info, "domainmanager", "fanout_retry",
+				eventlog.Str("ref", iref), eventlog.Int("pending", len(f.pending)))
 			for _, name := range sortedKeys(f.pending) {
 				_ = dm.send(f.pending[name], msg.Message{From: dm.addr, Trace: f.ctx,
 					Body: msg.Query{From: dm.addr, Keys: f.keys, Ref: iref}})
@@ -241,6 +248,9 @@ func (dm *DomainManager) checkFanouts(now time.Duration) (retried, abandoned int
 		if dm.metrics != nil {
 			dm.metrics.countTimeout()
 		}
+		dm.evlog.EventCtx(f.ctx, eventlog.Warn, "domainmanager", "fanout_abandoned",
+			eventlog.Str("ref", iref), eventlog.Int("reported", f.reports),
+			eventlog.Int("asked", f.asked))
 		dm.completeFanout(iref, f)
 		abandoned++
 	}
@@ -259,7 +269,8 @@ func (dm *DomainManager) checkHosts(now time.Duration) int {
 	}
 	evicted := 0
 	for _, name := range sortedKeys(dm.hosts) {
-		if now-dm.hostSeen[name] <= timeout {
+		silent := now - dm.hostSeen[name]
+		if silent <= timeout {
 			continue
 		}
 		delete(dm.hosts, name)
@@ -274,6 +285,9 @@ func (dm *DomainManager) checkHosts(now time.Duration) int {
 		if dm.metrics != nil {
 			dm.metrics.countHostEvicted()
 		}
+		dm.evlog.Event(eventlog.Warn, "domainmanager", "host_evicted",
+			eventlog.Str("host", name),
+			eventlog.Num("silent_ns", float64(silent)))
 		if dm.OnHostEvicted != nil {
 			dm.OnHostEvicted(name)
 		}

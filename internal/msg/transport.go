@@ -3,7 +3,6 @@ package msg
 import (
 	"errors"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
 	"strings"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // Transport is the management-plane transport seam: what the manager
@@ -129,6 +129,7 @@ type NetTransport struct {
 
 	logfFn  atomic.Pointer[func(string, ...any)]
 	dropFn  atomic.Pointer[DropLogger]
+	evlog   atomic.Pointer[eventlog.Logger]
 	metrics atomic.Pointer[netMetrics]
 	retryP  atomic.Pointer[Backoff]
 	wire    atomic.Int32 // preferred WireFormat (negotiated per conn, see wire.go)
@@ -150,6 +151,8 @@ func (t *NetTransport) sendHello(c *Conn) {
 	}
 	if _, err := c.sendFrame(helloFrame(t.host), WireJSON); err != nil {
 		t.logf("msg: %s: wire hello failed: %v", t.host, err)
+		t.evlog.Load().Event(eventlog.Warn, "msg", "wire_hello_failed",
+			eventlog.Str("node", t.host), eventlog.Str("error", err.Error()))
 	}
 }
 
@@ -210,18 +213,28 @@ func (t *NetTransport) Stats() (sent, delivered, dropped uint64) {
 // were logged and dropped instead of dispatched.
 func (t *NetTransport) DroppedInvalid() uint64 { return t.droppedInvalid.Load() }
 
-// SetLogf routes the transport's diagnostics (invalid-message drops) to
-// fn instead of the standard logger.
+// SetLogf routes the transport's textual diagnostics to fn. Without a
+// hook the text is discarded: the transport never writes unstructured
+// stderr — structured reporting goes through SetEventLog/SetDropLogger.
 func (t *NetTransport) SetLogf(fn func(format string, args ...any)) {
 	t.logfFn.Store(&fn)
+}
+
+// SetEventLog routes the transport's diagnostics (invalid-frame drops,
+// hello failures, exhausted retries, reconnects) into the structured
+// event log as component "msg" records. Pass nil to detach.
+func (t *NetTransport) SetEventLog(lg *eventlog.Logger) {
+	if lg == nil {
+		t.evlog.Store(nil)
+		return
+	}
+	t.evlog.Store(lg)
 }
 
 func (t *NetTransport) logf(format string, args ...any) {
 	if p := t.logfFn.Load(); p != nil {
 		(*p)(format, args...)
-		return
 	}
-	log.Printf(format, args...)
 }
 
 // DropInfo describes one message the transport refused to dispatch: who
@@ -241,8 +254,8 @@ type DropInfo struct {
 type DropLogger func(DropInfo)
 
 // SetDropLogger routes structured drop reports to fn. When set it
-// replaces the textual log line (counters still increment); pass nil to
-// restore the default logging.
+// replaces the event-log record (counters still increment); pass nil to
+// restore event-log reporting.
 func (t *NetTransport) SetDropLogger(fn DropLogger) {
 	if fn == nil {
 		t.dropFn.Store(nil)
@@ -251,7 +264,10 @@ func (t *NetTransport) SetDropLogger(fn DropLogger) {
 	t.dropFn.Store(&fn)
 }
 
-// dropInvalid logs and counts a message that decoded but failed Validate.
+// dropInvalid reports and counts a message that decoded but failed
+// Validate: through the DropInfo hook when one is set, as a structured
+// "msg"/"invalid_drop" event-log record otherwise. The legacy textual
+// line only exists behind an explicit SetLogf hook.
 func (t *NetTransport) dropInvalid(to string, m Message, err error) {
 	t.droppedInvalid.Add(1)
 	if nm := t.metrics.Load(); nm != nil {
@@ -265,6 +281,10 @@ func (t *NetTransport) dropInvalid(to string, m Message, err error) {
 		(*p)(DropInfo{Node: t.host, From: m.From, To: to, Kind: kind, Err: err})
 		return
 	}
+	t.evlog.Load().EventCtx(m.Trace, eventlog.Warn, "msg", "invalid_drop",
+		eventlog.Str("node", t.host), eventlog.Str("from", m.From),
+		eventlog.Str("to", to), eventlog.Str("kind", kind),
+		eventlog.Str("error", err.Error()))
 	t.logf("msg: %s: dropping invalid %s message %s -> %s: %v", t.host, kind, m.From, to, err)
 }
 
@@ -358,6 +378,8 @@ func (t *NetTransport) Send(to string, m Message) error {
 			if nm := t.metrics.Load(); nm != nil {
 				nm.retries.Inc()
 			}
+			t.evlog.Load().EventCtx(m.Trace, eventlog.Debug, "msg", "send_retry",
+				eventlog.Str("to", to), eventlog.Int("try", try))
 			time.Sleep(policy.Delay(try, rand.Float64()))
 		}
 		err := t.trySend(to, m)
@@ -370,6 +392,9 @@ func (t *NetTransport) Send(to string, m Message) error {
 			if nm := t.metrics.Load(); nm != nil {
 				nm.sendFailed.Inc()
 			}
+			t.evlog.Load().EventCtx(m.Trace, eventlog.Warn, "msg", "send_failed",
+				eventlog.Str("to", to), eventlog.Int("tries", try+1),
+				eventlog.Str("error", err.Error()))
 			return err
 		}
 	}
@@ -436,6 +461,8 @@ func (t *NetTransport) trySend(to string, m Message) error {
 				if nm := t.metrics.Load(); nm != nil {
 					nm.reconnects.Inc()
 				}
+				t.evlog.Load().Event(eventlog.Info, "msg", "reconnect",
+					eventlog.Str("node", t.host), eventlog.Str("peer", dialAddr))
 			}
 			t.everDialed[dialAddr] = struct{}{}
 			t.dialed[dialAddr] = c

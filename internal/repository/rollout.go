@@ -10,6 +10,7 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/policy"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // Rollout states.
@@ -98,6 +99,10 @@ type Controller struct {
 	mPromoted   *telemetry.Counter // repo.rollout.promoted
 	mRolledBack *telemetry.Counter // repo.rollout.rolled_back
 	mIdempotent *telemetry.Counter // repo.rollout.idempotent_pushes
+
+	// evlog, when set, records rollout decisions with their rule
+	// provenance as structured events (component "rollout").
+	evlog *eventlog.Logger
 }
 
 type activeRollout struct {
@@ -168,6 +173,14 @@ func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
 	c.mIdempotent = reg.Counter("repo.rollout.idempotent_pushes")
 }
 
+// SetEventLog attaches the structured event log rollout decisions are
+// recorded on (component "rollout"). Nil detaches.
+func (c *Controller) SetEventLog(lg *eventlog.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evlog = lg
+}
+
 const rolloutTracePolicy = "rollout"
 
 // canaryCohort picks the deterministic canary subset: hosts sorted by
@@ -214,6 +227,11 @@ func (c *Controller) Push(text string, meta PolicyMeta) (RolloutStatus, error) {
 			c.decision(c.cur, telemetry.StageNotify,
 				fmt.Sprintf("idempotent re-push of generation %d ignored", c.cur.status.Generation),
 				"idempotent-repush")
+			c.evlog.EventCtx(c.cur.ctx, eventlog.Debug, "rollout", "idempotent_push",
+				eventlog.Str("policy", c.cur.status.Policy),
+				eventlog.Str("executable", c.cur.status.Executable),
+				eventlog.Int("generation", int(c.cur.status.Generation)),
+				eventlog.Str("rule", "idempotent-repush"))
 			return c.cur.status, nil
 		}
 		return RolloutStatus{}, fmt.Errorf("repository: rollout of generation %d (%s@%s) still baking",
@@ -282,6 +300,10 @@ func (c *Controller) Push(text string, meta PolicyMeta) (RolloutStatus, error) {
 		cohort: cohortSet,
 		ctx:    ctx,
 	}
+	c.evlog.EventCtx(ctx, eventlog.Info, "rollout", "canary_push",
+		eventlog.Str("policy", p.Name), eventlog.Str("executable", meta.Executable),
+		eventlog.Int("generation", int(gen)),
+		eventlog.Int("cohort", len(cohort)), eventlog.Int("fleet", len(fleet)))
 	c.after(c.cfg.Bake, func() { c.bakeExpired(gen) })
 	return c.cur.status, nil
 }
@@ -397,6 +419,11 @@ func (c *Controller) promoteLocked(reason string) {
 		c.mPromoted.Inc()
 	}
 	c.decision(r, telemetry.StageAdapt, "promoted fleet-wide: "+reason, "promote-on-compliant-bake")
+	c.evlog.EventCtx(r.ctx, eventlog.Info, "rollout", "promoted",
+		eventlog.Str("policy", r.pol.Name), eventlog.Str("executable", r.meta.Executable),
+		eventlog.Int("generation", int(r.status.Generation)),
+		eventlog.Int("fleet_generation", int(fgen)),
+		eventlog.Str("rule", "promote-on-compliant-bake"), eventlog.Str("reason", reason))
 	if c.tracer != nil {
 		c.tracer.Resolve(policyCN(r.pol.Name, r.meta), rolloutTracePolicy)
 	}
@@ -421,6 +448,11 @@ func (c *Controller) rollbackLocked(reason, rule string) {
 		c.mRolledBack.Inc()
 	}
 	c.decision(r, telemetry.StageEscalate, "rolled back: "+reason, rule)
+	c.evlog.EventCtx(r.ctx, eventlog.Warn, "rollout", "rolled_back",
+		eventlog.Str("policy", r.pol.Name), eventlog.Str("executable", r.meta.Executable),
+		eventlog.Int("generation", int(r.status.Generation)),
+		eventlog.Int("fleet_generation", int(fgen)),
+		eventlog.Str("rule", rule), eventlog.Str("reason", reason))
 	if c.tracer != nil {
 		c.tracer.Abandon(policyCN(r.pol.Name, r.meta), rolloutTracePolicy, "repository.rollout", reason)
 	}

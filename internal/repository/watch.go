@@ -7,6 +7,7 @@ import (
 
 	"softqos/internal/msg"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // Hub is the watch/notify side of the repository: components that hold
@@ -35,6 +36,10 @@ type Hub struct {
 
 	mSent   *telemetry.Counter // repo.hub.deltas_sent
 	mFailed *telemetry.Counter // repo.hub.notify_failures
+
+	// evlog, when set, records announcements and notify failures as
+	// structured events (component "repository").
+	evlog *eventlog.Logger
 }
 
 // NewHub creates a hub announcing deltas from addr over send.
@@ -53,6 +58,15 @@ func (h *Hub) SetTelemetry(reg *telemetry.Registry) {
 	}
 	h.mSent = reg.Counter("repo.hub.deltas_sent")
 	h.mFailed = reg.Counter("repo.hub.notify_failures")
+}
+
+// SetEventLog attaches the structured event log announcements and
+// notify failures are recorded on (component "repository"). Nil
+// detaches.
+func (h *Hub) SetEventLog(lg *eventlog.Logger) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.evlog = lg
 }
 
 // Subscribe adds management addresses to the notification list.
@@ -141,8 +155,13 @@ func (h *Hub) Announce(exe, scope string, hosts []string, specs []msg.PolicySpec
 	subs := make([]string, len(h.order))
 	copy(subs, h.order)
 	mSent, mFailed := h.mSent, h.mFailed // counters are atomic
+	evlog := h.evlog                     // nil-safe outside the lock
 	h.mu.Unlock()
 
+	evlog.EventCtx(trace, eventlog.Info, "repository", "delta_announced",
+		eventlog.Str("executable", exe), eventlog.Str("scope", scope),
+		eventlog.Str("reason", reason),
+		eventlog.Int("generation", int(gen)), eventlog.Int("subscribers", len(subs)))
 	var firstErr error
 	failed := 0
 	for _, sub := range subs {
@@ -155,6 +174,9 @@ func (h *Hub) Announce(exe, scope string, hosts []string, specs []msg.PolicySpec
 			if mFailed != nil {
 				mFailed.Inc()
 			}
+			evlog.EventCtx(trace, eventlog.Warn, "repository", "notify_failure",
+				eventlog.Str("subscriber", sub), eventlog.Str("executable", exe),
+				eventlog.Int("generation", int(gen)), eventlog.Str("error", err.Error()))
 			continue
 		}
 		if mSent != nil {

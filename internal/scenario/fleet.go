@@ -11,6 +11,7 @@ import (
 	"softqos/internal/repository"
 	"softqos/internal/sim"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // The fleet scenario scales the paper's control loop to a three-tier
@@ -75,6 +76,21 @@ type FleetConfig struct {
 	// PolicyEvery paces the generations (default 30s; the first fires
 	// at 10s).
 	PolicyEvery time.Duration
+	// EventLog arms the structured event log on the fleet's control
+	// plane. ONE bounded ring is shared by every tier (its memory
+	// amortizes across the whole fleet rather than multiplying by host
+	// count); tiers write through per-tier views of it. Under Federate
+	// the views carry counter sinks, so per-(component,level) error-class
+	// counts ("log.<component>.<level>") ride the existing telemetry
+	// window flushes host→domain→region instead of adding messages.
+	// Off by default; disabled, every record site is a nil no-op.
+	EventLog bool
+	// LogCapacity bounds the shared ring under EventLog (default
+	// eventlog.DefaultCapacity).
+	LogCapacity int
+	// LogEvery keeps 1-in-LogEvery sub-warning records per (component,
+	// code) under EventLog, seeded from Seed. 0 or 1 keeps everything.
+	LogEvery int
 	// Federate arms the federated telemetry plane: each host ships a
 	// per-window msg.TelemetrySummary to its domain, each domain merges
 	// and re-ships one per window to the region, and the region holds
@@ -165,6 +181,11 @@ type fleetHost struct {
 	loadSketch *telemetry.Sketch
 	latSketch  *telemetry.Sketch
 
+	// evlog is the host's view of the fleet-shared event log (nil
+	// unless Cfg.EventLog); under Federate its sink counts records into
+	// the host's window summary.
+	evlog *eventlog.Logger
+
 	adaptations int
 	sheds       int
 }
@@ -221,6 +242,8 @@ func (h *fleetHost) sample() {
 			tc = h.sys.Tracer.Begin(h.id.Address(), "FleetLoadPolicy", "hostmanager",
 				fmt.Sprintf("cpu_load %.2f over threshold", h.load))
 		}
+		h.evlog.EventCtx(tc, eventlog.Warn, "hostmanager", "load_spike",
+			eventlog.Str("host", h.name), eventlog.Num("cpu_load", h.load))
 		h.send(h.domain, msg.Message{From: h.addr, Trace: tc, Body: msg.Alarm{
 			ID: h.id, Policy: "FleetLoadPolicy",
 			Readings: map[string]float64{"cpu_load": h.load},
@@ -313,6 +336,7 @@ type fleetDomain struct {
 	dm      *manager.DomainManager
 	uplink  *manager.AlarmCoalescer
 	agg     *manager.SummaryAggregator // federated runs only
+	evlog   *eventlog.Logger           // domain-tier view of the shared log
 	hosts   int
 	flushed uint64 // dm.Alarms already summarized in earlier flushes
 }
@@ -349,6 +373,10 @@ type FleetSystem struct {
 	// Federated telemetry plane (nil unless Cfg.Federate).
 	RegionAgg *manager.SummaryAggregator
 	Flight    *telemetry.Timeline
+
+	// Log is the fleet-shared structured event log (nil unless
+	// Cfg.EventLog).
+	Log *eventlog.Logger
 
 	// Policy-distribution plane (nil/empty unless Cfg.PolicyGens > 0).
 	Hub          *repository.Hub
@@ -417,6 +445,14 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 
 	send := msg.SendFunc(sys.Bus.Send)
 
+	if cfg.EventLog {
+		sys.Log = eventlog.New(sys.Metrics.Clock(), cfg.LogCapacity)
+		sys.Log.SetMetrics(sys.Metrics)
+		if cfg.LogEvery > 1 {
+			sys.Log.SetSampling(cfg.LogEvery, cfg.Seed)
+		}
+	}
+
 	// Tier 3: the region manager.
 	sys.Region = manager.NewRegionManager(RegionAddr, send)
 	sys.Region.SaturationThreshold = cfg.SaturationThreshold
@@ -477,6 +513,26 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 		}
 		fd.uplink = co
 		fd.dm.SetUplink(co)
+		if sys.Log != nil {
+			// The domain tier writes through a view of the shared ring; in
+			// federated runs its sink folds per-(component,level) counts
+			// into the domain's own aggregate, which the next window flush
+			// carries to the region — log federation rides telemetry
+			// federation. fd.agg is wired below, so resolve it at record
+			// time rather than at view-construction time.
+			dlog := sys.Log
+			if cfg.Federate {
+				fdl := fd
+				dlog = sys.Log.WithSink(func(level eventlog.Level, component, _ string) {
+					if fdl.agg != nil {
+						fdl.agg.AddLocal(eventlog.CounterName(level, component), 1)
+					}
+				})
+			}
+			fd.evlog = dlog
+			fd.dm.SetEventLog(dlog)
+			fd.uplink.SetEventLog(dlog)
+		}
 		if cfg.Federate {
 			// The domain's forwarding aggregator merges its hosts' window
 			// summaries and ships one domain-tier summary per window up —
@@ -513,6 +569,12 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 			h.loadSketch = h.tel.Summary().Sketch("fleet.load")
 			h.latSketch = h.tel.Summary().Sketch("fleet.detect_adapt_ns")
 		}
+		if sys.Log != nil {
+			h.evlog = sys.Log
+			if h.tel != nil {
+				h.evlog = sys.Log.WithSink(eventlog.SummarySink(h.tel.Summary()))
+			}
+		}
 		fd.hosts++
 		// The host is the server of its own application, so the domain's
 		// episode machinery (query, report, rule diagnosis, boost
@@ -544,10 +606,16 @@ func BuildFleet(cfg FleetConfig) *FleetSystem {
 
 		sys.Hub = repository.NewHub("/repo/hub", send)
 		sys.Hub.SetTelemetry(sys.Metrics)
+		if sys.Log != nil {
+			sys.Hub.SetEventLog(sys.Log)
+		}
 		sys.Hub.Subscribe(RegionAddr)
 		for _, fd := range sys.Domains {
 			pa := agent.New(fmt.Sprintf("/%s/PolicyAgent", fd.name), svc, send)
 			pa.SetTelemetry(sys.Metrics)
+			if fd.evlog != nil {
+				pa.SetEventLog(fd.evlog)
+			}
 			sys.Bus.Bind(pa.Addr(), fd.name+"-agent", pa.HandleMessage)
 			fd.dm.SetPolicyAgents(pa.Addr())
 			sys.policyAgents = append(sys.policyAgents, pa)

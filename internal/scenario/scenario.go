@@ -24,6 +24,7 @@ import (
 	"softqos/internal/sched"
 	"softqos/internal/sim"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 	"softqos/internal/telemetry/export"
 	"softqos/internal/video"
 )
@@ -117,6 +118,22 @@ type Config struct {
 	// FlightCapacity bounds retained samples per series under Observe
 	// (default telemetry.DefaultTimelineCapacity).
 	FlightCapacity int
+	// EventLog arms the structured event log: manager decisions (host
+	// eviction, episode retry/timeout, re-adoption), agent cache
+	// anomalies, rollout decisions and fault injections are recorded in
+	// a bounded in-memory ring on the virtual clock, trace-correlated
+	// with the violation traces. Off by default — disabled, every record
+	// site is a nil-receiver no-op and runs (and their determinism
+	// goldens) are byte-identical to a build without the log.
+	EventLog bool
+	// LogCapacity bounds retained records under EventLog (default
+	// eventlog.DefaultCapacity); oldest records are evicted and counted.
+	LogCapacity int
+	// LogEvery keeps 1-in-LogEvery sub-warning records per (component,
+	// code) under EventLog, seeded from Seed so sampling is
+	// deterministic. 0 or 1 keeps everything; Warn and Error always
+	// pass.
+	LogEvery int
 	// PolicyChurn, when non-nil, arms live policy distribution: a
 	// repository hub notifies the domain manager of policy deltas, the
 	// domain manager relays them to the policy agent, the agent folds
@@ -227,6 +244,9 @@ type System struct {
 
 	// Faults is the fault-injecting transport when Cfg.Faults is set.
 	Faults *faults.Transport
+
+	// Log is the structured event log, present only under Cfg.EventLog.
+	Log *eventlog.Logger
 
 	// Hub and Rollout exist only under Cfg.PolicyChurn: the repository's
 	// watch/notify hub and the canary rollout controller.
@@ -544,6 +564,30 @@ func Build(cfg Config) *System {
 	}
 	if cfg.ServerLoad > 0 {
 		loadgen.Offered(sys.ServerHost, cfg.ServerLoad)
+	}
+
+	// The structured event log, fully absent unless requested: disabled,
+	// every record site in the components below is a nil-receiver no-op,
+	// so log-free runs (and their determinism goldens) are unchanged.
+	if cfg.EventLog {
+		sys.Log = eventlog.New(sys.Metrics.Clock(), cfg.LogCapacity)
+		sys.Log.SetMetrics(sys.Metrics)
+		if cfg.LogEvery > 1 {
+			sys.Log.SetSampling(cfg.LogEvery, cfg.Seed)
+		}
+		sys.DM.SetEventLog(sys.Log)
+		sys.ClientHM.SetEventLog(sys.Log)
+		sys.ServerHM.SetEventLog(sys.Log)
+		sys.Agent.SetEventLog(sys.Log)
+		if sys.Faults != nil {
+			sys.Faults.SetEventLog(sys.Log)
+		}
+		if sys.Hub != nil {
+			sys.Hub.SetEventLog(sys.Log)
+		}
+		if sys.Rollout != nil {
+			sys.Rollout.SetEventLog(sys.Log)
+		}
 	}
 
 	// Compliance observability, fully absent unless requested so that

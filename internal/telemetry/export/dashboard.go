@@ -8,11 +8,16 @@ import (
 	"time"
 
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // maxDashboardSeries caps how many sparklines the dashboard renders so
 // a large registry cannot produce a multi-megabyte page.
 const maxDashboardSeries = 60
+
+// maxDashboardLogRows caps the dashboard's event-log table the same
+// way: the most recent rows win, the full ring stays on /debug/qos/logs.
+const maxDashboardLogRows = 40
 
 const dashboardCSS = `body{font-family:ui-monospace,Menlo,Consolas,monospace;background:#101418;color:#d8dee4;margin:0;padding:1.5rem}
 h1{font-size:1.1rem;margin:0 0 .25rem}h2{font-size:.95rem;margin:1.5rem 0 .5rem;color:#9fb2c4}
@@ -84,8 +89,9 @@ func esc(s string) string { return html.EscapeString(s) }
 
 // WriteDashboard renders the self-contained HTML compliance dashboard:
 // no external assets, no JavaScript — every chart is inline SVG, so the
-// page works from a file:// save or an air-gapped scrape.
-func WriteDashboard(w io.Writer, p SLOPayload, tl telemetry.TimelineDump) error {
+// page works from a file:// save or an air-gapped scrape. logs, when
+// non-empty, renders as a recent-events table (newest first).
+func WriteDashboard(w io.Writer, p SLOPayload, tl telemetry.TimelineDump, logs []eventlog.Record) error {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>softqos dashboard</title>")
 	fmt.Fprintf(&b, "<style>%s</style></head><body>\n", dashboardCSS)
@@ -148,6 +154,34 @@ func WriteDashboard(w io.Writer, p SLOPayload, tl telemetry.TimelineDump) error 
 				esc(e.Subject), esc(e.Policy), e.Age.Round(time.Millisecond), e.Spans)
 		}
 		b.WriteString("</ul>\n")
+	}
+
+	// Event log: most recent rows, newest first, warnings colored.
+	if len(logs) > 0 {
+		fmt.Fprintf(&b, "<h2>Event log (last %d)</h2>\n<table><tr><th>at</th><th>level</th><th>component</th><th>code</th><th>trace</th><th>fields</th></tr>\n", len(logs))
+		for i := len(logs) - 1; i >= 0; i-- {
+			r := logs[i]
+			cls := "ok"
+			switch r.Level {
+			case eventlog.Warn:
+				cls = "warn"
+			case eventlog.Error:
+				cls = "crit"
+			}
+			var fields strings.Builder
+			for j, f := range r.Fields {
+				if j > 0 {
+					fields.WriteByte(' ')
+				}
+				fields.WriteString(f.Key)
+				fields.WriteByte('=')
+				fields.WriteString(f.Value())
+			}
+			fmt.Fprintf(&b, `<tr class="%s"><td>%v</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+				cls, r.At.Round(time.Millisecond), r.Level, esc(r.Component), esc(r.Code),
+				esc(r.Trace), esc(fields.String()))
+		}
+		b.WriteString("</table>\n")
 	}
 
 	// Flight-recorder sparklines.

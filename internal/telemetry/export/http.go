@@ -7,6 +7,7 @@ import (
 
 	"softqos/internal/repository"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
 
 // handlerConfig collects the optional surfaces a Handler can expose on
@@ -17,6 +18,7 @@ type handlerConfig struct {
 	pprof    bool
 	federate func() telemetry.FederatedView
 	rollout  func() (*repository.RolloutStatus, []repository.RolloutStatus)
+	eventlog *eventlog.Logger
 }
 
 // Option customizes the observability Handler.
@@ -66,6 +68,14 @@ func WithRollout(ctl *repository.Controller) Option {
 	}
 }
 
+// WithEventLog attaches the structured event log: /debug/qos/logs
+// serves its ring (JSON, level/component/since_ns/limit filters, body
+// bounded) and the dashboard gains a recent-events table. A nil logger
+// is accepted and serves the empty document.
+func WithEventLog(lg *eventlog.Logger) Option {
+	return func(c *handlerConfig) { c.eventlog = lg }
+}
+
 // Handler serves the observability surface for one management process:
 //
 //	/metrics             Prometheus text exposition of the registry
@@ -73,6 +83,7 @@ func WithRollout(ctl *repository.Controller) Option {
 //	/debug/qos/chrome    Chrome trace-event JSON of the violation traces
 //	/debug/qos/timeline  flight-recorder history (JSON)
 //	/debug/qos/slo       per-policy compliance + loop latency (JSON)
+//	/debug/qos/logs      structured event-log ring (JSON, filterable)
 //	/debug/qos/dashboard self-contained HTML compliance dashboard
 //	/debug/pprof/        Go profiling endpoints (only with WithPprof)
 //
@@ -128,6 +139,15 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 		}
 		_ = WriteSLOJSON(w, p)
 	})
+	mux.HandleFunc("/debug/qos/logs", func(w http.ResponseWriter, r *http.Request) {
+		q, err := ParseLogsQuery(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteLogsJSON(w, cfg.eventlog, q)
+	})
 	mux.HandleFunc("/debug/qos/dashboard", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		if cfg.federate != nil {
@@ -138,7 +158,8 @@ func Handler(reg *telemetry.Registry, tracer *telemetry.Tracer, opts ...Option) 
 		if cfg.rollout != nil {
 			p.Rollout, p.RolloutHistory = cfg.rollout()
 		}
-		_ = WriteDashboard(w, p, cfg.timeline.Dump())
+		_ = WriteDashboard(w, p, cfg.timeline.Dump(), cfg.eventlog.Records(
+			eventlog.Query{MinLevel: eventlog.Info, Limit: maxDashboardLogRows}))
 	})
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,87 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"time"
+
+	"softqos/internal/telemetry/eventlog"
+)
+
+// maxLogRecords caps how many records one /debug/qos/logs response (or
+// dashboard log table) carries, so a full ring cannot produce an
+// unbounded body. Callers may ask for less via ?limit=, never for more.
+const maxLogRecords = 500
+
+// ParseLogsQuery maps /debug/qos/logs query parameters onto an eventlog
+// query: ?level=warn (minimum level), ?component=agent, ?since_ns=N
+// (records at or after the clock instant) and ?limit=N (most recent N,
+// capped at maxLogRecords, which is also the default).
+func ParseLogsQuery(v url.Values) (eventlog.Query, error) {
+	q := eventlog.Query{Limit: maxLogRecords}
+	if s := v.Get("level"); s != "" {
+		lvl, ok := eventlog.ParseLevel(s)
+		if !ok {
+			return q, fmt.Errorf("unknown level %q (want debug|info|warn|error)", s)
+		}
+		q.MinLevel = lvl
+	}
+	q.Component = v.Get("component")
+	if s := v.Get("since_ns"); s != "" {
+		ns, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad since_ns %q: %v", s, err)
+		}
+		q.Since = time.Duration(ns)
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q", s)
+		}
+		if n > 0 && n < maxLogRecords {
+			q.Limit = n
+		}
+	}
+	return q, nil
+}
+
+// WriteLogsJSON writes the /debug/qos/logs document: the matching
+// records (oldest first, bounded by the query limit) plus the ring's
+// totals, so a scraper can tell truncation (returned < total) from
+// eviction (evicted > 0). A nil logger yields the empty document, so
+// the endpoint is safe to mount unconditionally.
+func WriteLogsJSON(w io.Writer, lg *eventlog.Logger, q eventlog.Query) error {
+	if q.Limit <= 0 || q.Limit > maxLogRecords {
+		q.Limit = maxLogRecords
+	}
+	recs := lg.Records(q)
+	var b []byte
+	b = append(b, `{"total":`...)
+	b = strconv.AppendInt(b, int64(lg.Len()), 10)
+	b = append(b, `,"evicted":`...)
+	b = strconv.AppendUint(b, lg.Evicted(), 10)
+	b = append(b, `,"returned":`...)
+	b = strconv.AppendInt(b, int64(len(recs)), 10)
+	b = append(b, `,"records":[`...)
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	var line []byte
+	for i := range recs {
+		line = line[:0]
+		if i > 0 {
+			line = append(line, ',')
+		}
+		line = append(line, '\n')
+		rb, _ := recs[i].MarshalJSON()
+		line = append(line, rb...)
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -12,7 +12,19 @@ import (
 	"softqos/internal/msg"
 	"softqos/internal/repository"
 	"softqos/internal/telemetry"
+	"softqos/internal/telemetry/eventlog"
 )
+
+// EventLogger is the bounded, trace-correlated structured event log
+// (re-exported from the telemetry layer). A nil *EventLogger is valid
+// everywhere one is accepted: every record site degrades to a no-op.
+type EventLogger = eventlog.Logger
+
+// NewEventLogger creates an event log on the given clock (nil for a
+// zero clock) holding up to capacity records (<= 0 for the default).
+func NewEventLogger(clock telemetry.Clock, capacity int) *EventLogger {
+	return eventlog.New(clock, capacity)
+}
 
 // FaultPlan is a fault-injection schedule for chaos-testing a live
 // deployment (see docs/FAULTS.md for the JSON format). Apply one with
@@ -83,6 +95,14 @@ func (a *LiveAgent) Addr() string { return a.nt.Addr() }
 func (a *LiveAgent) SetTelemetry(reg *telemetry.Registry) {
 	a.nt.SetMetrics(reg)
 	a.nt.Sync(func() { a.pa.SetTelemetry(reg) })
+}
+
+// SetEventLog attaches the structured event log the agent's cache
+// anomalies and the transport's drop/retry/reconnect diagnostics are
+// recorded on. Nil detaches.
+func (a *LiveAgent) SetEventLog(lg *EventLogger) {
+	a.nt.SetEventLog(lg)
+	a.nt.Sync(func() { a.pa.SetEventLog(lg) })
 }
 
 // Stats returns successful registrations and failed (Nacked) lookups.
@@ -235,6 +255,16 @@ func (lc *LiveCoordinator) SetTelemetry(reg *telemetry.Registry, tracer *telemet
 	if lc.faults != nil {
 		lc.faults.SetMetrics(reg)
 		lc.faults.SetTracer(tracer)
+	}
+}
+
+// SetEventLog attaches the structured event log the coordinator's
+// transport (and fault injector, when one is armed) records on. Nil
+// detaches.
+func (lc *LiveCoordinator) SetEventLog(lg *EventLogger) {
+	lc.nt.SetEventLog(lg)
+	if lc.faults != nil {
+		lc.faults.SetEventLog(lg)
 	}
 }
 

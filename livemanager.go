@@ -138,6 +138,14 @@ func (lm *LiveHostManager) SetTelemetry(reg *telemetry.Registry, tracer *telemet
 	lm.nt.Sync(func() { lm.hm.SetTelemetry(reg, tracer) })
 }
 
+// SetEventLog attaches the structured event log the manager's
+// decisions (eviction, re-adoption, untracked violations) and the
+// transport's diagnostics are recorded on. Nil detaches.
+func (lm *LiveHostManager) SetEventLog(lg *EventLogger) {
+	lm.nt.SetEventLog(lg)
+	lm.nt.Sync(func() { lm.hm.SetEventLog(lg) })
+}
+
 // LiveDomainManager runs the QoS Domain Manager — again the exact
 // internal/manager.DomainManager of the simulator — on a TCP node, for
 // cross-host fault localization between live host managers.
@@ -186,4 +194,12 @@ func (ld *LiveDomainManager) Manager() *manager.DomainManager { return ld.dm }
 func (ld *LiveDomainManager) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	ld.nt.SetMetrics(reg)
 	ld.nt.Sync(func() { ld.dm.SetTelemetry(reg, tracer) })
+}
+
+// SetEventLog attaches the structured event log the manager's
+// decisions and the transport's diagnostics are recorded on. Nil
+// detaches.
+func (ld *LiveDomainManager) SetEventLog(lg *EventLogger) {
+	ld.nt.SetEventLog(lg)
+	ld.nt.Sync(func() { ld.dm.SetEventLog(lg) })
 }

@@ -101,6 +101,15 @@ func (s *LivePolicyServer) SetTelemetry(reg *telemetry.Registry) {
 	s.ctl.SetTelemetry(reg)
 }
 
+// SetEventLog attaches the structured event log the hub's
+// announcements, the rollout controller's decisions and the delta-push
+// transport's diagnostics are recorded on. Nil detaches.
+func (s *LivePolicyServer) SetEventLog(lg *EventLogger) {
+	s.nt.SetEventLog(lg)
+	s.hub.SetEventLog(lg)
+	s.ctl.SetEventLog(lg)
+}
+
 // Rollout exposes the canary controller (for export.WithRollout, a
 // dynamic host roster, custom clocks, or direct Push/Rollback calls).
 func (s *LivePolicyServer) Rollout() *RolloutController { return s.ctl }
